@@ -1,0 +1,48 @@
+// R-A1 — Ablation: how "NUMA-ness" (the remote:local latency ratio) moves
+// the CC-SAS vs MP trade-off.
+//
+// We scale the per-hop router latency and re-run both applications at a
+// fixed P.  Expected shape: raising the remote premium hurts CC-SAS most
+// (its communication is all remote misses); the explicit models mostly see
+// longer wire latency, which their bulk transfers amortise.
+#include "bench_util.hpp"
+
+using namespace o2k;
+
+int main(int argc, char** argv) {
+  auto flags = bench::common_flags();
+  flags["p"] = "processor count (default 32)";
+  Cli cli(argc, argv, flags);
+  if (cli.has("help")) {
+    std::cout << cli.help();
+    return 0;
+  }
+  const int p = static_cast<int>(cli.get_int("p", 32));
+  const apps::NbodyConfig ncfg = bench::nbody_cfg(cli);
+  const apps::MeshConfig mcfg = bench::mesh_cfg(cli);
+
+  bench::Emitter out("bench_abl1_numa", cli,
+                     "R-A1: remote-latency sweep at P=" + std::to_string(p) +
+                         " (hop latency scaled)");
+  out.header({"hop scale", "nbody MPI", "nbody CC-SAS", "SAS/MPI", "mesh MPI",
+              "mesh CC-SAS", "SAS/MPI "});
+  for (double scale : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    auto params = origin::MachineParams::origin2000();
+    params.router_hop_ns *= scale;
+    rt::Machine machine(params);
+    const auto nb_mp = apps::run_nbody_mp(machine, p, ncfg);
+    const auto nb_sas = apps::run_nbody_sas(machine, p, ncfg);
+    const auto me_mp = apps::run_mesh_mp(machine, p, mcfg);
+    const auto me_sas = apps::run_mesh_sas(machine, p, mcfg);
+    out.row({TextTable::num(scale, 1), TextTable::time_ns(nb_mp.run.makespan_ns),
+             TextTable::time_ns(nb_sas.run.makespan_ns),
+             TextTable::num(nb_sas.run.makespan_ns / nb_mp.run.makespan_ns),
+             TextTable::time_ns(me_mp.run.makespan_ns),
+             TextTable::time_ns(me_sas.run.makespan_ns),
+             TextTable::num(me_sas.run.makespan_ns / me_mp.run.makespan_ns)});
+  }
+  out.print();
+  std::cout << "\nShape check: the SAS/MPI ratio rises with the hop scale — a more\n"
+               "NUMA machine moves the crossover toward the explicit models.\n";
+  return 0;
+}

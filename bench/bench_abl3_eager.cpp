@@ -1,0 +1,43 @@
+// R-A3 — Ablation: the MPI eager/rendezvous protocol threshold.
+//
+// Small messages profit from eager delivery (no handshake); large ones from
+// rendezvous (no extra copy).  We sweep the switch point and measure the
+// MP remeshing code, whose traffic mixes tiny closure keys with bulk remap
+// payloads.  Expected shape: a U-curve — too-low thresholds pay handshakes
+// on medium messages, too-high thresholds pay buffered copies on bulk.
+#include "bench_util.hpp"
+
+using namespace o2k;
+
+int main(int argc, char** argv) {
+  auto flags = bench::common_flags();
+  flags["p"] = "processor count (default 16)";
+  Cli cli(argc, argv, flags);
+  if (cli.has("help")) {
+    std::cout << cli.help();
+    return 0;
+  }
+  const int p = static_cast<int>(cli.get_int("p", 16));
+  apps::MeshConfig cfg = bench::mesh_cfg(cli);
+  cfg.policy = plum::RemapPolicy::kAlways;  // force bulk remap traffic
+
+  bench::Emitter out("bench_abl3_eager", cli,
+                     "R-A3: eager/rendezvous threshold sweep (MP remeshing, P=" +
+                         std::to_string(p) + ")");
+  out.header({"eager threshold", "total", "closure", "remap", "messages", "bytes"});
+  for (std::size_t thr : {std::size_t{0}, std::size_t{1024}, std::size_t{4096},
+                          std::size_t{16384}, std::size_t{65536}, std::size_t{1} << 20}) {
+    auto params = origin::MachineParams::origin2000();
+    params.mp_eager_bytes = thr;
+    rt::Machine machine(params);
+    const auto rep = apps::run_mesh_mp(machine, p, cfg);
+    out.row({TextTable::bytes(static_cast<double>(thr)),
+             TextTable::time_ns(rep.run.makespan_ns),
+             TextTable::time_ns(rep.run.phase_max("closure")),
+             TextTable::time_ns(rep.run.phase_max("remap")),
+             std::to_string(rep.run.counter("mp.msgs")),
+             TextTable::bytes(static_cast<double>(rep.run.counter("mp.bytes")))});
+  }
+  out.print();
+  return 0;
+}

@@ -1,0 +1,48 @@
+// R-A5 — Ablation: PLUM's remap policy (always / never / gain-based).
+//
+// PLUM's signature decision weighs the projected solve-time gain of a
+// better distribution against the one-off cost of moving the elements.
+// Expected shape: "never" loses to growing imbalance, "always" over-pays on
+// phases where the front barely moved, gain-based tracks the better of the
+// two.
+#include "bench_util.hpp"
+
+using namespace o2k;
+
+int main(int argc, char** argv) {
+  auto flags = bench::common_flags();
+  flags["p"] = "processor count (default 32)";
+  flags["phases"] = "adaptation phases (default 4)";
+  Cli cli(argc, argv, flags);
+  if (cli.has("help")) {
+    std::cout << cli.help();
+    return 0;
+  }
+  const int p = static_cast<int>(cli.get_int("p", 32));
+  rt::Machine machine;
+
+  bench::Emitter out("bench_abl5_remap", cli,
+                     "R-A5: PLUM remap policy (MP remeshing, P=" + std::to_string(p) + ")");
+  out.header({"policy", "total", "solve", "balance", "remap", "moved elements",
+              "solve imbalance"});
+  struct Pol {
+    plum::RemapPolicy policy;
+    const char* name;
+  };
+  for (const auto& [policy, name] : {Pol{plum::RemapPolicy::kNever, "never"},
+                                     Pol{plum::RemapPolicy::kAlways, "always"},
+                                     Pol{plum::RemapPolicy::kGainBased, "gain-based"}}) {
+    apps::MeshConfig cfg = bench::mesh_cfg(cli);
+    cfg.phases = static_cast<int>(cli.get_int("phases", 4));
+    cfg.policy = policy;
+    const auto rep = apps::run_mesh_mp(machine, p, cfg);
+    out.row({name, TextTable::time_ns(rep.run.makespan_ns),
+             TextTable::time_ns(rep.run.phase_max("solve")),
+             TextTable::time_ns(rep.run.phase_max("balance")),
+             TextTable::time_ns(rep.run.phase_max("remap")),
+             std::to_string(rep.run.counter("mesh.moved_elems")),
+             TextTable::num(rep.run.phases.at("solve").imbalance(p))});
+  }
+  out.print();
+  return 0;
+}

@@ -1,0 +1,45 @@
+// R-F1 — N-body execution time and speedup vs processor count, three models.
+//
+// Expected shape (paper): all three models scale well for Barnes–Hut;
+// CC-SAS is competitive with MP/SHMEM; SHMEM's cheaper transfers give it a
+// small edge over MPI at higher P.
+#include "bench_util.hpp"
+
+using namespace o2k;
+
+int main(int argc, char** argv) {
+  auto flags = bench::common_flags();
+  flags["n"] = "bodies (overrides --full sizing)";
+  flags["steps"] = "time steps (default 2)";
+  Cli cli(argc, argv, flags);
+  if (cli.has("help")) {
+    std::cout << cli.help();
+    return 0;
+  }
+  apps::NbodyConfig cfg = bench::nbody_cfg(cli);
+  cfg.n = static_cast<std::size_t>(cli.get_int("n", static_cast<std::int64_t>(cfg.n)));
+  cfg.steps = static_cast<int>(cli.get_int("steps", cfg.steps));
+  const auto procs = cli.get_int_list("procs", bench::kDefaultProcs);
+
+  rt::Machine machine;
+  const auto serial = apps::run_nbody_serial(cfg);
+
+  bench::Emitter out("bench_fig1_nbody_time", cli,
+                     "R-F1: N-body (" + std::to_string(cfg.n) + " bodies, " +
+                         std::to_string(cfg.steps) + " steps) — time & speedup vs P");
+  out.header({"model", "P", "time", "speedup", "efficiency"});
+  out.row({"serial", "1", TextTable::time_ns(serial.run.makespan_ns), "1.00", "1.00"});
+  for (const auto model : bench::all_models()) {
+    for (int p : procs) {
+      const auto rep = apps::run_nbody(model, machine, p, cfg);
+      const double sp = serial.run.makespan_ns / rep.run.makespan_ns;
+      out.row({apps::model_name(model), std::to_string(p),
+               TextTable::time_ns(rep.run.makespan_ns), TextTable::num(sp),
+               TextTable::num(sp / p)});
+    }
+  }
+  out.print();
+  std::cout << "\nShape check: near-linear scaling for all models; CC-SAS within\n"
+               "~1.3x of MP; SHMEM >= MPI at large P.\n";
+  return 0;
+}

@@ -1,0 +1,44 @@
+// R-F2 — N-body phase breakdown (per-phase critical paths) at a fixed P.
+//
+// Expected shape (paper): force dominates everywhere; the explicit models
+// add a visible comm (locally-essential exchange) and balance (ORB+remap)
+// component that CC-SAS does not have — its costs hide inside force/tree as
+// remote-miss premiums.
+#include "bench_util.hpp"
+
+using namespace o2k;
+
+int main(int argc, char** argv) {
+  auto flags = bench::common_flags();
+  flags["n"] = "bodies";
+  flags["p"] = "processor count for the breakdown (default 32)";
+  Cli cli(argc, argv, flags);
+  if (cli.has("help")) {
+    std::cout << cli.help();
+    return 0;
+  }
+  apps::NbodyConfig cfg = bench::nbody_cfg(cli);
+  cfg.n = static_cast<std::size_t>(cli.get_int("n", static_cast<std::int64_t>(cfg.n)));
+  const int p = static_cast<int>(cli.get_int("p", 32));
+
+  rt::Machine machine;
+  bench::Emitter out("bench_fig2_nbody_breakdown", cli,
+                     "R-F2: N-body phase breakdown at P=" + std::to_string(p) + " (" +
+                         std::to_string(cfg.n) + " bodies)");
+  out.header({"model", "total", "tree", "force", "update", "comm", "balance",
+              "force imbalance"});
+  for (const auto model : bench::all_models()) {
+    const auto rep = apps::run_nbody(model, machine, p, cfg);
+    const auto& r = rep.run;
+    const auto force_it = r.phases.find("force");
+    out.row({apps::model_name(model), TextTable::time_ns(r.makespan_ns),
+             TextTable::time_ns(r.phase_max("tree")), TextTable::time_ns(r.phase_max("force")),
+             TextTable::time_ns(r.phase_max("update")), TextTable::time_ns(r.phase_max("comm")),
+             TextTable::time_ns(r.phase_max("balance")),
+             force_it == r.phases.end() ? "-" : TextTable::num(force_it->second.imbalance(p))});
+  }
+  out.print();
+  std::cout << "\nShape check: force dominates; comm+balance > 0 only for MP/SHMEM;\n"
+               "CC-SAS tree/force absorb the implicit communication.\n";
+  return 0;
+}

@@ -1,0 +1,44 @@
+// R-F4 — Dynamic remeshing phase breakdown at a fixed P.
+//
+// Expected shape (paper): solve+refine dominate; mark/closure are small;
+// balance+remap exist only under MP/SHMEM, and their size relative to the
+// solve is exactly the overhead PLUM's gain policy weighs.
+#include "bench_util.hpp"
+
+using namespace o2k;
+
+int main(int argc, char** argv) {
+  auto flags = bench::common_flags();
+  flags["box"] = "initial box resolution per side";
+  flags["p"] = "processor count for the breakdown (default 32)";
+  Cli cli(argc, argv, flags);
+  if (cli.has("help")) {
+    std::cout << cli.help();
+    return 0;
+  }
+  apps::MeshConfig cfg = bench::mesh_cfg(cli);
+  if (cli.has("box")) cfg.nx = cfg.ny = cfg.nz = static_cast<int>(cli.get_int("box", cfg.nx));
+  const int p = static_cast<int>(cli.get_int("p", 32));
+
+  rt::Machine machine;
+  bench::Emitter out("bench_fig4_mesh_breakdown", cli,
+                     "R-F4: remeshing phase breakdown at P=" + std::to_string(p));
+  out.header({"model", "total", "solve", "mark", "closure", "balance", "remap", "refine",
+              "solve imbalance"});
+  for (const auto model : bench::all_models()) {
+    const auto rep = apps::run_mesh(model, machine, p, cfg);
+    const auto& r = rep.run;
+    const auto solve_it = r.phases.find("solve");
+    out.row({apps::model_name(model), TextTable::time_ns(r.makespan_ns),
+             TextTable::time_ns(r.phase_max("solve")), TextTable::time_ns(r.phase_max("mark")),
+             TextTable::time_ns(r.phase_max("closure")),
+             TextTable::time_ns(r.phase_max("balance")),
+             TextTable::time_ns(r.phase_max("remap")),
+             TextTable::time_ns(r.phase_max("refine")),
+             solve_it == r.phases.end() ? "-" : TextTable::num(solve_it->second.imbalance(p))});
+  }
+  out.print();
+  std::cout << "\nShape check: balance+remap only under MP/SHMEM; the CC-SAS solve\n"
+               "inflates instead (remote misses after the workload shifts).\n";
+  return 0;
+}

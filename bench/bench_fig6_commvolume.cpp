@@ -1,0 +1,58 @@
+// R-F6 — Communication volume per model vs processor count.
+//
+// For MP/SHMEM the volume is explicit (bytes through the runtimes); for
+// CC-SAS it is implicit (remote cache-line transfers).  Expected shape
+// (paper): explicit volume grows with P (more boundary, more LET exchange,
+// remap traffic); SAS line traffic grows faster at high P because shifting
+// zones defeat the caches.
+#include "bench_util.hpp"
+
+using namespace o2k;
+
+int main(int argc, char** argv) {
+  auto flags = bench::common_flags();
+  flags["app"] = "nbody | mesh (default nbody)";
+  Cli cli(argc, argv, flags);
+  if (cli.has("help")) {
+    std::cout << cli.help();
+    return 0;
+  }
+  const bool mesh = cli.get("app", "nbody") == "mesh";
+  const auto procs = cli.get_int_list("procs", {2, 4, 8, 16, 32, 64});
+
+  rt::Machine machine;
+  const int line = machine.params().cache_line_bytes;
+
+  bench::Emitter out("bench_fig6_commvolume", cli,
+                     std::string("R-F6: communication volume vs P (") +
+                         (mesh ? "remeshing" : "N-body") + ")");
+  out.header({"P", "MPI bytes", "MPI msgs", "SHMEM bytes", "SHMEM ops",
+              "CC-SAS remote lines", "CC-SAS remote bytes"});
+  for (int p : procs) {
+    apps::AppReport mp_rep, sh_rep, sas_rep;
+    if (mesh) {
+      const apps::MeshConfig cfg = bench::mesh_cfg(cli);
+      mp_rep = apps::run_mesh_mp(machine, p, cfg);
+      sh_rep = apps::run_mesh_shmem(machine, p, cfg);
+      sas_rep = apps::run_mesh_sas(machine, p, cfg);
+    } else {
+      const apps::NbodyConfig cfg = bench::nbody_cfg(cli);
+      mp_rep = apps::run_nbody_mp(machine, p, cfg);
+      sh_rep = apps::run_nbody_shmem(machine, p, cfg);
+      sas_rep = apps::run_nbody_sas(machine, p, cfg);
+    }
+    const auto remote = sas_rep.run.counter("sas.remote_misses");
+    out.row({std::to_string(p),
+             TextTable::bytes(static_cast<double>(mp_rep.run.counter("mp.bytes"))),
+             std::to_string(mp_rep.run.counter("mp.msgs")),
+             TextTable::bytes(static_cast<double>(sh_rep.run.counter("shmem.bytes"))),
+             std::to_string(sh_rep.run.counter("shmem.puts") +
+                            sh_rep.run.counter("shmem.gets")),
+             std::to_string(remote),
+             TextTable::bytes(static_cast<double>(remote) * line)});
+  }
+  out.print();
+  std::cout << "\nShape check: explicit byte volume grows with P; CC-SAS remote-line\n"
+               "traffic grows faster at high P (shifting zones defeat the caches).\n";
+  return 0;
+}

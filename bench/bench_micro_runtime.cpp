@@ -1,0 +1,86 @@
+// R-M1 — Host micro-benchmarks of the simulator's own primitives
+// (google-benchmark).  These measure *host* cost, not simulated time: they
+// exist so regressions in the simulation machinery itself are visible.
+#include <benchmark/benchmark.h>
+
+#include "mp/comm.hpp"
+#include "sas/sas.hpp"
+#include "shmem/shmem.hpp"
+
+using namespace o2k;
+
+namespace {
+
+void BM_MachineRunOverhead(benchmark::State& state) {
+  rt::Machine machine;
+  const int p = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto rr = machine.run(p, [](rt::Pe& pe) { pe.advance(1.0); });
+    benchmark::DoNotOptimize(rr.makespan_ns);
+  }
+}
+BENCHMARK(BM_MachineRunOverhead)->Arg(1)->Arg(8)->Arg(32);
+
+void BM_Barrier(benchmark::State& state) {
+  rt::Machine machine;
+  const int p = static_cast<int>(state.range(0));
+  const int iters = 50;
+  for (auto _ : state) {
+    machine.run(p, [&](rt::Pe& pe) {
+      for (int i = 0; i < iters; ++i) pe.barrier(10.0);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * iters);
+}
+BENCHMARK(BM_Barrier)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_MpAllreduce(benchmark::State& state) {
+  rt::Machine machine;
+  const int p = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    mp::World w(machine.params(), p);
+    machine.run(p, [&](rt::Pe& pe) {
+      mp::Comm comm(w, pe);
+      for (int i = 0; i < 10; ++i) benchmark::DoNotOptimize(comm.allreduce_sum(1.0));
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 10);
+}
+BENCHMARK(BM_MpAllreduce)->Arg(4)->Arg(16);
+
+void BM_ShmemPut(benchmark::State& state) {
+  rt::Machine machine;
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  shmem::World w(machine.params(), 2, bytes + 65536);
+  for (auto _ : state) {
+    machine.run(2, [&](rt::Pe& pe) {
+      shmem::Ctx ctx(w, pe);
+      auto arr = ctx.malloc<std::byte>(bytes);
+      std::vector<std::byte> buf(bytes);
+      if (pe.rank() == 0) {
+        for (int i = 0; i < 16; ++i) ctx.put(arr, std::span<const std::byte>(buf), 1);
+      }
+      ctx.barrier_all();
+    });
+  }
+  state.SetBytesProcessed(state.iterations() * 16 * static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_ShmemPut)->Arg(128)->Arg(65536);
+
+void BM_SasTouch(benchmark::State& state) {
+  rt::Machine machine;
+  sas::World w(machine.params(), 2, std::size_t{8} << 20);
+  auto arr = w.alloc<double>(65536);
+  for (auto _ : state) {
+    machine.run(2, [&](rt::Pe& pe) {
+      sas::Team team(w, pe);
+      for (int i = 0; i < 8; ++i) team.touch_read_range(arr, 0, 65536);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * 65536);
+}
+BENCHMARK(BM_SasTouch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,120 @@
+// R-T1 — Machine characterisation (reconstructed Table 1).
+//
+// Per-model transfer time and effective bandwidth versus message size, as
+// the paper reports for load/store (CC-SAS), SHMEM put/get, and MPI
+// send/recv on the Origin2000.  Expected shape: load/store < SHMEM < MPI
+// for small transfers; bandwidths converge at large sizes.
+#include "bench_util.hpp"
+#include "mp/comm.hpp"
+#include "sas/sas.hpp"
+#include "shmem/shmem.hpp"
+
+using namespace o2k;
+
+namespace {
+
+double mp_roundtrip_ns(rt::Machine& machine, std::size_t bytes) {
+  mp::World w(machine.params(), 2);
+  const auto rr = machine.run(2, [&](rt::Pe& pe) {
+    mp::Comm comm(w, pe);
+    std::vector<std::byte> buf(bytes);
+    for (int i = 0; i < 4; ++i) {
+      if (pe.rank() == 0) {
+        comm.send_bytes(buf, 1, 0);
+        (void)comm.recv_bytes(1, 0);
+      } else {
+        auto got = comm.recv_bytes(0, 0);
+        comm.send_bytes(got, 0, 0);
+      }
+    }
+  });
+  return rr.makespan_ns / 8.0;  // 4 round trips = 8 one-way transfers
+}
+
+double shmem_put_ns(rt::Machine& machine, std::size_t bytes) {
+  shmem::World w(machine.params(), 2, bytes * 2 + 65536);
+  const auto rr = machine.run(2, [&](rt::Pe& pe) {
+    shmem::Ctx ctx(w, pe);
+    auto arr = ctx.malloc<std::byte>(bytes);
+    std::vector<std::byte> buf(bytes);
+    if (pe.rank() == 0) {
+      for (int i = 0; i < 8; ++i) ctx.put(arr, std::span<const std::byte>(buf), 1);
+      ctx.quiet();
+    }
+    ctx.barrier_all();
+  });
+  return (rr.pe_ns[0] - origin::MachineParams::tree_barrier_ns(
+                            2, machine.params().shmem_barrier_base_ns)) /
+         8.0;
+}
+
+double shmem_get_ns(rt::Machine& machine, std::size_t bytes) {
+  shmem::World w(machine.params(), 2, bytes * 2 + 65536);
+  const auto rr = machine.run(2, [&](rt::Pe& pe) {
+    shmem::Ctx ctx(w, pe);
+    auto arr = ctx.malloc<std::byte>(bytes);
+    std::vector<std::byte> buf(bytes);
+    if (pe.rank() == 0) {
+      for (int i = 0; i < 8; ++i) ctx.get(std::span<std::byte>(buf), arr, 1);
+    }
+    ctx.barrier_all();
+  });
+  return (rr.pe_ns[0] - origin::MachineParams::tree_barrier_ns(
+                            2, machine.params().shmem_barrier_base_ns)) /
+         8.0;
+}
+
+double sas_remote_read_ns(rt::Machine& machine, std::size_t bytes) {
+  // Cold remote read of a block homed on another node, through the cache
+  // simulator (premium over local, which is what the SAS model charges).
+  sas::World w(machine.params(), 8, std::size_t{8} << 20);
+  auto arr = w.alloc<std::byte>(bytes);
+  double cost = 0.0;
+  machine.run(8, [&](rt::Pe& pe) {
+    sas::Team team(w, pe);
+    if (pe.rank() == 0) team.touch_read(arr.offset, bytes);  // home on node 0
+    team.barrier();
+    if (pe.rank() == 6) {  // node 3
+      const double t0 = pe.now();
+      team.touch_read(arr.offset, bytes);
+      cost = pe.now() - t0;
+    }
+    team.barrier();
+  });
+  return cost;
+}
+
+std::string bw(double bytes, double ns) {
+  return ns > 0 ? TextTable::num(bytes / ns * 1000.0, 1) : "-";  // MB/s
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv, bench::common_flags());
+  if (cli.has("help")) {
+    std::cout << cli.help();
+    return 0;
+  }
+  rt::Machine machine;
+
+  bench::Emitter out("bench_table1_machine", cli,
+                     "R-T1: per-model transfer cost on the simulated Origin2000");
+  out.header({"bytes", "MPI (ns)", "MPI MB/s", "SHMEM put (ns)", "put MB/s",
+              "SHMEM get (ns)", "CC-SAS remote read (ns)", "read MB/s"});
+  for (std::size_t bytes : {std::size_t{8}, std::size_t{128}, std::size_t{1024},
+                            std::size_t{8192}, std::size_t{65536}, std::size_t{1} << 20}) {
+    const double mp = mp_roundtrip_ns(machine, bytes);
+    const double put = shmem_put_ns(machine, bytes);
+    const double get = shmem_get_ns(machine, bytes);
+    const double sas = sas_remote_read_ns(machine, bytes);
+    out.row({TextTable::bytes(static_cast<double>(bytes)), TextTable::num(mp, 0),
+             bw(static_cast<double>(bytes), mp), TextTable::num(put, 0),
+             bw(static_cast<double>(bytes), put), TextTable::num(get, 0),
+             TextTable::num(sas, 0), bw(static_cast<double>(bytes), sas)});
+  }
+  out.print();
+  std::cout << "\nShape check: small-transfer latency CC-SAS < SHMEM < MPI;\n"
+               "bandwidths converge for large transfers.\n";
+  return 0;
+}

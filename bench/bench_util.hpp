@@ -1,0 +1,75 @@
+// Shared plumbing for the reconstructed-experiment benchmark binaries.
+//
+// Every binary prints the rows of one paper table/figure (DESIGN.md §4)
+// through TextTable and also drops a CSV next to the binary so plots can be
+// regenerated.  Default workload sizes are "smoke" scale so the whole
+// bench/ directory completes in minutes on a laptop; pass --full (or the
+// size flags) for paper-scale runs.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "apps/mesh_app.hpp"
+#include "apps/nbody_app.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+
+namespace o2k::bench {
+
+inline const std::vector<int> kDefaultProcs{1, 2, 4, 8, 16, 32, 64};
+
+inline std::vector<apps::Model> all_models() {
+  return {apps::Model::kMp, apps::Model::kShmem, apps::Model::kSas};
+}
+
+/// Standard flags shared by the app-level benches.
+inline std::map<std::string, std::string> common_flags() {
+  return {
+      {"procs", "comma-separated processor counts (default 1,2,4,8,16,32,64)"},
+      {"full", "run at paper scale instead of smoke scale"},
+      {"csv", "CSV output path (default <bench>.csv)"},
+  };
+}
+
+/// Emit a table and mirror it to CSV.
+class Emitter {
+ public:
+  Emitter(std::string bench_name, const Cli& cli, std::string title)
+      : table_(std::move(title)),
+        csv_(cli.get("csv", bench_name + ".csv")) {}
+
+  void header(std::vector<std::string> cols) {
+    csv_.row(cols);
+    table_.header(std::move(cols));
+  }
+  void row(std::vector<std::string> cells) {
+    csv_.row(cells);
+    table_.row(std::move(cells));
+  }
+  void print() { table_.print(std::cout); }
+
+ private:
+  TextTable table_;
+  CsvWriter csv_;
+};
+
+/// Smoke vs paper-scale N-body configuration.
+inline apps::NbodyConfig nbody_cfg(const Cli& cli) {
+  apps::NbodyConfig cfg;
+  cfg.n = cli.get_bool("full", false) ? 65536 : 8192;
+  cfg.steps = 2;
+  return cfg;
+}
+
+/// Smoke vs paper-scale remeshing configuration.
+inline apps::MeshConfig mesh_cfg(const Cli& cli) {
+  apps::MeshConfig cfg;
+  const int box = cli.get_bool("full", false) ? 16 : 10;
+  cfg.nx = cfg.ny = cfg.nz = box;
+  cfg.phases = 3;
+  return cfg;
+}
+
+}  // namespace o2k::bench

@@ -1,0 +1,89 @@
+// The dynamic remeshing application (ADAPT/3D_TAG + PLUM) under the three
+// programming models.
+//
+// A tetrahedral mesh is adapted over several phases against a spherical
+// refinement front that sweeps through the domain (the paper's moving
+// shock/feature).  Each phase runs: surrogate solve → edge marking →
+// mark closure (global fixpoint) → load balance (PLUM; MP/SHMEM only) →
+// refinement.  The workload therefore shifts unpredictably between phases,
+// which is exactly what distinguishes the models:
+//
+//  * MP    — distributed mesh; closure exchanges promotion-induced marks as
+//            geometric edge keys (allgatherv); PLUM gathers the weighted
+//            element cloud to rank 0, repartitions (RIB), reassigns parts
+//            via the similarity matrix, and bulk-remaps elements
+//            (all-to-all) when the gain model says so.
+//  * SHMEM — same pipeline, all exchanges one-sided via the symmetric heap.
+//  * CC-SAS— one shared mesh; marking/closure/refinement work directly on
+//            shared arrays and a shared lock-free edge table; there is *no*
+//            balance or remap code at all — the price is paid instead as
+//            remote-miss premiums when zones shift over the shared arrays.
+//
+// Reported phases: "solve", "mark", "closure", "refine", "balance", "remap".
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "apps/report.hpp"
+#include "common/vec3.hpp"
+#include "origin/params.hpp"
+#include "plum/remap.hpp"
+#include "rt/machine.hpp"
+
+namespace o2k::apps {
+
+struct MeshConfig {
+  int nx = 10, ny = 10, nz = 10;  ///< initial box resolution (6 tets per cell)
+  double scale = 1.0;
+  int phases = 3;  ///< adaptation phases (front positions)
+
+  /// Front geometry; radius/width default to fractions of the box if <= 0.
+  double radius = -1.0;
+  double width = -1.0;
+
+  /// Surrogate flow-solver work per alive element per phase.  This is what
+  /// load balance buys time on; PLUM's gain model weighs remap cost
+  /// against it.
+  double solve_ns_per_tet = 4000.0;
+
+  bool use_plum = true;  ///< MP/SHMEM: run the balance stage at all
+  plum::RemapPolicy policy = plum::RemapPolicy::kGainBased;
+
+  /// Element-capacity bound used to size symmetric heaps / shared arenas
+  /// (0 = auto: initial * (8*phases + 8)).  Benchmarks that know the final
+  /// element count can set this tighter to save host memory.
+  std::size_t cap_elements = 0;
+
+  [[nodiscard]] std::size_t initial_tets() const {
+    return static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny) *
+           static_cast<std::size_t>(nz) * 6;
+  }
+  [[nodiscard]] std::size_t element_capacity() const {
+    if (cap_elements > 0) return cap_elements;
+    return initial_tets() * (8 * static_cast<std::size_t>(phases) + 8) + 8192;
+  }
+
+  [[nodiscard]] double front_radius() const {
+    return radius > 0 ? radius : 0.30 * scale * std::min({nx, ny, nz});
+  }
+  [[nodiscard]] double front_width() const {
+    return width > 0 ? width : 0.05 * scale * std::min({nx, ny, nz});
+  }
+  /// Front centre for phase k: sweeps along the box diagonal.
+  [[nodiscard]] Vec3 front_center(int k) const {
+    const double t = phases > 1 ? static_cast<double>(k) / (phases - 1) : 0.5;
+    const Vec3 c0(0.22 * nx * scale, 0.24 * ny * scale, 0.26 * nz * scale);
+    const Vec3 c1(0.78 * nx * scale, 0.76 * ny * scale, 0.74 * nz * scale);
+    return c0 + (c1 - c0) * t;
+  }
+};
+
+AppReport run_mesh_serial(const MeshConfig& cfg);
+AppReport run_mesh_mp(rt::Machine& machine, int nprocs, const MeshConfig& cfg);
+AppReport run_mesh_shmem(rt::Machine& machine, int nprocs, const MeshConfig& cfg);
+AppReport run_mesh_sas(rt::Machine& machine, int nprocs, const MeshConfig& cfg);
+
+AppReport run_mesh(Model model, rt::Machine& machine, int nprocs, const MeshConfig& cfg);
+
+}  // namespace o2k::apps

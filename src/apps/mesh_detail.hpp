@@ -1,0 +1,93 @@
+// Internals shared by the MP and SHMEM remeshing codes: a rank-local mesh
+// with geometric vertex identity, plus the marking/closure/refinement
+// primitives expressed over it.
+//
+// Ranks never share a vertex numbering — element records travel as raw
+// coordinates and are re-deduplicated on arrival via geo_key (DESIGN.md §2).
+// A mark on a partition-boundary edge is communicated as the geo key of the
+// edge midpoint, which both sides compute identically.  Geometric marking
+// is consistent across ranks by construction, so only *promotion-induced*
+// marks need exchanging during closure.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "mesh/mesh.hpp"
+#include "mesh/refine.hpp"
+
+namespace o2k::apps::detail {
+
+/// One element on the wire: four corner coordinates + its mark mask.
+struct TetRec {
+  double c[4][3];
+  std::uint32_t mask = 0;
+  std::int32_t pad = 0;
+};
+
+/// Element summary for the PLUM gather (centroid + predicted weight).
+struct ElemRec {
+  double x, y, z;
+  double w;
+  std::int32_t owner;
+  std::int32_t pad = 0;
+};
+
+/// Marked edges, identified by the geo key of the edge midpoint.
+using MarkSet64 = std::unordered_set<std::uint64_t>;
+
+/// Rank-local mesh with geometric vertex dedup.
+class LocalMesh {
+ public:
+  std::vector<Vec3> verts;
+  std::vector<mesh::Tet> tets;
+
+  /// Find-or-create a vertex by position (geo_key identity).
+  mesh::VertId vert_id(const Vec3& p);
+
+  void add_record(const TetRec& r);
+  [[nodiscard]] TetRec record_of(std::size_t t, std::uint32_t mask) const;
+
+  [[nodiscard]] Vec3 centroid(std::size_t t) const;
+  [[nodiscard]] double volume(std::size_t t) const;
+  [[nodiscard]] double total_volume() const;
+
+  /// Geo key of a local edge (key of its midpoint).
+  [[nodiscard]] std::uint64_t edge_key(const mesh::EdgeKey& e) const;
+  [[nodiscard]] std::uint64_t edge_key(std::size_t t, int local_edge) const;
+
+  /// Number of distinct local edges (for cost charging).
+  [[nodiscard]] std::size_t count_edges() const;
+
+  void clear();
+
+ private:
+  std::unordered_map<std::uint64_t, mesh::VertId> vert_by_key_;
+};
+
+/// Mark every local edge the front cuts; returns number of (new) marks.
+std::size_t mark_local(const LocalMesh& lm, const mesh::SphereFront& front, MarkSet64& marks);
+
+/// One Jacobi closure round against a *frozen* mark set: appends the geo
+/// keys this rank's illegal elements want marked to `additions` (without
+/// modifying `marks` — the caller exchanges all ranks' additions and
+/// applies the union, so every rank walks the same deterministic
+/// trajectory as the serial close_marks).  Returns promoted elements.
+std::size_t close_local_round(const LocalMesh& lm, const MarkSet64& marks,
+                              std::vector<std::uint64_t>& additions);
+
+/// 6-bit mask of a local tet against the marks.
+std::uint8_t local_mask(const LocalMesh& lm, std::size_t t, const MarkSet64& marks);
+
+struct LocalRefineStats {
+  std::size_t refined = 0;
+  std::size_t new_tets = 0;
+  std::size_t new_verts = 0;
+};
+
+/// Refine the whole local mesh in place according to the (closed) marks.
+LocalRefineStats refine_local(LocalMesh& lm, const MarkSet64& marks);
+
+}  // namespace o2k::apps::detail

@@ -1,0 +1,273 @@
+// CC-SAS dynamic remeshing: one shared mesh, no load balancer at all.
+//
+// The mesh lives in shared arrays (vertices, tets, alive flags); edge marks
+// and midpoint deduplication go through a shared lock-free hash table
+// (SasEdgeTable).  Marking and closure are parallel sweeps with a shared
+// convergence flag; refinement is a *dynamically scheduled* parallel loop —
+// the shared-memory answer to load imbalance, replacing PLUM entirely.
+// The model's price appears automatically: new elements land on pages homed
+// wherever their creating PE first touched them, so the next phase's sweeps
+// pay remote-miss premiums when the front moves — the effect the paper
+// contrasts with the message-passing codes' explicit remap cost.
+#include <array>
+#include <atomic>
+#include <mutex>
+
+#include "apps/mesh_app.hpp"
+#include "apps/sas_table.hpp"
+#include "common/check.hpp"
+#include "mesh/refine.hpp"
+#include "sas/sas.hpp"
+
+namespace o2k::apps {
+
+AppReport run_mesh_sas(rt::Machine& machine, int nprocs, const MeshConfig& cfg) {
+  O2K_REQUIRE(cfg.phases >= 1, "mesh: need at least one phase");
+  const auto kc = origin::KernelCosts::origin2000();
+
+  const std::size_t cap_tets = cfg.element_capacity();
+  const std::size_t cap_verts = cap_tets;  // mids are bounded by edges ~ tets
+  const std::size_t table_cap = 2 * cap_tets;  // edges outnumber elements near the front
+
+  const std::size_t arena_bytes = cap_tets * (sizeof(mesh::Tet) + 2) +
+                                  cap_verts * sizeof(Vec3) +
+                                  2 * table_cap * 3 * sizeof(std::uint64_t) + (8u << 20);
+  sas::World world(machine.params(), nprocs, arena_bytes);
+
+  auto tets_arr = world.alloc<mesh::Tet>(cap_tets);
+  auto alive_arr = world.alloc<std::uint8_t>(cap_tets);
+  auto masks_arr = world.alloc<std::uint8_t>(cap_tets);
+  auto verts_arr = world.alloc<Vec3>(cap_verts);
+  auto counters = world.alloc<std::int64_t>(4);  // [0]=ntets [1]=nverts [2]=changed
+  SasEdgeTable table(world, table_cap);
+
+  // ---- uncharged setup: the initial mesh, written serially.
+  {
+    const auto gm = mesh::make_box_mesh(cfg.nx, cfg.ny, cfg.nz, cfg.scale);
+    O2K_REQUIRE(gm.tets.size() <= cap_tets && gm.verts.size() <= cap_verts,
+                "mesh sas: capacity too small for the initial mesh");
+    auto tets = world.span(tets_arr);
+    auto alive = world.span(alive_arr);
+    auto verts = world.span(verts_arr);
+    std::copy(gm.tets.begin(), gm.tets.end(), tets.begin());
+    std::copy(gm.verts.begin(), gm.verts.end(), verts.begin());
+    std::fill(alive.begin(), alive.begin() + static_cast<std::ptrdiff_t>(gm.tets.size()), 1);
+    world.span(counters)[0] = static_cast<std::int64_t>(gm.tets.size());
+    world.span(counters)[1] = static_cast<std::int64_t>(gm.verts.size());
+  }
+
+  std::map<std::string, double> checks;
+  std::mutex checks_mu;
+
+  auto rr = machine.run(nprocs, [&](rt::Pe& pe) {
+    sas::Team team(world, pe);
+    const std::size_t n_check = 0;
+    (void)n_check;
+
+    auto tets = world.span(tets_arr);
+    auto alive = world.span(alive_arr);
+    auto masks = world.span(masks_arr);
+    auto verts = world.span(verts_arr);
+    auto* ctr = world.data(counters);
+
+    auto edge_key_of = [&](mesh::VertId a, mesh::VertId b) {
+      return mesh::geo_edge_key(verts[static_cast<std::size_t>(a)],
+                                verts[static_cast<std::size_t>(b)]);
+    };
+
+    for (int k = 0; k < cfg.phases; ++k) {
+      const mesh::SphereFront front{cfg.front_center(k), cfg.front_radius(),
+                                    cfg.front_width()};
+      team.barrier();
+      const auto n0 = static_cast<std::size_t>(
+          std::atomic_ref<std::int64_t>(ctr[0]).load(std::memory_order_acquire));
+      const auto [lo, hi] = team.static_range(0, n0);
+
+      // ---- solve (surrogate): pays per *alive* element in my slice.
+      {
+        auto ph = pe.phase("solve");
+        std::size_t my_alive = 0;
+        if (hi > lo) team.touch_read_range(alive_arr, lo, hi - lo);
+        for (std::size_t t = lo; t < hi; ++t) my_alive += alive[t];
+        if (hi > lo) team.touch_read_range(tets_arr, lo, hi - lo);
+        pe.advance(static_cast<double>(my_alive) * cfg.solve_ns_per_tet);
+      }
+      team.barrier();  // outside the phase scope so solve imbalance is measurable
+
+      // ---- mark
+      {
+        auto ph = pe.phase("mark");
+        table.clear(team);
+        std::size_t marked = 0;
+        for (std::size_t t = lo; t < hi; ++t) {
+          if (!alive[t]) continue;
+          team.touch_read_range(tets_arr, t, 1);
+          const mesh::Tet& e = tets[t];
+          for (const auto& le : mesh::kTetEdges) {
+            const auto va = e.v[static_cast<std::size_t>(le[0])];
+            const auto vb = e.v[static_cast<std::size_t>(le[1])];
+            team.touch_read_range(verts_arr, static_cast<std::size_t>(va), 1);
+            team.touch_read_range(verts_arr, static_cast<std::size_t>(vb), 1);
+            if (front.cuts(verts[static_cast<std::size_t>(va)],
+                           verts[static_cast<std::size_t>(vb)])) {
+              if (table.mark(team, edge_key_of(va, vb))) ++marked;
+            }
+          }
+          pe.advance(6.0 * kc.edge_mark_ns);
+        }
+        pe.add_counter("mesh.marked", marked);
+        team.barrier();
+      }
+
+      // ---- closure: parallel sweeps against a shared convergence flag.
+      {
+        auto ph = pe.phase("closure");
+        // Jacobi rounds: sweep against the frozen marked bits, staging
+        // promotions as *pending*; after a barrier, promote pending→marked
+        // and detect convergence through the shared flag ctr[2]
+        // (0 on entry: zeroed at setup, re-zeroed at the end of each round).
+        for (;;) {
+          for (std::size_t t = lo; t < hi; ++t) {
+            if (!alive[t]) continue;
+            const mesh::Tet& e = tets[t];
+            std::uint8_t mask = 0;
+            std::array<std::uint64_t, 6> keys;
+            for (int le = 0; le < 6; ++le) {
+              const auto& ve = mesh::kTetEdges[static_cast<std::size_t>(le)];
+              keys[static_cast<std::size_t>(le)] =
+                  edge_key_of(e.v[static_cast<std::size_t>(ve[0])],
+                              e.v[static_cast<std::size_t>(ve[1])]);
+              if (table.is_marked(team, keys[static_cast<std::size_t>(le)])) {
+                mask |= static_cast<std::uint8_t>(1u << le);
+              }
+            }
+            pe.advance(3.0 * kc.edge_mark_ns);
+            const std::uint8_t want = mesh::promote_mask(mask);
+            if (want == mask) continue;
+            for (int le = 0; le < 6; ++le) {
+              if ((want & (1u << le)) != 0 && (mask & (1u << le)) == 0) {
+                table.set_pending(team, keys[static_cast<std::size_t>(le)]);
+              }
+            }
+          }
+          team.barrier();
+          if (table.promote_pending(team)) {
+            std::atomic_ref<std::int64_t> ch(ctr[2]);
+            pe.advance(world.params().sas_lock_ns);
+            team.touch_write_range(counters, 2, 1);
+            ch.store(1, std::memory_order_release);
+          }
+          team.barrier();
+          const auto c = static_cast<std::int64_t>(
+              std::atomic_ref<std::int64_t>(ctr[2]).load(std::memory_order_acquire));
+          team.barrier();  // everyone has read the flag...
+          if (pe.rank() == 0) team.write(counters, 2, std::int64_t{0});
+          team.barrier();  // ...and it is reset before the next sweep
+          if (c == 0) break;
+        }
+      }
+
+      // ---- refine: dynamically scheduled over the phase-start elements.
+      {
+        auto ph = pe.phase("refine");
+        std::size_t refined = 0;
+        team.parallel_for_dynamic(0, n0, 64, [&](std::size_t t) {
+          if (!alive[t]) return;
+          team.touch_read_range(tets_arr, t, 1);
+          const mesh::Tet e = tets[t];
+          std::uint8_t mask = 0;
+          for (int le = 0; le < 6; ++le) {
+            const auto& ve = mesh::kTetEdges[static_cast<std::size_t>(le)];
+            if (table.is_marked(team, edge_key_of(e.v[static_cast<std::size_t>(ve[0])],
+                                                  e.v[static_cast<std::size_t>(ve[1])]))) {
+              mask |= static_cast<std::uint8_t>(1u << le);
+            }
+          }
+          team.touch_write_range(masks_arr, t, 1);
+          masks[t] = mask;
+          if (mask == 0) return;
+
+          const mesh::Pattern pat = mesh::classify(mask);
+          O2K_CHECK(pat != mesh::Pattern::kIllegal, "mesh sas: closure failed");
+          std::vector<mesh::Tet> kids;
+          kids.reserve(8);
+          mesh::append_children(
+              e, mask,
+              [&](mesh::EdgeKey ek) {
+                const std::uint64_t key = edge_key_of(ek.a, ek.b);
+                const std::int64_t id = table.get_or_create_mid(team, key, [&] {
+                  std::atomic_ref<std::int64_t> nv(ctr[1]);
+                  pe.advance(world.params().sas_lock_ns);
+                  const std::int64_t vid = nv.fetch_add(1, std::memory_order_acq_rel);
+                  O2K_REQUIRE(static_cast<std::size_t>(vid) < cap_verts,
+                              "mesh sas: vertex capacity exceeded");
+                  team.touch_write_range(verts_arr, static_cast<std::size_t>(vid), 1);
+                  verts[static_cast<std::size_t>(vid)] =
+                      (verts[static_cast<std::size_t>(ek.a)] +
+                       verts[static_cast<std::size_t>(ek.b)]) *
+                      0.5;
+                  pe.advance(kc.vertex_create_ns);
+                  return vid;
+                });
+                return static_cast<mesh::VertId>(id);
+              },
+              [&](mesh::VertId v) {
+                team.touch_read_range(verts_arr, static_cast<std::size_t>(v), 1);
+                return verts[static_cast<std::size_t>(v)];
+              },
+              kids);
+
+          std::atomic_ref<std::int64_t> nt(ctr[0]);
+          pe.advance(world.params().sas_lock_ns);
+          const std::int64_t base = nt.fetch_add(static_cast<std::int64_t>(kids.size()),
+                                                 std::memory_order_acq_rel);
+          O2K_REQUIRE(static_cast<std::size_t>(base) + kids.size() <= cap_tets,
+                      "mesh sas: tet capacity exceeded");
+          for (std::size_t c = 0; c < kids.size(); ++c) {
+            const auto idx = static_cast<std::size_t>(base) + c;
+            team.touch_write_range(tets_arr, idx, 1);
+            tets[idx] = kids[c];
+            team.touch_write_range(alive_arr, idx, 1);
+            alive[idx] = 1;
+          }
+          team.touch_write_range(alive_arr, t, 1);
+          alive[t] = 0;
+          pe.advance(kc.tet_refine_ns);
+          ++refined;
+        });
+        pe.add_counter("mesh.refined", refined);
+      }
+    }
+
+    // ---- checks over the final shared mesh.
+    team.barrier();
+    const auto n_final = static_cast<std::size_t>(
+        std::atomic_ref<std::int64_t>(ctr[0]).load(std::memory_order_acquire));
+    const auto [clo, chi] = team.static_range(0, n_final);
+    double my_count = 0.0;
+    double my_vol = 0.0;
+    for (std::size_t t = clo; t < chi; ++t) {
+      if (!alive[t]) continue;
+      my_count += 1.0;
+      const mesh::Tet& e = tets[t];
+      my_vol += mesh::signed_volume(verts[static_cast<std::size_t>(e.v[0])],
+                                    verts[static_cast<std::size_t>(e.v[1])],
+                                    verts[static_cast<std::size_t>(e.v[2])],
+                                    verts[static_cast<std::size_t>(e.v[3])]);
+    }
+    const double tets_total = team.reduce_sum(my_count);
+    const double vol_total = team.reduce_sum(my_vol);
+    if (pe.rank() == 0) {
+      std::scoped_lock lk(checks_mu);
+      checks["tets"] = tets_total;
+      checks["volume"] = vol_total;
+    }
+  });
+
+  AppReport out;
+  out.run = std::move(rr);
+  out.checks = std::move(checks);
+  return out;
+}
+
+}  // namespace o2k::apps

@@ -1,0 +1,71 @@
+// Serial dynamic remeshing reference: the uniprocessor baseline and the
+// validation oracle (element counts and total volume must match the three
+// parallel codes exactly / to FP tolerance).
+#include "apps/mesh_app.hpp"
+#include "common/check.hpp"
+#include "mesh/refine.hpp"
+
+namespace o2k::apps {
+
+AppReport run_mesh_serial(const MeshConfig& cfg) {
+  O2K_REQUIRE(cfg.phases >= 1, "mesh: need at least one phase");
+  const auto kc = origin::KernelCosts::origin2000();
+
+  rt::Machine machine;
+  mesh::TetMesh m = mesh::make_box_mesh(cfg.nx, cfg.ny, cfg.nz, cfg.scale);
+
+  auto rr = machine.run(1, [&](rt::Pe& pe) {
+    for (int k = 0; k < cfg.phases; ++k) {
+      const mesh::SphereFront front{cfg.front_center(k), cfg.front_radius(),
+                                    cfg.front_width()};
+      const std::size_t alive = m.alive_count();
+      {
+        auto ph = pe.phase("solve");
+        pe.advance(static_cast<double>(alive) * cfg.solve_ns_per_tet);
+      }
+      mesh::MarkSet marks;
+      {
+        auto ph = pe.phase("mark");
+        marks = mesh::mark_edges(m, front);
+        pe.advance(static_cast<double>(alive) * 6.0 * kc.edge_mark_ns);
+      }
+      int rounds = 0;
+      {
+        auto ph = pe.phase("closure");
+        rounds = mesh::close_marks(m, marks);
+        pe.advance(static_cast<double>(rounds) * static_cast<double>(alive) * 6.0 *
+                   kc.edge_mark_ns * 0.5);
+      }
+      {
+        auto ph = pe.phase("refine");
+        const auto st = mesh::refine(m, marks);
+        pe.advance(static_cast<double>(st.bisected + st.quartered + st.octasected) *
+                       kc.tet_refine_ns +
+                   static_cast<double>(st.new_verts) * kc.vertex_create_ns +
+                   static_cast<double>(alive) * kc.dualgraph_ns);
+        pe.add_counter("mesh.refined", st.bisected + st.quartered + st.octasected);
+        pe.add_counter("mesh.new_tets", st.new_tets);
+      }
+    }
+  });
+
+  AppReport out;
+  out.run = std::move(rr);
+  out.checks["tets"] = static_cast<double>(m.alive_count());
+  out.checks["volume"] = m.total_volume();
+  return out;
+}
+
+AppReport run_mesh(Model model, rt::Machine& machine, int nprocs, const MeshConfig& cfg) {
+  switch (model) {
+    case Model::kMp:
+      return run_mesh_mp(machine, nprocs, cfg);
+    case Model::kShmem:
+      return run_mesh_shmem(machine, nprocs, cfg);
+    case Model::kSas:
+      return run_mesh_sas(machine, nprocs, cfg);
+  }
+  O2K_CHECK(false, "unknown model");
+}
+
+}  // namespace o2k::apps

@@ -1,0 +1,59 @@
+// The N-body application (Barnes–Hut) under the three programming models.
+//
+// All versions integrate the same Plummer cluster for `steps` leapfrog
+// steps and report the same physics checks.  Their *structure* differs the
+// way the paper's codes did:
+//
+//  * MP    — bodies are distributed (ORB); every step each rank builds an
+//            octree over its own bodies, exchanges locally-essential
+//            pseudo-bodies (Salmon-style conservative acceptance against
+//            the destination's bounding box), computes forces from its
+//            local tree + imports, and periodically rebalances by ORB with
+//            an all-to-all body remap.
+//  * SHMEM — identical decomposition, but every exchange is one-sided:
+//            counts/offsets negotiated through the symmetric heap, data
+//            moved with put, synchronised with barrier_all.
+//  * CC-SAS— SPLASH-2 style: one shared body array and one shared tree;
+//            costzones partitioning; communication is implicit (remote
+//            cache misses charged by the SAS cache simulator).  No remap
+//            phase exists at all.
+//
+// Reported phases: "tree", "force", "update", "balance", "comm".
+#pragma once
+
+#include <cstdint>
+
+#include "apps/report.hpp"
+#include "nbody/partition.hpp"
+#include "origin/params.hpp"
+#include "rt/machine.hpp"
+
+namespace o2k::apps {
+
+struct NbodyConfig {
+  std::size_t n = 4096;
+  int steps = 2;
+  double theta = 0.7;
+  double eps = 0.025;
+  double dt = 0.005;
+  std::uint64_t seed = 20000101;
+  /// Rebalance cadence in steps (1 = every step, as the paper's codes do
+  /// for strongly adaptive runs).
+  int rebalance_every = 1;
+  nbody::PartitionKind partition = nbody::PartitionKind::kCostzones;  ///< SAS only
+  bool uniform_sphere = false;  ///< use the less-adaptive initial condition
+  /// CC-SAS page placement for the shared body/cell arrays.  Block is the
+  /// deterministic default; the placement ablation sweeps the others.
+  int sas_placement = 2;  ///< 0 = first-touch, 1 = round-robin, 2 = block
+};
+
+/// Serial reference (no machine model; used for validation only).
+AppReport run_nbody_serial(const NbodyConfig& cfg);
+
+AppReport run_nbody_mp(rt::Machine& machine, int nprocs, const NbodyConfig& cfg);
+AppReport run_nbody_shmem(rt::Machine& machine, int nprocs, const NbodyConfig& cfg);
+AppReport run_nbody_sas(rt::Machine& machine, int nprocs, const NbodyConfig& cfg);
+
+AppReport run_nbody(Model model, rt::Machine& machine, int nprocs, const NbodyConfig& cfg);
+
+}  // namespace o2k::apps

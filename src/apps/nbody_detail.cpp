@@ -1,0 +1,69 @@
+#include "apps/nbody_detail.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace o2k::apps::detail {
+
+std::size_t collect_exports(const nbody::Octree& tree, std::span<const nbody::Body> owned,
+                            const BBox& dest, double theta, std::vector<PseudoBody>& out) {
+  using nbody::Cell;
+  const auto& cells = tree.cells();
+  const double theta2 = theta * theta;
+  std::size_t visited = 0;
+  std::vector<std::int32_t> stack{tree.root()};
+  while (!stack.empty()) {
+    const std::int32_t ci = stack.back();
+    stack.pop_back();
+    ++visited;
+    const Cell& c = cells[static_cast<std::size_t>(ci)];
+    const double dmin2 = dist2_point_box(c.com, dest);
+    const double size = 2.0 * c.half;
+    if (c.count == 1 || size * size < theta2 * dmin2) {
+      out.push_back({c.com, c.mass});
+      continue;
+    }
+    for (std::int32_t ch : c.child) {
+      if (ch == -1) continue;
+      if (Cell::is_body(ch)) {
+        const nbody::Body& b = owned[static_cast<std::size_t>(Cell::body_index(ch))];
+        out.push_back({b.pos, b.mass});
+        ++visited;
+      } else {
+        stack.push_back(ch);
+      }
+    }
+  }
+  return visited;
+}
+
+Vec3 import_accel(const nbody::Body& b, std::span<const PseudoBody> imports, double eps) {
+  Vec3 a;
+  const double eps2 = eps * eps;
+  for (const PseudoBody& p : imports) {
+    const Vec3 d = p.pos - b.pos;
+    const double r2 = d.norm2() + eps2;
+    const double inv_r = 1.0 / std::sqrt(r2);
+    a += d * (p.mass * inv_r * inv_r * inv_r);
+  }
+  return a;
+}
+
+std::map<std::string, double> physics_checks(std::span<const nbody::Body> bodies) {
+  std::map<std::string, double> checks;
+  checks["n"] = static_cast<double>(bodies.size());
+  checks["ke"] = nbody::kinetic_energy(bodies);
+  checks["mom"] = nbody::total_momentum(bodies).norm();
+  double xsum = 0.0;
+  double mass = 0.0;
+  for (const auto& b : bodies) {
+    xsum += b.pos.norm();
+    mass += b.mass;
+  }
+  checks["xsum"] = xsum;
+  checks["mass"] = mass;
+  return checks;
+}
+
+}  // namespace o2k::apps::detail

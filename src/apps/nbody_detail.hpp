@@ -1,0 +1,61 @@
+// Internals shared by the three parallel N-body codes.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "nbody/body.hpp"
+#include "nbody/octree.hpp"
+
+namespace o2k::apps::detail {
+
+/// Axis-aligned bounding box of a rank's bodies.
+struct BBox {
+  Vec3 lo{std::numeric_limits<double>::max(), std::numeric_limits<double>::max(),
+          std::numeric_limits<double>::max()};
+  Vec3 hi{-std::numeric_limits<double>::max(), -std::numeric_limits<double>::max(),
+          -std::numeric_limits<double>::max()};
+
+  void grow(const Vec3& p) {
+    for (int k = 0; k < 3; ++k) {
+      lo[k] = std::min(lo[k], p[k]);
+      hi[k] = std::max(hi[k], p[k]);
+    }
+  }
+  [[nodiscard]] bool empty() const { return lo.x > hi.x; }
+};
+
+inline double dist2_point_box(const Vec3& p, const BBox& b) {
+  double d2 = 0.0;
+  for (int k = 0; k < 3; ++k) {
+    const double d = std::max({b.lo[k] - p[k], 0.0, p[k] - b.hi[k]});
+    d2 += d * d;
+  }
+  return d2;
+}
+
+/// A locally-essential export: either an accepted cell's (com, mass) or a
+/// raw boundary body.
+struct PseudoBody {
+  Vec3 pos;
+  double mass = 0.0;
+};
+
+/// Salmon-style conservative LET collection: walk `tree` and emit the nodes
+/// that *every* body inside `dest` will accept under the θ criterion (cells
+/// too close are opened; leaf bodies are exported raw).  Returns the number
+/// of tree nodes visited (for cost charging).
+std::size_t collect_exports(const nbody::Octree& tree, std::span<const nbody::Body> owned,
+                            const BBox& dest, double theta, std::vector<PseudoBody>& out);
+
+/// Direct-sum acceleration contribution of imported pseudo-bodies.
+Vec3 import_accel(const nbody::Body& b, std::span<const PseudoBody> imports, double eps);
+
+/// Model-independent physics checks over the global body set.
+std::map<std::string, double> physics_checks(std::span<const nbody::Body> bodies);
+
+}  // namespace o2k::apps::detail

@@ -1,0 +1,209 @@
+// CC-SAS (cache-coherent shared address space) Barnes–Hut — SPLASH-2 style.
+//
+// One shared body array, one shared tree.  Each PE computes forces for its
+// costzones slice of bodies by walking the *global* shared tree; all
+// communication is implicit — remote cache misses and coherence transfers
+// charged by the SAS cache simulator.  There is no remap phase: when the
+// workload shifts, zones shift over the shared arrays and the cost appears
+// as remote-miss premiums in the force/update phases instead (the central
+// trade-off the paper measures).
+//
+// Modelling note (DESIGN.md §5): the tree is built *functionally* by PE 0
+// on the host while every PE is charged the cost of the SPLASH-style
+// parallel build (its share of insertions, per-cell lock traffic, and the
+// shared-cell writes through the cache simulator).  The resulting tree is
+// bit-identical to the serial code's, which the integration tests exploit.
+#include <array>
+#include <cmath>
+#include <mutex>
+#include <optional>
+
+#include "apps/nbody_app.hpp"
+#include "apps/nbody_detail.hpp"
+#include "common/check.hpp"
+#include "nbody/octree.hpp"
+#include "sas/sas.hpp"
+
+namespace o2k::apps {
+
+using nbody::Body;
+using nbody::Cell;
+using nbody::Octree;
+using nbody::WalkStats;
+
+AppReport run_nbody_sas(rt::Machine& machine, int nprocs, const NbodyConfig& cfg) {
+  O2K_REQUIRE(cfg.n >= static_cast<std::size_t>(nprocs) * 8,
+              "nbody: need at least 8 bodies per processor");
+  O2K_REQUIRE(cfg.steps >= 1, "nbody: need at least one step");
+  const auto kc = origin::KernelCosts::origin2000();
+
+  const std::size_t cell_cap = 3 * cfg.n + 64;
+  const std::size_t arena_bytes =
+      cfg.n * sizeof(Body) + cell_cap * sizeof(Cell) + cfg.n * sizeof(int) + (1u << 20);
+  const auto placement = cfg.sas_placement == 0   ? sas::Placement::kFirstTouch
+                         : cfg.sas_placement == 1 ? sas::Placement::kRoundRobin
+                                                  : sas::Placement::kBlock;
+  sas::World world(machine.params(), nprocs, arena_bytes, placement);
+
+  auto bodies_arr = world.alloc<Body>(cfg.n);
+  auto cells_arr = world.alloc<Cell>(cell_cap);
+  auto owner_arr = world.alloc<int>(cfg.n);
+  auto ncells_arr = world.alloc<std::int64_t>(1);
+
+  // ---- uncharged setup on the shared heap.
+  {
+    auto init = cfg.uniform_sphere ? nbody::make_uniform_sphere(cfg.n, cfg.seed)
+                                   : nbody::make_plummer(cfg.n, cfg.seed);
+    auto dst = world.span(bodies_arr);
+    std::copy(init.begin(), init.end(), dst.begin());
+    auto own = world.span(owner_arr);
+    for (std::size_t i = 0; i < cfg.n; ++i) {
+      own[i] = static_cast<int>(i * static_cast<std::size_t>(nprocs) / cfg.n);
+    }
+  }
+
+  std::map<std::string, double> checks;
+  std::mutex checks_mu;
+
+  auto rr = machine.run(nprocs, [&](rt::Pe& pe) {
+    sas::Team team(world, pe);
+    const int P = pe.size();
+    const int me = pe.rank();
+    const std::size_t n = cfg.n;
+    const std::size_t my_share = (n + static_cast<std::size_t>(P) - 1) / static_cast<std::size_t>(P);
+
+    auto bodies = world.span(bodies_arr);
+    auto owner = world.span(owner_arr);
+    std::vector<std::size_t> mine;  // indices of my costzone bodies
+
+    for (int step = 0; step < cfg.steps; ++step) {
+      // ---- tree: SPLASH-style shared build (see header note).
+      {
+        auto ph = pe.phase("tree");
+        team.barrier();
+        if (me == 0) {
+          Octree t(bodies);
+          O2K_REQUIRE(t.cells().size() <= cell_cap, "nbody sas: cell capacity exceeded");
+          auto cells_dst = world.span(cells_arr);
+          std::copy(t.cells().begin(), t.cells().end(), cells_dst.begin());
+          *world.data(ncells_arr) = static_cast<std::int64_t>(t.cells().size());
+        }
+        team.barrier();
+        const auto ncells = static_cast<std::size_t>(team.read(ncells_arr, 0));
+        // Every PE is charged its share of the parallel build: reading its
+        // bodies, lock-protected insertions, and writes to its slice of the
+        // shared cell pool.
+        const std::size_t blo = std::min(n, static_cast<std::size_t>(me) * my_share);
+        const std::size_t bhi = std::min(n, blo + my_share);
+        if (bhi > blo) team.touch_read_range(bodies_arr, blo, bhi - blo);
+        pe.advance(static_cast<double>(my_share) *
+                   (kc.tree_insert_ns + world.params().sas_lock_ns));
+        const std::size_t cshare = (ncells + static_cast<std::size_t>(P) - 1) / static_cast<std::size_t>(P);
+        const std::size_t clo = std::min(ncells, static_cast<std::size_t>(me) * cshare);
+        const std::size_t chi = std::min(ncells, clo + cshare);
+        if (chi > clo) team.touch_write_range(cells_arr, clo, chi - clo);
+        pe.advance(static_cast<double>(chi - clo) * kc.com_cell_ns * 8.0);
+        team.barrier();
+      }
+
+      // ---- balance: costzones over the shared tree.
+      {
+        auto ph = pe.phase("balance");
+        if (step > 0 && cfg.rebalance_every > 0 && step % cfg.rebalance_every == 0 && P > 1) {
+          if (me == 0) {
+            Octree t(bodies);  // host-only rebuild for the zone computation
+            const auto zones = nbody::partition_bodies(cfg.partition, bodies, t, P);
+            for (std::size_t i = 0; i < n; ++i) owner[i] = zones[i];
+          }
+          // Charged as the parallel zone scan every PE performs.
+          pe.advance(static_cast<double>(n / static_cast<std::size_t>(P)) * kc.com_cell_ns);
+          team.barrier();
+        }
+        // Rebuild my index list (each PE scans the shared owner array).
+        mine.clear();
+        team.touch_read_range(owner_arr, 0, n);
+        for (std::size_t i = 0; i < n; ++i) {
+          if (owner[i] == me) mine.push_back(i);
+        }
+        team.barrier();
+      }
+
+      // ---- force: walk the shared tree, charging every node visit.
+      {
+        auto ph = pe.phase("force");
+        // Walk the shared cell array directly; the visitor charges the
+        // cache simulator for every cell/body record the walk reads.
+        const auto ncells = static_cast<std::size_t>(*world.data(ncells_arr));
+        const std::span<const Cell> cells(world.data(cells_arr), ncells);
+        const auto charge_visit = [&](std::int32_t idx, bool is_body) {
+          if (is_body) {
+            team.touch_read_range(bodies_arr, static_cast<std::size_t>(idx), 1);
+          } else {
+            team.touch_read_range(cells_arr, static_cast<std::size_t>(idx), 1);
+          }
+        };
+        WalkStats ws{};
+        for (std::size_t i : mine) {
+          team.touch_read_range(bodies_arr, i, 1);
+          const Body b = bodies[i];
+          const std::size_t before = ws.interactions();
+          const Vec3 a = nbody::accel_over_cells(cells, b, bodies, cfg.theta, cfg.eps, ws,
+                                                 charge_visit);
+          team.touch_write_range(bodies_arr, i, 1);
+          // Write only the fields this phase owns: other PEs may
+          // concurrently read this body's (unchanged) pos/mass during
+          // their walks, exactly as in SPLASH-2 barnes.
+          bodies[i].acc = a;
+          bodies[i].work = static_cast<double>(ws.interactions() - before);
+        }
+        pe.add_counter("nbody.interactions", ws.interactions());
+        pe.advance(static_cast<double>(ws.interactions()) * kc.body_cell_interaction_ns);
+      }
+      team.barrier();  // outside the phase scope so force imbalance is measurable
+
+      // ---- update
+      {
+        auto ph = pe.phase("update");
+        for (std::size_t i : mine) {
+          team.touch_read_range(bodies_arr, i, 1);
+          Body b = bodies[i];
+          b.vel += b.acc * cfg.dt;
+          b.pos += b.vel * cfg.dt;
+          team.touch_write_range(bodies_arr, i, 1);
+          bodies[i] = b;
+        }
+        pe.advance(static_cast<double>(mine.size()) * kc.body_update_ns);
+      }
+      team.barrier();
+    }
+
+    // ---- checks (deterministic shared-memory reductions).
+    std::array<double, 7> partial{};
+    partial[0] = static_cast<double>(mine.size());
+    for (std::size_t i : mine) {
+      const Body& b = bodies[i];
+      partial[1] += 0.5 * b.mass * b.vel.norm2();
+      partial[2] += b.vel.x * b.mass;
+      partial[3] += b.vel.y * b.mass;
+      partial[4] += b.vel.z * b.mass;
+      partial[5] += b.pos.norm();
+      partial[6] += b.mass;
+    }
+    for (auto& v : partial) v = team.reduce_sum(v);
+    if (me == 0) {
+      std::scoped_lock lk(checks_mu);
+      checks["n"] = partial[0];
+      checks["ke"] = partial[1];
+      checks["mom"] = Vec3(partial[2], partial[3], partial[4]).norm();
+      checks["xsum"] = partial[5];
+      checks["mass"] = partial[6];
+    }
+  });
+
+  AppReport out;
+  out.run = std::move(rr);
+  out.checks = std::move(checks);
+  return out;
+}
+
+}  // namespace o2k::apps

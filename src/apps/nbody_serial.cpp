@@ -1,0 +1,72 @@
+// Serial Barnes–Hut reference: the uniprocessor baseline the paper's
+// speedups are measured against, and the validation oracle for the three
+// parallel codes.
+#include <optional>
+
+#include "apps/nbody_app.hpp"
+#include "apps/nbody_detail.hpp"
+#include "common/check.hpp"
+#include "nbody/octree.hpp"
+
+namespace o2k::apps {
+
+using nbody::Body;
+using nbody::Octree;
+using nbody::WalkStats;
+
+AppReport run_nbody_serial(const NbodyConfig& cfg) {
+  O2K_REQUIRE(cfg.n >= 8, "nbody: need at least 8 bodies");
+  O2K_REQUIRE(cfg.steps >= 1, "nbody: need at least one step");
+  const auto kc = origin::KernelCosts::origin2000();
+
+  rt::Machine machine;
+  std::vector<Body> bodies = cfg.uniform_sphere ? nbody::make_uniform_sphere(cfg.n, cfg.seed)
+                                                : nbody::make_plummer(cfg.n, cfg.seed);
+
+  auto rr = machine.run(1, [&](rt::Pe& pe) {
+    for (int step = 0; step < cfg.steps; ++step) {
+      std::optional<Octree> tree;
+      {
+        auto ph = pe.phase("tree");
+        tree.emplace(std::span<const Body>(bodies));
+        pe.advance(static_cast<double>(bodies.size()) * kc.tree_insert_ns +
+                   static_cast<double>(tree->cells().size()) * kc.com_cell_ns);
+      }
+      {
+        auto ph = pe.phase("force");
+        WalkStats ws{};
+        for (Body& b : bodies) {
+          const std::size_t before = ws.interactions();
+          b.acc = tree->accel(b, bodies, cfg.theta, cfg.eps, ws);
+          b.work = static_cast<double>(ws.interactions() - before);
+        }
+        pe.add_counter("nbody.interactions", ws.interactions());
+        pe.advance(static_cast<double>(ws.interactions()) * kc.body_cell_interaction_ns);
+      }
+      {
+        auto ph = pe.phase("update");
+        nbody::leapfrog(bodies, cfg.dt);
+        pe.advance(static_cast<double>(bodies.size()) * kc.body_update_ns);
+      }
+    }
+  });
+
+  AppReport out;
+  out.run = std::move(rr);
+  out.checks = detail::physics_checks(bodies);
+  return out;
+}
+
+AppReport run_nbody(Model model, rt::Machine& machine, int nprocs, const NbodyConfig& cfg) {
+  switch (model) {
+    case Model::kMp:
+      return run_nbody_mp(machine, nprocs, cfg);
+    case Model::kShmem:
+      return run_nbody_shmem(machine, nprocs, cfg);
+    case Model::kSas:
+      return run_nbody_sas(machine, nprocs, cfg);
+  }
+  O2K_CHECK(false, "unknown model");
+}
+
+}  // namespace o2k::apps

@@ -1,0 +1,41 @@
+// Common result type of every parallel application run.
+//
+// `run` carries the simulated times (makespan, per-phase critical paths,
+// event counters); `checks` carries model-independent validation values
+// (element counts, energies, checksums) that the integration tests compare
+// across MP, SHMEM, CC-SAS and the serial reference.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "rt/phase.hpp"
+
+namespace o2k::apps {
+
+struct AppReport {
+  rt::RunResult run;
+  std::map<std::string, double> checks;
+
+  [[nodiscard]] double check(const std::string& name) const {
+    auto it = checks.find(name);
+    return it == checks.end() ? 0.0 : it->second;
+  }
+};
+
+/// The three programming models under comparison.
+enum class Model { kMp, kShmem, kSas };
+
+inline const char* model_name(Model m) {
+  switch (m) {
+    case Model::kMp:
+      return "MPI";
+    case Model::kShmem:
+      return "SHMEM";
+    case Model::kSas:
+      return "CC-SAS";
+  }
+  return "?";
+}
+
+}  // namespace o2k::apps

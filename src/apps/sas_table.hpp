@@ -1,0 +1,159 @@
+// A concurrent open-addressing hash table living in the CC-SAS shared
+// arena, used by the shared-memory remeshing code for edge marks and
+// midpoint-vertex deduplication.
+//
+// This is genuine shared-memory application code of the kind the paper's
+// CC-SAS version contains: slots are claimed with compare-and-swap
+// (modelled as LL/SC, charged as a lock acquire), midpoint creation is
+// published with release/acquire ordering, and every probe is charged
+// through the cache simulator — so a hot table costs coherence traffic,
+// exactly as it would on the Origin2000.
+//
+// Slot layout (3 × u64): [key][marked][mid]  with key 0 = empty,
+// mid 0 = none, 1 = being created, otherwise vertex_id + 2.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/check.hpp"
+#include "sas/sas.hpp"
+
+namespace o2k::apps {
+
+class SasEdgeTable {
+ public:
+  SasEdgeTable(sas::World& world, std::size_t capacity) : world_(world) {
+    std::size_t cap = 64;
+    while (cap < capacity) cap <<= 1;
+    cap_ = cap;
+    slots_ = world.alloc<std::uint64_t>(3 * cap_);
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return cap_; }
+
+  /// Parallel reset (collective): each PE clears its static slice.
+  void clear(sas::Team& team) {
+    const auto [lo, hi] = team.static_range(0, cap_);
+    if (hi > lo) {
+      team.touch_write_range(slots_, 3 * lo, 3 * (hi - lo));
+      auto* base = world_.data(slots_);
+      std::fill(base + 3 * lo, base + 3 * hi, 0);
+    }
+    team.barrier();
+  }
+
+  /// Set the marked flag; returns true if this call newly marked the edge.
+  bool mark(sas::Team& team, std::uint64_t key) {
+    const std::size_t i = find_slot(team, key, /*insert=*/true);
+    team.touch_write(slot_off(i) + 8, 8);
+    std::atomic_ref<std::uint64_t> m(world_.data(slots_)[3 * i + 1]);
+    return (m.fetch_or(kMarked, std::memory_order_acq_rel) & kMarked) == 0;
+  }
+
+  [[nodiscard]] bool is_marked(sas::Team& team, std::uint64_t key) {
+    const std::size_t i = find_slot(team, key, /*insert=*/false);
+    if (i == kNpos) return false;
+    std::atomic_ref<std::uint64_t> m(world_.data(slots_)[3 * i + 1]);
+    return (m.load(std::memory_order_acquire) & kMarked) != 0;
+  }
+
+  /// Stage a mark for the next closure round (Jacobi: pending marks do not
+  /// affect is_marked until promote_pending runs after a barrier, so every
+  /// PE's sweep sees the same frozen mark state).
+  void set_pending(sas::Team& team, std::uint64_t key) {
+    const std::size_t i = find_slot(team, key, /*insert=*/true);
+    team.touch_write(slot_off(i) + 8, 8);
+    std::atomic_ref<std::uint64_t> m(world_.data(slots_)[3 * i + 1]);
+    m.fetch_or(kPending, std::memory_order_acq_rel);
+  }
+
+  /// Promote pending marks in my static slice of the table (collective:
+  /// bracket with barriers).  Returns true if any mark was newly applied.
+  bool promote_pending(sas::Team& team) {
+    const auto [lo, hi] = team.static_range(0, cap_);
+    bool changed = false;
+    if (hi > lo) team.touch_read_range(slots_, 3 * lo, 3 * (hi - lo));
+    for (std::size_t i = lo; i < hi; ++i) {
+      std::atomic_ref<std::uint64_t> m(world_.data(slots_)[3 * i + 1]);
+      const std::uint64_t v = m.load(std::memory_order_acquire);
+      if ((v & kPending) == 0) continue;
+      team.touch_write(slot_off(i) + 8, 8);
+      if ((v & kMarked) == 0) changed = true;
+      m.store(kMarked, std::memory_order_release);
+    }
+    return changed;
+  }
+
+  /// Find-or-create the midpoint vertex for an edge.  The winning PE runs
+  /// `create()` (which must allocate and write the vertex) and publishes;
+  /// losers spin until the id is visible.
+  template <typename Create>
+  std::int64_t get_or_create_mid(sas::Team& team, std::uint64_t key, Create&& create) {
+    const std::size_t i = find_slot(team, key, /*insert=*/true);
+    std::atomic_ref<std::uint64_t> mid(world_.data(slots_)[3 * i + 2]);
+    for (;;) {
+      std::uint64_t v = mid.load(std::memory_order_acquire);
+      if (v == 0) {
+        team.pe().advance(world_.params().sas_lock_ns);  // LL/SC claim
+        std::uint64_t expected = 0;
+        if (mid.compare_exchange_strong(expected, 1, std::memory_order_acq_rel)) {
+          const std::int64_t id = create();
+          team.touch_write(slot_off(i) + 16, 8);
+          mid.store(static_cast<std::uint64_t>(id) + 2, std::memory_order_release);
+          return id;
+        }
+        continue;
+      }
+      if (v == 1) {  // another PE is creating; wait for the publish
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        team.pe().throw_if_aborted();
+        continue;
+      }
+      team.touch_read(slot_off(i) + 16, 8);
+      return static_cast<std::int64_t>(v - 2);
+    }
+  }
+
+ private:
+  static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+  static constexpr std::uint64_t kMarked = 1;
+  static constexpr std::uint64_t kPending = 2;
+
+  [[nodiscard]] std::size_t slot_off(std::size_t i) const {
+    return slots_.offset + 3 * i * sizeof(std::uint64_t);
+  }
+
+  std::size_t find_slot(sas::Team& team, std::uint64_t key, bool insert) {
+    O2K_REQUIRE(key != 0, "SasEdgeTable: key 0 is reserved");
+    std::uint64_t h = key * 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 29;
+    std::size_t i = static_cast<std::size_t>(h) & (cap_ - 1);
+    for (std::size_t probes = 0; probes < cap_; ++probes) {
+      team.touch_read(slot_off(i), 24);
+      std::atomic_ref<std::uint64_t> kref(world_.data(slots_)[3 * i]);
+      std::uint64_t k = kref.load(std::memory_order_acquire);
+      if (k == key) return i;
+      if (k == 0) {
+        if (!insert) return kNpos;
+        team.pe().advance(world_.params().sas_lock_ns);  // LL/SC claim
+        if (kref.compare_exchange_strong(k, key, std::memory_order_acq_rel)) {
+          team.touch_write(slot_off(i), 8);
+          return i;
+        }
+        if (k == key) return i;  // lost the race to the same key
+        // lost to a different key: fall through to the next probe
+      }
+      i = (i + 1) & (cap_ - 1);
+    }
+    O2K_CHECK(false, "SasEdgeTable full — size it larger");
+  }
+
+  sas::World& world_;
+  std::size_t cap_ = 0;
+  sas::SharedArray<std::uint64_t> slots_;
+};
+
+}  // namespace o2k::apps

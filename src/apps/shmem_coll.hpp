@@ -1,0 +1,117 @@
+// Variable-size collective patterns over SHMEM primitives.
+//
+// Real SHMEM applications carry exactly this kind of utility layer: counts
+// are published with puts, offsets negotiated through the symmetric heap,
+// and payloads moved with non-blocking puts drained at barriers.  The
+// paper's SHMEM codes are the MP codes re-plumbed through these patterns.
+//
+// Buffers are symmetric allocations owned by the caller so capacity is
+// explicit (as it must be in SHMEM).
+#pragma once
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "shmem/shmem.hpp"
+
+namespace o2k::apps {
+
+/// Scratch for the v-collectives: a P-sized count array, a P-sized offset
+/// array and a payload buffer of `cap` elements of T.
+template <typename T>
+struct ShmemVBuf {
+  shmem::SymPtr<std::int64_t> counts;  ///< counts[src] on every PE
+  shmem::SymPtr<std::int64_t> offs;    ///< offs[dst]: where I write on dst
+  shmem::SymPtr<T> buf;                ///< payload landing zone
+
+  ShmemVBuf(shmem::Ctx& ctx, std::size_t cap)
+      : counts(ctx.malloc<std::int64_t>(static_cast<std::size_t>(ctx.size()))),
+        offs(ctx.malloc<std::int64_t>(static_cast<std::size_t>(ctx.size()))),
+        buf(ctx.malloc<T>(cap)) {}
+};
+
+/// All-gather of variable blocks: returns every PE's block concatenated in
+/// PE order (same result on every PE).
+template <typename T>
+std::vector<T> shmem_allgatherv(shmem::Ctx& ctx, ShmemVBuf<T>& vb, std::span<const T> mine) {
+  const int p = ctx.size();
+  const int me = ctx.rank();
+  // Publish my count on every PE.
+  for (int t = 0; t < p; ++t) {
+    ctx.put_value(vb.counts.at(static_cast<std::size_t>(me)),
+                  static_cast<std::int64_t>(mine.size()), t);
+  }
+  ctx.barrier_all();
+  // Everyone now holds all counts locally; compute my write offset.
+  const auto counts = ctx.local_span(vb.counts);
+  std::size_t off = 0;
+  std::size_t total = 0;
+  for (int r = 0; r < p; ++r) {
+    if (r < me) off += static_cast<std::size_t>(counts[static_cast<std::size_t>(r)]);
+    total += static_cast<std::size_t>(counts[static_cast<std::size_t>(r)]);
+  }
+  O2K_REQUIRE(total <= vb.buf.count, "shmem_allgatherv: payload buffer too small");
+  for (int t = 0; t < p; ++t) {
+    const int target = (me + t) % p;  // stagger targets
+    ctx.put_nbi(vb.buf.at(off), mine, target);
+  }
+  ctx.barrier_all();
+  const T* base = ctx.local(vb.buf);
+  return std::vector<T>(base, base + total);
+}
+
+/// One-sided all-to-all of variable blocks; sendbufs[r] is delivered to
+/// rank r.  Returns received blocks indexed by source.
+template <typename T>
+std::vector<std::vector<T>> shmem_alltoallv(shmem::Ctx& ctx, ShmemVBuf<T>& vb,
+                                            const std::vector<std::vector<T>>& sendbufs) {
+  const int p = ctx.size();
+  const int me = ctx.rank();
+  O2K_REQUIRE(static_cast<int>(sendbufs.size()) == p,
+              "shmem_alltoallv: need one send buffer per rank");
+  // Phase 1: publish counts[me] on each destination.
+  for (int dst = 0; dst < p; ++dst) {
+    ctx.put_value(vb.counts.at(static_cast<std::size_t>(me)),
+                  static_cast<std::int64_t>(sendbufs[static_cast<std::size_t>(dst)].size()), dst);
+  }
+  ctx.barrier_all();
+  // Phase 2: every destination prefixes its counts and publishes, to each
+  // source, the offset that source must write at.
+  {
+    const auto counts = ctx.local_span(vb.counts);
+    std::int64_t acc = 0;
+    for (int src = 0; src < p; ++src) {
+      ctx.put_value(vb.offs.at(static_cast<std::size_t>(me)), acc, src);
+      acc += counts[static_cast<std::size_t>(src)];
+    }
+    O2K_REQUIRE(static_cast<std::size_t>(acc) <= vb.buf.count,
+                "shmem_alltoallv: payload buffer too small");
+  }
+  ctx.barrier_all();
+  // Phase 3: deliver payloads one-sided.
+  {
+    const auto offs = ctx.local_span(vb.offs);
+    for (int t = 0; t < p; ++t) {
+      const int dst = (me + t) % p;
+      const auto& block = sendbufs[static_cast<std::size_t>(dst)];
+      if (!block.empty()) {
+        ctx.put_nbi(vb.buf.at(static_cast<std::size_t>(offs[static_cast<std::size_t>(dst)])),
+                    std::span<const T>(block), dst);
+      }
+    }
+  }
+  ctx.barrier_all();
+  // Split the landing zone by source.
+  std::vector<std::vector<T>> out(static_cast<std::size_t>(p));
+  const auto counts = ctx.local_span(vb.counts);
+  const T* base = ctx.local(vb.buf);
+  std::size_t off = 0;
+  for (int src = 0; src < p; ++src) {
+    const auto n = static_cast<std::size_t>(counts[static_cast<std::size_t>(src)]);
+    out[static_cast<std::size_t>(src)].assign(base + off, base + off + n);
+    off += n;
+  }
+  return out;
+}
+
+}  // namespace o2k::apps

@@ -1,0 +1,42 @@
+// Lightweight runtime contract checking used throughout o2k.
+//
+// O2K_REQUIRE is for preconditions on public APIs (always on); it throws
+// std::invalid_argument so tests can assert on misuse.  O2K_CHECK is for
+// internal invariants; it throws std::logic_error.  Neither is compiled out
+// in release builds: the simulator's correctness depends on these holding,
+// and the cost of the checks is negligible next to the simulated workloads.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace o2k::detail {
+
+[[noreturn]] inline void fail_require(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << "O2K_REQUIRE failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void fail_check(const char* expr, const char* file, int line,
+                                    const std::string& msg) {
+  std::ostringstream os;
+  os << "O2K_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace o2k::detail
+
+#define O2K_REQUIRE(expr, msg)                                              \
+  do {                                                                      \
+    if (!(expr)) ::o2k::detail::fail_require(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#define O2K_CHECK(expr, msg)                                                \
+  do {                                                                      \
+    if (!(expr)) ::o2k::detail::fail_check(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

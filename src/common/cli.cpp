@@ -1,0 +1,84 @@
+#include "common/cli.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "common/check.hpp"
+
+namespace o2k {
+
+Cli::Cli(int argc, const char* const* argv, std::map<std::string, std::string> allowed)
+    : allowed_(std::move(allowed)) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    O2K_REQUIRE(arg.rfind("--", 0) == 0, "flags must start with --, got: " + arg);
+    arg = arg.substr(2);
+    std::string key;
+    std::string value;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      key = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      key = arg;
+      // --key value form, unless the next token is another flag.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    if (key == "help") {
+      values_[key] = "true";
+      continue;
+    }
+    O2K_REQUIRE(allowed_.count(key) != 0, "unknown flag --" + key + "\n" + help());
+    values_[key] = value;
+  }
+}
+
+bool Cli::has(const std::string& key) const { return values_.count(key) != 0; }
+
+std::string Cli::get(const std::string& key, const std::string& fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& key, std::int64_t fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return std::stoll(it->second);
+}
+
+double Cli::get_double(const std::string& key, double fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return std::stod(it->second);
+}
+
+bool Cli::get_bool(const std::string& key, bool fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<int> Cli::get_int_list(const std::string& key, std::vector<int> fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  std::vector<int> out;
+  std::stringstream ss(it->second);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (!tok.empty()) out.push_back(std::stoi(tok));
+  }
+  O2K_REQUIRE(!out.empty(), "empty list for flag --" + key);
+  return out;
+}
+
+std::string Cli::help() const {
+  std::ostringstream os;
+  os << "Flags:\n";
+  for (const auto& [k, h] : allowed_) os << "  --" << k << "  " << h << '\n';
+  return os.str();
+}
+
+}  // namespace o2k

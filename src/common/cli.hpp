@@ -1,0 +1,39 @@
+// Tiny command-line flag parser shared by the examples and bench binaries.
+//
+// Syntax: --key=value or --key value or bare --flag (boolean true).
+// Unknown flags are an error so typos in experiment scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace o2k {
+
+class Cli {
+ public:
+  /// Parses argv.  `allowed` lists every recognised key with a help string;
+  /// pass-through of unknown keys throws std::invalid_argument.
+  Cli(int argc, const char* const* argv,
+      std::map<std::string, std::string> allowed);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::string get(const std::string& key, const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Parse a comma-separated integer list flag, e.g. --procs=1,2,4,8.
+  [[nodiscard]] std::vector<int> get_int_list(const std::string& key,
+                                              std::vector<int> fallback) const;
+
+  [[nodiscard]] std::string help() const;
+
+ private:
+  std::map<std::string, std::string> allowed_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace o2k

@@ -1,0 +1,92 @@
+// Deterministic, seedable pseudo-random number generation.
+//
+// All o2k workload generators draw from Rng so every experiment is exactly
+// reproducible from its seed.  The core generator is xoshiro256**, seeded
+// through SplitMix64 (the construction recommended by the xoshiro authors).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+#include "common/check.hpp"
+
+namespace o2k {
+
+/// SplitMix64 step; used for seeding and as a cheap standalone hash.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** — fast, high-quality, 256-bit state PRNG.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9eadbeefcafef00dULL) {
+    std::uint64_t sm = seed;
+    for (auto& w : state_) w = splitmix64(sm);
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    O2K_REQUIRE(lo <= hi, "uniform: lo must be <= hi");
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t next_below(std::uint64_t n) {
+    O2K_REQUIRE(n > 0, "next_below: n must be positive");
+    // Lemire's unbiased bounded generation.
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = -n % n;
+      while (lo < threshold) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Standard normal via Box–Muller (no cached spare: keeps state minimal).
+  double normal() {
+    double u1 = next_double();
+    while (u1 <= 1e-300) u1 = next_double();
+    const double u2 = next_double();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  /// Derive an independent stream (e.g. one per simulated processor).
+  Rng split(std::uint64_t stream_id) {
+    std::uint64_t s = next_u64() ^ (0xa0761d6478bd642fULL * (stream_id + 1));
+    return Rng(s);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace o2k

@@ -1,0 +1,147 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace o2k {
+
+TextTable::TextTable(std::string title) : title_(std::move(title)) {}
+
+void TextTable::header(std::vector<std::string> cols) { header_ = std::move(cols); }
+
+void TextTable::row(std::vector<std::string> cells) {
+  if (!header_.empty()) {
+    O2K_REQUIRE(cells.size() == header_.size(), "row width must match header width");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string TextTable::time_ns(double ns) {
+  std::ostringstream os;
+  os << std::fixed;
+  if (ns < 1e3) {
+    os << std::setprecision(0) << ns << " ns";
+  } else if (ns < 1e6) {
+    os << std::setprecision(2) << ns / 1e3 << " us";
+  } else if (ns < 1e9) {
+    os << std::setprecision(2) << ns / 1e6 << " ms";
+  } else {
+    os << std::setprecision(3) << ns / 1e9 << " s";
+  }
+  return os.str();
+}
+
+std::string TextTable::bytes(double b) {
+  std::ostringstream os;
+  os << std::fixed;
+  if (b < 1024.0) {
+    os << std::setprecision(0) << b << " B";
+  } else if (b < 1024.0 * 1024.0) {
+    os << std::setprecision(1) << b / 1024.0 << " KiB";
+  } else if (b < 1024.0 * 1024.0 * 1024.0) {
+    os << std::setprecision(1) << b / (1024.0 * 1024.0) << " MiB";
+  } else {
+    os << std::setprecision(2) << b / (1024.0 * 1024.0 * 1024.0) << " GiB";
+  }
+  return os.str();
+}
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  std::size_t digits = 0;
+  for (char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c))) ++digits;
+  }
+  return digits * 2 >= s.size();
+}
+
+}  // namespace
+
+void TextTable::print(std::ostream& os) const {
+  const std::size_t ncols =
+      header_.empty() ? (rows_.empty() ? 0 : rows_.front().size()) : header_.size();
+  std::vector<std::size_t> width(ncols, 0);
+  for (std::size_t c = 0; c < ncols; ++c) {
+    if (c < header_.size()) width[c] = header_[c].size();
+    for (const auto& r : rows_) {
+      if (c < r.size()) width[c] = std::max(width[c], r[c].size());
+    }
+  }
+  std::size_t total = 2;
+  for (auto w : width) total += w + 3;
+
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  auto rule = [&] { os << std::string(total, '-') << '\n'; };
+  auto emit = [&](const std::vector<std::string>& cells) {
+    os << "| ";
+    for (std::size_t c = 0; c < ncols; ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      if (looks_numeric(cell)) {
+        os << std::setw(static_cast<int>(width[c])) << std::right << cell;
+      } else {
+        os << std::setw(static_cast<int>(width[c])) << std::left << cell;
+      }
+      os << " | ";
+    }
+    os << '\n';
+  };
+
+  rule();
+  if (!header_.empty()) {
+    emit(header_);
+    rule();
+  }
+  for (const auto& r : rows_) emit(r);
+  rule();
+}
+
+std::string TextTable::str() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+struct CsvWriter::Impl {
+  std::ofstream out;
+};
+
+CsvWriter::CsvWriter(std::string path) : impl_(new Impl{std::ofstream(path)}) {
+  O2K_REQUIRE(impl_->out.good(), "cannot open CSV output: " + path);
+}
+
+CsvWriter::~CsvWriter() { delete impl_; }
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  bool first = true;
+  for (const auto& cell : cells) {
+    if (!first) impl_->out << ',';
+    first = false;
+    if (cell.find_first_of(",\"\n") != std::string::npos) {
+      impl_->out << '"';
+      for (char c : cell) {
+        if (c == '"') impl_->out << '"';
+        impl_->out << c;
+      }
+      impl_->out << '"';
+    } else {
+      impl_->out << cell;
+    }
+  }
+  impl_->out << '\n';
+}
+
+}  // namespace o2k

@@ -1,0 +1,55 @@
+// Plain-text table formatting for benchmark output, plus a CSV writer.
+//
+// Every bench binary prints the rows of its reconstructed paper table/figure
+// through TextTable so output is uniform and easy to diff.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace o2k {
+
+/// Column-aligned text table.  Add a header once, then rows; `print`
+/// right-aligns numeric-looking cells and left-aligns the rest.
+class TextTable {
+ public:
+  explicit TextTable(std::string title = {});
+
+  void header(std::vector<std::string> cols);
+  void row(std::vector<std::string> cells);
+
+  /// Convenience: format a double with fixed precision.
+  static std::string num(double v, int precision = 2);
+  /// Engineering formatting of a simulated-nanosecond quantity (ns/µs/ms/s).
+  static std::string time_ns(double ns);
+  /// Bytes with unit suffix.
+  static std::string bytes(double b);
+
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string str() const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Minimal CSV writer (RFC-4180 quoting for cells containing separators).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::string path);
+  ~CsvWriter();
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void row(const std::vector<std::string>& cells);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace o2k

@@ -1,0 +1,86 @@
+#include "mesh/dualgraph.hpp"
+
+#include <algorithm>
+#include <array>
+#include <unordered_map>
+
+namespace o2k::mesh {
+
+namespace {
+
+struct FaceKey {
+  std::array<VertId, 3> v;
+  friend bool operator==(const FaceKey&, const FaceKey&) = default;
+};
+
+struct FaceKeyHash {
+  std::size_t operator()(const FaceKey& f) const {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (VertId x : f.v) {
+      h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(x));
+      h *= 0x100000001b3ULL;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+FaceKey face_of(const Tet& t, int skip) {
+  FaceKey f{};
+  int k = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (i == skip) continue;
+    f.v[static_cast<std::size_t>(k++)] = t.v[static_cast<std::size_t>(i)];
+  }
+  std::sort(f.v.begin(), f.v.end());
+  return f;
+}
+
+}  // namespace
+
+std::size_t DualGraph::num_edges() const {
+  std::size_t n = 0;
+  for (const auto& a : adj) n += a.size();
+  return n / 2;
+}
+
+std::size_t DualGraph::cut(std::span<const int> part) const {
+  O2K_REQUIRE(part.size() == adj.size(), "dual cut: assignment size mismatch");
+  std::size_t cut2 = 0;
+  for (std::size_t i = 0; i < adj.size(); ++i) {
+    for (int j : adj[i]) {
+      if (part[i] != part[static_cast<std::size_t>(j)]) ++cut2;
+    }
+  }
+  return cut2 / 2;
+}
+
+DualGraph build_dual(std::span<const Tet> tets) {
+  DualGraph g;
+  g.adj.resize(tets.size());
+  std::unordered_map<FaceKey, int, FaceKeyHash> first_owner;
+  first_owner.reserve(tets.size() * 4);
+  for (std::size_t i = 0; i < tets.size(); ++i) {
+    for (int f = 0; f < 4; ++f) {
+      const FaceKey key = face_of(tets[i], f);
+      auto [it, inserted] = first_owner.try_emplace(key, static_cast<int>(i));
+      if (!inserted) {
+        const int j = it->second;
+        O2K_CHECK(j != static_cast<int>(i), "tet shares a face with itself");
+        g.adj[i].push_back(j);
+        g.adj[static_cast<std::size_t>(j)].push_back(static_cast<int>(i));
+      }
+    }
+  }
+  for (auto& a : g.adj) std::sort(a.begin(), a.end());
+  return g;
+}
+
+DualGraph build_dual(const TetMesh& m) {
+  const auto ids = m.alive_ids();
+  std::vector<Tet> tets;
+  tets.reserve(ids.size());
+  for (TetId t : ids) tets.push_back(m.tets[static_cast<std::size_t>(t)]);
+  return build_dual(tets);
+}
+
+}  // namespace o2k::mesh

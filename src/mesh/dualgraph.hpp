@@ -1,0 +1,32 @@
+// Dual graph of a tetrahedral mesh: one vertex per element, one edge per
+// shared face.  PLUM partitions this graph (with per-element predicted
+// workload weights) rather than the mesh itself.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "mesh/mesh.hpp"
+
+namespace o2k::mesh {
+
+struct DualGraph {
+  /// adj[i] lists the indices (into the element ordering the graph was
+  /// built from) of elements sharing a face with element i.
+  std::vector<std::vector<int>> adj;
+
+  [[nodiscard]] std::size_t num_vertices() const { return adj.size(); }
+  [[nodiscard]] std::size_t num_edges() const;
+
+  /// Edges crossing between parts under the given assignment.
+  [[nodiscard]] std::size_t cut(std::span<const int> part) const;
+};
+
+/// Dual graph over an explicit element list (used by the parallel codes on
+/// their local meshes and by PLUM on the gathered global mesh).
+DualGraph build_dual(std::span<const Tet> tets);
+
+/// Dual graph over the alive elements of a mesh, in alive_ids() order.
+DualGraph build_dual(const TetMesh& m);
+
+}  // namespace o2k::mesh

@@ -1,0 +1,143 @@
+#include "mesh/io.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <ostream>
+#include <unordered_map>
+
+#include "common/check.hpp"
+#include "mesh/quality.hpp"
+
+namespace o2k::mesh {
+
+namespace {
+
+/// Compact the alive mesh: referenced vertices renumbered densely.
+struct Compact {
+  std::vector<Vec3> verts;
+  std::vector<Tet> tets;
+};
+
+Compact compact_alive(const TetMesh& m) {
+  Compact out;
+  std::unordered_map<VertId, VertId> remap;
+  remap.reserve(m.verts.size());
+  for (const TetId t : m.alive_ids()) {
+    Tet nt;
+    const Tet& e = m.tets[static_cast<std::size_t>(t)];
+    for (int k = 0; k < 4; ++k) {
+      const VertId v = e.v[static_cast<std::size_t>(k)];
+      auto [it, inserted] = remap.try_emplace(v, static_cast<VertId>(out.verts.size()));
+      if (inserted) out.verts.push_back(m.verts[static_cast<std::size_t>(v)]);
+      nt.v[static_cast<std::size_t>(k)] = it->second;
+    }
+    out.tets.push_back(nt);
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_vtk(const TetMesh& m, std::ostream& os, bool with_quality) {
+  const Compact c = compact_alive(m);
+  os << "# vtk DataFile Version 3.0\n"
+     << "o2k adapted tetrahedral mesh\n"
+     << "ASCII\n"
+     << "DATASET UNSTRUCTURED_GRID\n"
+     << "POINTS " << c.verts.size() << " double\n";
+  for (const Vec3& p : c.verts) os << p.x << ' ' << p.y << ' ' << p.z << '\n';
+  os << "CELLS " << c.tets.size() << ' ' << c.tets.size() * 5 << '\n';
+  for (const Tet& t : c.tets) {
+    os << "4 " << t.v[0] << ' ' << t.v[1] << ' ' << t.v[2] << ' ' << t.v[3] << '\n';
+  }
+  os << "CELL_TYPES " << c.tets.size() << '\n';
+  for (std::size_t i = 0; i < c.tets.size(); ++i) os << "10\n";  // VTK_TETRA
+  if (with_quality) {
+    os << "CELL_DATA " << c.tets.size() << '\n'
+       << "SCALARS quality double 1\nLOOKUP_TABLE default\n";
+    for (const Tet& t : c.tets) {
+      os << tet_quality(c.verts[static_cast<std::size_t>(t.v[0])],
+                        c.verts[static_cast<std::size_t>(t.v[1])],
+                        c.verts[static_cast<std::size_t>(t.v[2])],
+                        c.verts[static_cast<std::size_t>(t.v[3])])
+         << '\n';
+    }
+  }
+  O2K_REQUIRE(os.good(), "write_vtk: stream failure");
+}
+
+void write_vtk_file(const TetMesh& m, const std::string& path, bool with_quality) {
+  std::ofstream os(path);
+  O2K_REQUIRE(os.good(), "write_vtk_file: cannot open " + path);
+  write_vtk(m, os, with_quality);
+}
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x6f326b4d45534831ULL;  // "o2kMESH1"
+
+template <typename T>
+void put(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+template <typename T>
+T get(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  O2K_REQUIRE(is.good(), "mesh snapshot: truncated stream");
+  return v;
+}
+
+}  // namespace
+
+void save_snapshot(const TetMesh& m, std::ostream& os) {
+  const Compact c = compact_alive(m);
+  put(os, kMagic);
+  put(os, static_cast<std::uint64_t>(c.verts.size()));
+  put(os, static_cast<std::uint64_t>(c.tets.size()));
+  for (const Vec3& p : c.verts) {
+    put(os, p.x);
+    put(os, p.y);
+    put(os, p.z);
+  }
+  for (const Tet& t : c.tets) {
+    for (VertId v : t.v) put(os, static_cast<std::int32_t>(v));
+  }
+  O2K_REQUIRE(os.good(), "save_snapshot: stream failure");
+}
+
+TetMesh load_snapshot(std::istream& is) {
+  O2K_REQUIRE(get<std::uint64_t>(is) == kMagic, "mesh snapshot: bad magic");
+  const auto nv = get<std::uint64_t>(is);
+  const auto nt = get<std::uint64_t>(is);
+  TetMesh m;
+  m.verts.reserve(nv);
+  for (std::uint64_t i = 0; i < nv; ++i) {
+    Vec3 p;
+    p.x = get<double>(is);
+    p.y = get<double>(is);
+    p.z = get<double>(is);
+    m.verts.push_back(p);
+  }
+  for (std::uint64_t i = 0; i < nt; ++i) {
+    Tet t;
+    for (int k = 0; k < 4; ++k) t.v[static_cast<std::size_t>(k)] = get<std::int32_t>(is);
+    m.add_tet(t, -1);
+  }
+  m.validate();
+  return m;
+}
+
+void save_snapshot_file(const TetMesh& m, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  O2K_REQUIRE(os.good(), "save_snapshot_file: cannot open " + path);
+  save_snapshot(m, os);
+}
+
+TetMesh load_snapshot_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  O2K_REQUIRE(is.good(), "load_snapshot_file: cannot open " + path);
+  return load_snapshot(is);
+}
+
+}  // namespace o2k::mesh

@@ -1,0 +1,26 @@
+// Mesh I/O: legacy-VTK export for visualisation and a compact binary
+// snapshot format for checkpoint/restart of adaptation runs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "mesh/mesh.hpp"
+
+namespace o2k::mesh {
+
+/// Write the alive elements as an unstructured-grid legacy VTK file
+/// (viewable in ParaView/VisIt).  `cell_scalar` optionally names a per-cell
+/// scalar written alongside (currently: element quality).
+void write_vtk(const TetMesh& m, std::ostream& os, bool with_quality = true);
+void write_vtk_file(const TetMesh& m, const std::string& path, bool with_quality = true);
+
+/// Binary snapshot of the *alive* mesh (vertices + alive tets; families
+/// and edge-midpoint maps are not preserved — a reloaded mesh is a fresh
+/// root mesh, which is what a restarted adaptation run wants).
+void save_snapshot(const TetMesh& m, std::ostream& os);
+TetMesh load_snapshot(std::istream& is);
+void save_snapshot_file(const TetMesh& m, const std::string& path);
+TetMesh load_snapshot_file(const std::string& path);
+
+}  // namespace o2k::mesh

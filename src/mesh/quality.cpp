@@ -1,0 +1,39 @@
+#include "mesh/quality.hpp"
+
+#include <cmath>
+
+namespace o2k::mesh {
+
+double tet_quality(const Vec3& p0, const Vec3& p1, const Vec3& p2, const Vec3& p3) {
+  const double vol = signed_volume(p0, p1, p2, p3);
+  const Vec3 pts[4] = {p0, p1, p2, p3};
+  double sum2 = 0.0;
+  for (const auto& e : kTetEdges) {
+    sum2 += (pts[e[0]] - pts[e[1]]).norm2();
+  }
+  const double l_rms = std::sqrt(sum2 / 6.0);
+  if (l_rms <= 0.0) return 0.0;
+  return 6.0 * std::sqrt(2.0) * std::abs(vol) / (l_rms * l_rms * l_rms);
+}
+
+QualityStats mesh_quality(const TetMesh& m) {
+  QualityStats st;
+  st.min_q = 1.0;
+  double sum = 0.0;
+  for (std::size_t t = 0; t < m.tets.size(); ++t) {
+    if (!m.alive[t]) continue;
+    const Tet& e = m.tets[t];
+    const double q = tet_quality(m.verts[static_cast<std::size_t>(e.v[0])],
+                                 m.verts[static_cast<std::size_t>(e.v[1])],
+                                 m.verts[static_cast<std::size_t>(e.v[2])],
+                                 m.verts[static_cast<std::size_t>(e.v[3])]);
+    st.min_q = std::min(st.min_q, q);
+    sum += q;
+    if (q < 0.1) ++st.below_01;
+    ++st.count;
+  }
+  st.mean_q = st.count > 0 ? sum / static_cast<double>(st.count) : 1.0;
+  return st;
+}
+
+}  // namespace o2k::mesh

@@ -1,0 +1,27 @@
+// Element quality metrics for adapted meshes.
+//
+// Repeated anisotropic subdivision can degrade tetrahedra; the paper's
+// 3D_TAG keeps quality acceptable via its template set.  We expose the
+// standard normalised shape measure q = 6*sqrt(2)*V / l_rms^3 (q = 1 for a
+// regular tetrahedron, q → 0 for slivers) so tests can assert that
+// adaptation preserves a quality floor.
+#pragma once
+
+#include "mesh/mesh.hpp"
+
+namespace o2k::mesh {
+
+/// Normalised shape quality of a single tet (1 = regular, 0 = degenerate).
+double tet_quality(const Vec3& p0, const Vec3& p1, const Vec3& p2, const Vec3& p3);
+
+struct QualityStats {
+  double min_q = 1.0;
+  double mean_q = 1.0;
+  std::size_t below_01 = 0;  ///< slivers with q < 0.1
+  std::size_t count = 0;
+};
+
+/// Quality over all alive elements.
+QualityStats mesh_quality(const TetMesh& m);
+
+}  // namespace o2k::mesh

@@ -1,0 +1,158 @@
+#include "mesh/refine.hpp"
+
+#include <bit>
+
+namespace o2k::mesh {
+
+Pattern classify(std::uint8_t mask) {
+  const int n = std::popcount(static_cast<unsigned>(mask));
+  if (n == 0) return Pattern::kNone;
+  if (n == 1) return Pattern::kBisect;
+  if (n == 6) return Pattern::kOctasect;
+  if (n == 3) {
+    for (std::uint8_t fm : kFaceEdgeMasks) {
+      if (mask == fm) return Pattern::kQuarter;
+    }
+  }
+  return Pattern::kIllegal;
+}
+
+int child_count(Pattern p) {
+  switch (p) {
+    case Pattern::kNone:
+      return 1;
+    case Pattern::kBisect:
+      return 2;
+    case Pattern::kQuarter:
+      return 4;
+    case Pattern::kOctasect:
+      return 8;
+    case Pattern::kIllegal:
+      break;
+  }
+  O2K_CHECK(false, "illegal pattern has no child count");
+}
+
+std::uint8_t promote_mask(std::uint8_t mask) {
+  if (classify(mask) != Pattern::kIllegal) return mask;
+  for (std::uint8_t fm : kFaceEdgeMasks) {
+    if ((mask & ~fm) == 0) return fm;
+  }
+  return 0x3F;
+}
+
+int predicted_weight(std::uint8_t mask) {
+  return child_count(classify(promote_mask(mask)));
+}
+
+std::uint8_t mask_of(const TetMesh& m, TetId t, const MarkSet& marks) {
+  std::uint8_t mask = 0;
+  for (int le = 0; le < 6; ++le) {
+    if (marks.count(m.edge_of(t, le)) != 0) mask |= static_cast<std::uint8_t>(1u << le);
+  }
+  return mask;
+}
+
+MarkSet mark_edges(const TetMesh& m, const SphereFront& front) {
+  return mark_edges_with(m, front);
+}
+
+int close_marks(const TetMesh& m, MarkSet& marks) {
+  // Jacobi iteration: evaluate every element against a *frozen* mark set
+  // and apply the round's additions at once.  Promote-to-full closure is
+  // order-dependent if applied in place (a promotion can legalise a
+  // neighbour mid-sweep), and the parallel codes need all implementations
+  // to walk the same deterministic trajectory.
+  const auto ids = m.alive_ids();
+  int rounds = 0;
+  for (;;) {
+    ++rounds;
+    MarkSet additions;
+    for (TetId t : ids) {
+      const std::uint8_t mask = mask_of(m, t, marks);
+      const std::uint8_t want = promote_mask(mask);
+      if (want == mask) continue;
+      for (int le = 0; le < 6; ++le) {
+        if ((want & (1u << le)) == 0 || (mask & (1u << le)) != 0) continue;
+        const EdgeKey e = m.edge_of(t, le);
+        if (marks.count(e) == 0) additions.insert(e);
+      }
+    }
+    if (additions.empty()) break;
+    marks.insert(additions.begin(), additions.end());
+  }
+  return rounds;
+}
+
+RefineStats refine(TetMesh& m, const MarkSet& marks) {
+  RefineStats st;
+  const auto ids = m.alive_ids();
+  const std::size_t verts_before = m.verts.size();
+  for (TetId t : ids) {
+    const std::uint8_t mask = mask_of(m, t, marks);
+    const Pattern p = classify(mask);
+    O2K_REQUIRE(p != Pattern::kIllegal, "refine requires closed marks — call close_marks first");
+    if (p == Pattern::kNone) continue;
+
+    std::vector<Tet> kids;
+    kids.reserve(8);
+    append_children(
+        m.tets[static_cast<std::size_t>(t)], mask,
+        [&](EdgeKey e) { return m.mid_vertex(e); },
+        [&](VertId v) { return m.verts[static_cast<std::size_t>(v)]; }, kids);
+
+    std::vector<TetId> kid_ids;
+    kid_ids.reserve(kids.size());
+    for (const Tet& k : kids) kid_ids.push_back(m.add_tet(k, t));
+    m.alive[static_cast<std::size_t>(t)] = false;
+    m.children[t] = std::move(kid_ids);
+
+    st.new_tets += kids.size();
+    switch (p) {
+      case Pattern::kBisect:
+        ++st.bisected;
+        break;
+      case Pattern::kQuarter:
+        ++st.quartered;
+        break;
+      case Pattern::kOctasect:
+        ++st.octasected;
+        break;
+      default:
+        break;
+    }
+  }
+  st.new_verts = m.verts.size() - verts_before;
+  return st;
+}
+
+std::size_t coarsen(TetMesh& m, const SphereFront& front) {
+  std::size_t collapsed = 0;
+  std::vector<TetId> to_erase;
+  for (const auto& [par, kids] : m.children) {
+    bool collapsible = true;
+    for (TetId k : kids) {
+      if (!m.alive[static_cast<std::size_t>(k)]) {
+        collapsible = false;  // a child was further refined (or already gone)
+        break;
+      }
+      for (const EdgeKey& e : m.edges_of(k)) {
+        if (front.cuts(m.verts[static_cast<std::size_t>(e.a)],
+                       m.verts[static_cast<std::size_t>(e.b)])) {
+          collapsible = false;
+          break;
+        }
+      }
+      if (!collapsible) break;
+    }
+    if (!collapsible) continue;
+    for (TetId k : kids) m.alive[static_cast<std::size_t>(k)] = false;
+    m.alive[static_cast<std::size_t>(par)] = true;
+    to_erase.push_back(par);
+    ++collapsed;
+  }
+  for (TetId par : to_erase) m.children.erase(par);
+  return collapsed;
+}
+
+}  // namespace o2k::mesh

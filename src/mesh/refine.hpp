@@ -1,0 +1,226 @@
+// 3D_TAG-style edge-based refinement, closure and coarsening.
+//
+// Edges are marked for refinement by a geometric error indicator (here a
+// moving spherical front, standing in for the paper's shock/feature).
+// A tetrahedron subdivides according to which of its six edges are marked:
+//
+//   1 edge            → 1:2  bisection
+//   3 edges, one face → 1:4  quartering
+//   6 edges           → 1:8  octasection (regular subdivision)
+//
+// Any other pattern is illegal and is *promoted* to full octasection by
+// marking all six edges; promotion propagates through shared edges, so
+// closure iterates to a global fixpoint.  The template logic is exposed as
+// a free function template (append_children) so the MP/SHMEM/SAS parallel
+// codes reuse exactly the same geometry while owning their own storage.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "mesh/mesh.hpp"
+
+namespace o2k::mesh {
+
+enum class Pattern : std::uint8_t {
+  kNone,       ///< no marked edges
+  kBisect,     ///< 1:2
+  kQuarter,    ///< 1:4
+  kOctasect,   ///< 1:8
+  kIllegal,    ///< must be promoted to 1:8
+};
+
+/// Classify a 6-bit local edge mark mask.
+Pattern classify(std::uint8_t mask);
+
+/// Smallest legal superset of a mask: an illegal pattern is promoted to the
+/// first face pattern containing it, or to full octasection if none does
+/// (3D_TAG promotes minimally; full promotion cascades through graded
+/// regions and over-refines).  Legal masks are returned unchanged.
+std::uint8_t promote_mask(std::uint8_t mask);
+
+/// Number of children the pattern produces (1 for kNone = element kept).
+int child_count(Pattern p);
+
+/// Predicted post-refinement workload weight of an element with this mask
+/// (used by PLUM to balance *future* load).
+int predicted_weight(std::uint8_t mask);
+
+/// The moving refinement front: a spherical shell of the given width.
+/// Edges crossing the shell are marked.
+struct SphereFront {
+  Vec3 center;
+  double radius = 1.0;
+  double width = 0.25;
+
+  /// True if the edge (a,b) lies (partly) inside the shell.
+  [[nodiscard]] bool cuts(const Vec3& a, const Vec3& b) const {
+    const double da = (a - center).norm() - radius;
+    const double db = (b - center).norm() - radius;
+    if (da > width && db > width) return false;
+    if (da < -width && db < -width) return false;
+    return true;
+  }
+};
+
+/// A planar refinement front (a shock sheet): points within `width` of the
+/// plane normal·x = offset are inside the band.
+struct PlaneFront {
+  Vec3 normal{1, 0, 0};  ///< need not be unit length; distances scale with it
+  double offset = 0.0;
+  double width = 0.25;
+
+  [[nodiscard]] bool cuts(const Vec3& a, const Vec3& b) const {
+    const double da = normal.dot(a) - offset;
+    const double db = normal.dot(b) - offset;
+    if (da > width && db > width) return false;
+    if (da < -width && db < -width) return false;
+    return true;
+  }
+};
+
+using MarkSet = std::unordered_set<EdgeKey, EdgeKeyHash>;
+
+/// Local mark mask of a tet against a mark set.
+std::uint8_t mask_of(const TetMesh& m, TetId t, const MarkSet& marks);
+
+/// Phase 1: geometric marking of the alive mesh against any front type
+/// exposing `bool cuts(const Vec3&, const Vec3&)`.
+template <typename Front>
+MarkSet mark_edges_with(const TetMesh& m, const Front& front) {
+  MarkSet marks;
+  for (const EdgeKey& e : m.all_edges()) {
+    if (front.cuts(m.verts[static_cast<std::size_t>(e.a)],
+                   m.verts[static_cast<std::size_t>(e.b)])) {
+      marks.insert(e);
+    }
+  }
+  return marks;
+}
+MarkSet mark_edges(const TetMesh& m, const SphereFront& front);
+
+/// Phase 2: closure — promote illegal patterns until every alive tet has a
+/// legal mask.  Returns the number of promotion rounds performed.
+int close_marks(const TetMesh& m, MarkSet& marks);
+
+struct RefineStats {
+  std::size_t bisected = 0;
+  std::size_t quartered = 0;
+  std::size_t octasected = 0;
+  std::size_t new_tets = 0;
+  std::size_t new_verts = 0;
+};
+
+/// Phase 3: subdivide every alive tet according to the (closed) mark set.
+RefineStats refine(TetMesh& m, const MarkSet& marks);
+
+/// De-refinement: collapse refinement families whose children are all
+/// leaves untouched by the front.  Returns families coarsened.
+std::size_t coarsen(TetMesh& m, const SphereFront& front);
+
+/// Template engine shared with the parallel codes: append the children of
+/// a tet with the given (legal, closed) mask.  `mid(EdgeKey)` resolves (or
+/// creates) the midpoint vertex; `pos(VertId)` returns coordinates used for
+/// diagonal selection and orientation.  Children are appended positively
+/// oriented.
+template <typename MidFn, typename PosFn>
+void append_children(const Tet& t, std::uint8_t mask, MidFn&& mid, PosFn&& pos,
+                     std::vector<Tet>& out) {
+  auto fix = [&](Tet c) {
+    const double vol = signed_volume(pos(c.v[0]), pos(c.v[1]), pos(c.v[2]), pos(c.v[3]));
+    if (vol < 0.0) std::swap(c.v[2], c.v[3]);
+    out.push_back(c);
+  };
+  auto edge = [&](int le) {
+    return EdgeKey(t.v[static_cast<std::size_t>(kTetEdges[static_cast<std::size_t>(le)][0])],
+                   t.v[static_cast<std::size_t>(kTetEdges[static_cast<std::size_t>(le)][1])]);
+  };
+
+  const Pattern p = classify(mask);
+  O2K_REQUIRE(p != Pattern::kIllegal, "append_children requires a closed mask");
+  switch (p) {
+    case Pattern::kNone:
+      out.push_back(t);
+      return;
+    case Pattern::kBisect: {
+      int le = 0;
+      while (!(mask & (1u << le))) ++le;
+      const auto i = static_cast<std::size_t>(kTetEdges[static_cast<std::size_t>(le)][0]);
+      const auto j = static_cast<std::size_t>(kTetEdges[static_cast<std::size_t>(le)][1]);
+      const VertId m = mid(edge(le));
+      Tet c1 = t;
+      c1.v[j] = m;
+      Tet c2 = t;
+      c2.v[i] = m;
+      fix(c1);
+      fix(c2);
+      return;
+    }
+    case Pattern::kQuarter: {
+      int face = 0;
+      while (kFaceEdgeMasks[static_cast<std::size_t>(face)] != mask) ++face;
+      // Face corner local indices and the apex.
+      static constexpr int kFaceVerts[4][3] = {{0, 1, 2}, {0, 1, 3}, {0, 2, 3}, {1, 2, 3}};
+      const int* fv = kFaceVerts[face];
+      const VertId vp = t.v[static_cast<std::size_t>(fv[0])];
+      const VertId vq = t.v[static_cast<std::size_t>(fv[1])];
+      const VertId vr = t.v[static_cast<std::size_t>(fv[2])];
+      const VertId mpq = mid(EdgeKey(vp, vq));
+      const VertId mqr = mid(EdgeKey(vq, vr));
+      const VertId mpr = mid(EdgeKey(vp, vr));
+      const int apex = 0 + 1 + 2 + 3 - fv[0] - fv[1] - fv[2];
+      const VertId vs = t.v[static_cast<std::size_t>(apex)];
+      fix(Tet{{vp, mpq, mpr, vs}});
+      fix(Tet{{vq, mqr, mpq, vs}});
+      fix(Tet{{vr, mpr, mqr, vs}});
+      fix(Tet{{mpq, mqr, mpr, vs}});
+      return;
+    }
+    case Pattern::kOctasect: {
+      const VertId a = t.v[0], b = t.v[1], c = t.v[2], d = t.v[3];
+      const VertId mab = mid(EdgeKey(a, b));
+      const VertId mac = mid(EdgeKey(a, c));
+      const VertId mad = mid(EdgeKey(a, d));
+      const VertId mbc = mid(EdgeKey(b, c));
+      const VertId mbd = mid(EdgeKey(b, d));
+      const VertId mcd = mid(EdgeKey(c, d));
+      // Four corner tets.
+      fix(Tet{{a, mab, mac, mad}});
+      fix(Tet{{b, mab, mbc, mbd}});
+      fix(Tet{{c, mac, mbc, mcd}});
+      fix(Tet{{d, mad, mbd, mcd}});
+      // Interior octahedron: split along the shortest of the three
+      // diagonals (opposite-midpoint pairs) for quality.
+      struct Diag {
+        VertId d0, d1;
+        std::array<VertId, 4> eq;  ///< equatorial cycle
+      };
+      const Diag diags[3] = {
+          {mab, mcd, {mac, mad, mbd, mbc}},
+          {mac, mbd, {mab, mad, mcd, mbc}},
+          {mad, mbc, {mab, mbd, mcd, mac}},
+      };
+      int best = 0;
+      double best_len = (pos(diags[0].d0) - pos(diags[0].d1)).norm2();
+      for (int k = 1; k < 3; ++k) {
+        const double len = (pos(diags[k].d0) - pos(diags[k].d1)).norm2();
+        if (len < best_len) {
+          best = k;
+          best_len = len;
+        }
+      }
+      const Diag& dg = diags[best];
+      for (int k = 0; k < 4; ++k) {
+        fix(Tet{{dg.d0, dg.d1, dg.eq[static_cast<std::size_t>(k)],
+                 dg.eq[static_cast<std::size_t>((k + 1) % 4)]}});
+      }
+      return;
+    }
+    case Pattern::kIllegal:
+      break;
+  }
+  O2K_CHECK(false, "unreachable refinement pattern");
+}
+
+}  // namespace o2k::mesh

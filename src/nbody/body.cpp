@@ -1,0 +1,109 @@
+#include "nbody/body.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace o2k::nbody {
+
+std::vector<Body> make_plummer(std::size_t n, std::uint64_t seed) {
+  O2K_REQUIRE(n >= 1, "need at least one body");
+  Rng rng(seed);
+  std::vector<Body> bodies(n);
+  const double m = 1.0 / static_cast<double>(n);
+  // Standard Aarseth/Henon/Wielen construction with the 16/(3*pi) scaling.
+  const double scale = 16.0 / (3.0 * std::numbers::pi);
+  for (std::size_t i = 0; i < n; ++i) {
+    Body& b = bodies[i];
+    b.id = static_cast<std::int32_t>(i);
+    b.mass = m;
+    // Radius from the inverse cumulative mass profile (clip the tail).
+    double u = rng.uniform(1e-8, 0.999);
+    const double r = 1.0 / std::sqrt(std::pow(u, -2.0 / 3.0) - 1.0);
+    // Isotropic direction.
+    const double ct = rng.uniform(-1.0, 1.0);
+    const double st = std::sqrt(std::max(0.0, 1.0 - ct * ct));
+    const double phi = rng.uniform(0.0, 2.0 * std::numbers::pi);
+    b.pos = Vec3(r * st * std::cos(phi), r * st * std::sin(phi), r * ct) / scale;
+    // Velocity magnitude by von Neumann rejection on g(q) = q^2 (1-q^2)^3.5.
+    double q = 0.0;
+    for (;;) {
+      const double x = rng.uniform(0.0, 1.0);
+      const double y = rng.uniform(0.0, 0.1);
+      if (y < x * x * std::pow(1.0 - x * x, 3.5)) {
+        q = x;
+        break;
+      }
+    }
+    const double ve = std::sqrt(2.0) * std::pow(1.0 + r * r, -0.25);
+    const double v = q * ve;
+    const double ctv = rng.uniform(-1.0, 1.0);
+    const double stv = std::sqrt(std::max(0.0, 1.0 - ctv * ctv));
+    const double phv = rng.uniform(0.0, 2.0 * std::numbers::pi);
+    b.vel = Vec3(v * stv * std::cos(phv), v * stv * std::sin(phv), v * ctv) * std::sqrt(scale);
+  }
+  // Centre the cluster (zero net momentum and centre of mass).
+  Vec3 cm;
+  Vec3 cv;
+  for (const Body& b : bodies) {
+    cm += b.pos * b.mass;
+    cv += b.vel * b.mass;
+  }
+  for (Body& b : bodies) {
+    b.pos -= cm;
+    b.vel -= cv;
+  }
+  return bodies;
+}
+
+std::vector<Body> make_uniform_sphere(std::size_t n, std::uint64_t seed) {
+  O2K_REQUIRE(n >= 1, "need at least one body");
+  Rng rng(seed);
+  std::vector<Body> bodies(n);
+  const double m = 1.0 / static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Body& b = bodies[i];
+    b.id = static_cast<std::int32_t>(i);
+    b.mass = m;
+    for (;;) {
+      const Vec3 p(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0));
+      if (p.norm2() <= 1.0) {
+        b.pos = p;
+        break;
+      }
+    }
+    b.vel = Vec3(rng.normal(), rng.normal(), rng.normal()) * 0.05;
+  }
+  return bodies;
+}
+
+void leapfrog(std::span<Body> bodies, double dt) {
+  for (Body& b : bodies) {
+    b.vel += b.acc * dt;
+    b.pos += b.vel * dt;
+  }
+}
+
+double kinetic_energy(std::span<const Body> bodies) {
+  double e = 0.0;
+  for (const Body& b : bodies) e += 0.5 * b.mass * b.vel.norm2();
+  return e;
+}
+
+Vec3 total_momentum(std::span<const Body> bodies) {
+  Vec3 p;
+  for (const Body& b : bodies) p += b.vel * b.mass;
+  return p;
+}
+
+Vec3 mass_center(std::span<const Body> bodies) {
+  Vec3 c;
+  double m = 0.0;
+  for (const Body& b : bodies) {
+    c += b.pos * b.mass;
+    m += b.mass;
+  }
+  return m > 0.0 ? c / m : c;
+}
+
+}  // namespace o2k::nbody

@@ -1,0 +1,38 @@
+// Bodies and initial conditions for the Barnes–Hut N-body application.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/vec3.hpp"
+
+namespace o2k::nbody {
+
+struct Body {
+  Vec3 pos;
+  Vec3 vel;
+  Vec3 acc;
+  double mass = 0.0;
+  double work = 1.0;  ///< interactions charged last step (costzones weight)
+  std::int32_t id = -1;
+};
+
+/// Plummer-model cluster (the SPLASH-2 `barnes` initial condition family):
+/// total mass 1, G = 1, standard length scaling.  Deterministic in `seed`.
+std::vector<Body> make_plummer(std::size_t n, std::uint64_t seed);
+
+/// Uniform-sphere cluster (less centrally concentrated; used by tests and
+/// the partitioning ablation to vary adaptivity).
+std::vector<Body> make_uniform_sphere(std::size_t n, std::uint64_t seed);
+
+/// Leapfrog (kick-drift) update given freshly computed accelerations.
+void leapfrog(std::span<Body> bodies, double dt);
+
+/// Diagnostics for conservation tests.
+double kinetic_energy(std::span<const Body> bodies);
+Vec3 total_momentum(std::span<const Body> bodies);
+Vec3 mass_center(std::span<const Body> bodies);
+
+}  // namespace o2k::nbody

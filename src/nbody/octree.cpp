@@ -1,0 +1,158 @@
+#include "nbody/octree.hpp"
+
+#include <algorithm>
+
+namespace o2k::nbody {
+
+Octree::Octree(std::span<const Body> bodies) {
+  O2K_REQUIRE(!bodies.empty(), "octree: need at least one body");
+  // Bounding cube.
+  Vec3 lo = bodies[0].pos;
+  Vec3 hi = bodies[0].pos;
+  for (const Body& b : bodies) {
+    for (int k = 0; k < 3; ++k) {
+      lo[k] = std::min(lo[k], b.pos[k]);
+      hi[k] = std::max(hi[k], b.pos[k]);
+    }
+  }
+  const Vec3 center = (lo + hi) * 0.5;
+  double half = 0.0;
+  for (int k = 0; k < 3; ++k) half = std::max(half, (hi[k] - lo[k]) * 0.5);
+  half = std::max(half * 1.0001, 1e-12);  // strictly contain all bodies
+
+  cells_.reserve(bodies.size() * 2);
+  make_cell(center, half);
+  for (std::size_t i = 0; i < bodies.size(); ++i) {
+    insert(0, static_cast<std::int32_t>(i), bodies, 1);
+  }
+  compute_com(0, bodies);
+}
+
+std::int32_t Octree::make_cell(const Vec3& center, double half) {
+  Cell c;
+  c.center = center;
+  c.half = half;
+  cells_.push_back(c);
+  return static_cast<std::int32_t>(cells_.size() - 1);
+}
+
+namespace {
+
+int octant_of(const Vec3& center, const Vec3& p) {
+  int o = 0;
+  if (p.x >= center.x) o |= 1;
+  if (p.y >= center.y) o |= 2;
+  if (p.z >= center.z) o |= 4;
+  return o;
+}
+
+Vec3 child_center(const Vec3& center, double half, int octant) {
+  const double q = half * 0.5;
+  return {center.x + ((octant & 1) ? q : -q), center.y + ((octant & 2) ? q : -q),
+          center.z + ((octant & 4) ? q : -q)};
+}
+
+}  // namespace
+
+void Octree::insert(std::int32_t cell, std::int32_t body, std::span<const Body> bodies,
+                    int depth) {
+  Cell& c = cells_[static_cast<std::size_t>(cell)];
+  ++c.count;
+  int oct = octant_of(c.center, bodies[static_cast<std::size_t>(body)].pos);
+  if (depth >= kMaxDepth - 1) {
+    // Near-coincident bodies: park in any free slot instead of splitting
+    // forever; the force error from the misplaced slot is negligible at
+    // this cell size.
+    for (int k = 0; k < 8; ++k) {
+      const int alt = (oct + k) % 8;
+      if (c.child[static_cast<std::size_t>(alt)] == -1) {
+        oct = alt;
+        break;
+      }
+    }
+    O2K_CHECK(c.child[static_cast<std::size_t>(oct)] == -1,
+              "octree: more than 8 coincident bodies");
+    c.child[static_cast<std::size_t>(oct)] = Cell::encode_body(body);
+    return;
+  }
+  const std::int32_t ch = c.child[static_cast<std::size_t>(oct)];
+  if (ch == -1) {
+    c.child[static_cast<std::size_t>(oct)] = Cell::encode_body(body);
+    return;
+  }
+  if (Cell::is_body(ch)) {
+    // Split: replace the body leaf with a sub-cell holding both bodies.
+    const std::int32_t other = Cell::body_index(ch);
+    const Vec3 cc = child_center(c.center, c.half, oct);
+    const double chalf = c.half * 0.5;
+    const std::int32_t sub = make_cell(cc, chalf);
+    // NOTE: make_cell may reallocate cells_, so re-take the reference.
+    cells_[static_cast<std::size_t>(cell)].child[static_cast<std::size_t>(oct)] = sub;
+    insert(sub, other, bodies, depth + 1);
+    insert(sub, body, bodies, depth + 1);
+    return;
+  }
+  insert(ch, body, bodies, depth + 1);
+}
+
+void Octree::compute_com(std::int32_t cell, std::span<const Body> bodies) {
+  Cell& c0 = cells_[static_cast<std::size_t>(cell)];
+  Vec3 com;
+  double mass = 0.0;
+  for (std::int32_t ch : c0.child) {
+    if (ch == -1) continue;
+    if (Cell::is_body(ch)) {
+      const Body& b = bodies[static_cast<std::size_t>(Cell::body_index(ch))];
+      com += b.pos * b.mass;
+      mass += b.mass;
+    } else {
+      compute_com(ch, bodies);
+      const Cell& sc = cells_[static_cast<std::size_t>(ch)];
+      com += sc.com * sc.mass;
+      mass += sc.mass;
+    }
+  }
+  Cell& c = cells_[static_cast<std::size_t>(cell)];
+  c.mass = mass;
+  c.com = mass > 0.0 ? com / mass : c.center;
+}
+
+namespace {
+
+void collect_dfs(const std::vector<Cell>& cells, std::int32_t ci,
+                 std::vector<std::int32_t>& order) {
+  const Cell& c = cells[static_cast<std::size_t>(ci)];
+  for (std::int32_t ch : c.child) {
+    if (ch == -1) continue;
+    if (Cell::is_body(ch)) {
+      order.push_back(Cell::body_index(ch));
+    } else {
+      collect_dfs(cells, ch, order);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::int32_t> Octree::bodies_in_tree_order() const {
+  std::vector<std::int32_t> order;
+  order.reserve(static_cast<std::size_t>(cells_[0].count));
+  collect_dfs(cells_, root(), order);
+  return order;
+}
+
+int Octree::depth() const {
+  int best = 0;
+  std::vector<std::pair<std::int32_t, int>> stack{{root(), 1}};
+  while (!stack.empty()) {
+    auto [ci, d] = stack.back();
+    stack.pop_back();
+    best = std::max(best, d);
+    for (std::int32_t ch : cells_[static_cast<std::size_t>(ci)].child) {
+      if (ch >= 0) stack.emplace_back(ch, d + 1);
+    }
+  }
+  return best;
+}
+
+}  // namespace o2k::nbody

@@ -1,0 +1,144 @@
+// Barnes–Hut octree: build, centre-of-mass pass, θ-criterion force walk.
+//
+// The tree is the application's *adaptive* data structure: its shape follows
+// the body distribution, and the cost of each body's walk varies with local
+// density — which is why the paper pairs this code with costzones
+// partitioning (see partition.hpp).
+//
+// The force walk takes a visitor so the CC-SAS application can charge its
+// cache simulator for every cell/body visited; the MP and SHMEM codes use
+// the plain overload (their tree replicas are local data, folded into the
+// kernel constants).
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+#include "nbody/body.hpp"
+
+namespace o2k::nbody {
+
+/// One node of the octree.  Children encode either a sub-cell (>= 0, cell
+/// index) or a single body (encoded as -2 - body_index); -1 = empty.
+struct Cell {
+  Vec3 center;
+  double half = 0.0;  ///< half edge length
+  Vec3 com;
+  double mass = 0.0;
+  std::int32_t count = 0;  ///< bodies beneath
+  std::array<std::int32_t, 8> child{-1, -1, -1, -1, -1, -1, -1, -1};
+
+  static constexpr std::int32_t encode_body(std::int32_t i) { return -2 - i; }
+  static constexpr bool is_body(std::int32_t c) { return c <= -2; }
+  static constexpr std::int32_t body_index(std::int32_t c) { return -2 - c; }
+};
+
+struct WalkStats {
+  std::size_t cell_interactions = 0;
+  std::size_t body_interactions = 0;
+  std::size_t cells_visited = 0;
+  [[nodiscard]] std::size_t interactions() const {
+    return cell_interactions + body_interactions;
+  }
+};
+
+class Octree {
+ public:
+  /// Build over the given bodies (indices into this span are stable).
+  explicit Octree(std::span<const Body> bodies);
+
+  [[nodiscard]] const std::vector<Cell>& cells() const { return cells_; }
+  [[nodiscard]] std::int32_t root() const { return 0; }
+
+  /// Gravitational acceleration on `b` (softening eps), visiting nodes per
+  /// the θ opening criterion.  `visit(node_index, is_body)` is called for
+  /// every node whose data the walk reads.
+  template <typename Visit>
+  Vec3 accel(const Body& b, std::span<const Body> bodies, double theta, double eps,
+             WalkStats& stats, Visit&& visit) const;
+  Vec3 accel(const Body& b, std::span<const Body> bodies, double theta, double eps,
+             WalkStats& stats) const {
+    return accel(b, bodies, theta, eps, stats, [](std::int32_t, bool) {});
+  }
+
+  /// Body indices in depth-first (space-filling) tree order — the order
+  /// costzones slices.
+  [[nodiscard]] std::vector<std::int32_t> bodies_in_tree_order() const;
+
+  /// Tree depth (root = 1); tests bound it for sane distributions.
+  [[nodiscard]] int depth() const;
+
+ private:
+  std::int32_t make_cell(const Vec3& center, double half);
+  void insert(std::int32_t cell, std::int32_t body, std::span<const Body> bodies, int depth);
+  void compute_com(std::int32_t cell, std::span<const Body> bodies);
+
+  std::vector<Cell> cells_;
+  static constexpr int kMaxDepth = 64;
+};
+
+/// The θ-criterion force walk over an explicit cell array.  This is the
+/// single walk implementation shared by the serial code, the distributed
+/// codes (via Octree::accel) and the CC-SAS code, which walks its *shared*
+/// cell array directly and charges its cache simulator from the visitor.
+template <typename Visit>
+Vec3 accel_over_cells(std::span<const Cell> cells, const Body& b,
+                      std::span<const Body> bodies, double theta, double eps,
+                      WalkStats& stats, Visit&& visit) {
+  Vec3 a;
+  const double theta2 = theta * theta;
+  // Explicit stack: avoids recursion in the hot path.
+  std::int32_t stack[512];
+  int top = 0;
+  stack[top++] = 0;
+  while (top > 0) {
+    const std::int32_t ci = stack[--top];
+    const Cell& c = cells[static_cast<std::size_t>(ci)];
+    ++stats.cells_visited;
+    visit(ci, false);  // the walk reads this cell whether it opens or accepts
+    const Vec3 d = c.com - b.pos;
+    const double dist2 = d.norm2();
+    const double size = 2.0 * c.half;
+    if (c.count == 1 || size * size < theta2 * dist2) {
+      // Accept the cell as a point mass (single-body cells always accepted).
+      if (dist2 > 0.0) {
+        const double r2 = dist2 + eps * eps;
+        const double inv_r = 1.0 / std::sqrt(r2);
+        a += d * (c.mass * inv_r * inv_r * inv_r);
+      }
+      ++stats.cell_interactions;
+      continue;
+    }
+    for (std::int32_t ch : c.child) {
+      if (ch == -1) continue;
+      if (Cell::is_body(ch)) {
+        const std::int32_t bi = Cell::body_index(ch);
+        const Body& ob = bodies[static_cast<std::size_t>(bi)];
+        visit(bi, true);
+        if (ob.id == b.id) continue;
+        const Vec3 db = ob.pos - b.pos;
+        const double r2 = db.norm2() + eps * eps;
+        const double inv_r = 1.0 / std::sqrt(r2);
+        a += db * (ob.mass * inv_r * inv_r * inv_r);
+        ++stats.body_interactions;
+      } else {
+        O2K_CHECK(top < 512, "octree walk stack overflow");
+        stack[top++] = ch;
+      }
+    }
+  }
+  return a;
+}
+
+template <typename Visit>
+Vec3 Octree::accel(const Body& b, std::span<const Body> bodies, double theta, double eps,
+                   WalkStats& stats, Visit&& visit) const {
+  return accel_over_cells(cells_, b, bodies, theta, eps, stats,
+                          std::forward<Visit>(visit));
+}
+
+}  // namespace o2k::nbody

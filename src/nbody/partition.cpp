@@ -1,0 +1,65 @@
+#include "nbody/partition.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "plum/partition.hpp"
+
+namespace o2k::nbody {
+
+std::vector<int> partition_bodies(PartitionKind kind, std::span<const Body> bodies,
+                                  const Octree& tree, int nprocs) {
+  O2K_REQUIRE(nprocs >= 1, "partition_bodies: need at least one processor");
+  const std::size_t n = bodies.size();
+  std::vector<int> owner(n, 0);
+  if (nprocs == 1 || n == 0) return owner;
+
+  switch (kind) {
+    case PartitionKind::kStatic: {
+      for (std::size_t i = 0; i < n; ++i) {
+        owner[i] = static_cast<int>(i * static_cast<std::size_t>(nprocs) / n);
+      }
+      return owner;
+    }
+    case PartitionKind::kOrb: {
+      std::vector<plum::Element> elems(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        elems[i].pos = bodies[i].pos;
+        elems[i].weight = bodies[i].work;
+      }
+      return plum::rib_partition(elems, nprocs);
+    }
+    case PartitionKind::kCostzones: {
+      const auto order = tree.bodies_in_tree_order();
+      O2K_CHECK(order.size() == n, "costzones: tree order incomplete");
+      double total = 0.0;
+      for (const Body& b : bodies) total += b.work;
+      const double per_zone = total / static_cast<double>(nprocs);
+      double acc = 0.0;
+      int zone = 0;
+      for (std::int32_t bi : order) {
+        // Close the zone *before* overflow so zones stay near-equal.
+        if (acc >= per_zone * static_cast<double>(zone + 1) && zone < nprocs - 1) ++zone;
+        owner[static_cast<std::size_t>(bi)] = zone;
+        acc += bodies[static_cast<std::size_t>(bi)].work;
+      }
+      return owner;
+    }
+  }
+  O2K_CHECK(false, "unknown partition kind");
+}
+
+double work_imbalance(std::span<const Body> bodies, std::span<const int> owner, int nprocs) {
+  O2K_REQUIRE(bodies.size() == owner.size(), "work_imbalance: size mismatch");
+  std::vector<double> w(static_cast<std::size_t>(nprocs), 0.0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < bodies.size(); ++i) {
+    w[static_cast<std::size_t>(owner[i])] += bodies[i].work;
+    total += bodies[i].work;
+  }
+  const double avg = total / static_cast<double>(nprocs);
+  const double mx = *std::max_element(w.begin(), w.end());
+  return avg > 0.0 ? mx / avg : 1.0;
+}
+
+}  // namespace o2k::nbody

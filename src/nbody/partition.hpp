@@ -1,0 +1,29 @@
+// Body partitioning strategies for the parallel Barnes–Hut codes.
+//
+// * costzones — slice the tree-order body sequence into P zones of equal
+//   *measured* work (each body's interaction count from the previous step),
+//   the SPLASH-2 scheme the paper's codes use;
+// * ORB       — orthogonal recursive bisection over positions (via PLUM's
+//   weighted RIB, which generalises it);
+// * static    — contiguous index blocks, the no-load-balancing baseline.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nbody/body.hpp"
+#include "nbody/octree.hpp"
+
+namespace o2k::nbody {
+
+enum class PartitionKind : std::uint8_t { kStatic, kOrb, kCostzones };
+
+/// Returns owner[i] = processor for body i.
+std::vector<int> partition_bodies(PartitionKind kind, std::span<const Body> bodies,
+                                  const Octree& tree, int nprocs);
+
+/// max per-processor work / average (weights = Body::work).
+double work_imbalance(std::span<const Body> bodies, std::span<const int> owner, int nprocs);
+
+}  // namespace o2k::nbody

@@ -1,0 +1,136 @@
+#include "plum/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace o2k::plum {
+
+namespace {
+
+/// Weighted centroid of a subset.
+Vec3 centroid_of(std::span<const Element> elems, std::span<const int> subset) {
+  Vec3 c;
+  double w = 0.0;
+  for (int i : subset) {
+    const auto& e = elems[static_cast<std::size_t>(i)];
+    c += e.pos * e.weight;
+    w += e.weight;
+  }
+  return w > 0.0 ? c / w : c;
+}
+
+}  // namespace
+
+Vec3 principal_axis(std::span<const Element> elems, std::span<const int> subset) {
+  O2K_REQUIRE(!subset.empty(), "principal_axis: empty subset");
+  const Vec3 c = centroid_of(elems, subset);
+  // Weighted covariance (inertia) matrix, symmetric 3x3.
+  double m[3][3] = {{0, 0, 0}, {0, 0, 0}, {0, 0, 0}};
+  for (int i : subset) {
+    const auto& e = elems[static_cast<std::size_t>(i)];
+    const Vec3 d = e.pos - c;
+    const double v[3] = {d.x, d.y, d.z};
+    for (int r = 0; r < 3; ++r) {
+      for (int cc = 0; cc < 3; ++cc) m[r][cc] += e.weight * v[r] * v[cc];
+    }
+  }
+  // Power iteration for the dominant eigenvector.
+  Vec3 x(1.0, 0.73, 0.41);  // fixed, unlikely-orthogonal start
+  for (int it = 0; it < 32; ++it) {
+    const Vec3 y(m[0][0] * x.x + m[0][1] * x.y + m[0][2] * x.z,
+                 m[1][0] * x.x + m[1][1] * x.y + m[1][2] * x.z,
+                 m[2][0] * x.x + m[2][1] * x.y + m[2][2] * x.z);
+    const double n = y.norm();
+    if (n < 1e-30) break;  // degenerate cloud: keep current direction
+    x = y / n;
+  }
+  // Deterministic sign: make the largest-magnitude component positive.
+  double best = x.x;
+  if (std::abs(x.y) > std::abs(best)) best = x.y;
+  if (std::abs(x.z) > std::abs(best)) best = x.z;
+  if (best < 0.0) x = -x;
+  const double n = x.norm();
+  return n > 0.0 ? x / n : Vec3(1.0, 0.0, 0.0);
+}
+
+namespace {
+
+void rib_recurse(std::span<const Element> elems, std::vector<int>& subset, int part_lo,
+                 int nparts, std::vector<int>& out) {
+  if (nparts == 1 || subset.size() <= 1) {
+    for (int i : subset) out[static_cast<std::size_t>(i)] = part_lo;
+    if (subset.size() <= 1 && nparts > 1) {
+      // Degenerate: nothing left to split; all weight lands in part_lo.
+      for (int i : subset) out[static_cast<std::size_t>(i)] = part_lo;
+    }
+    return;
+  }
+  const int k1 = nparts / 2;
+  const int k2 = nparts - k1;
+  const Vec3 axis = principal_axis(elems, subset);
+
+  // Sort by projection (ties by index for determinism).
+  std::sort(subset.begin(), subset.end(), [&](int a, int b) {
+    const double pa = elems[static_cast<std::size_t>(a)].pos.dot(axis);
+    const double pb = elems[static_cast<std::size_t>(b)].pos.dot(axis);
+    if (pa != pb) return pa < pb;
+    return a < b;
+  });
+
+  double total = 0.0;
+  for (int i : subset) total += elems[static_cast<std::size_t>(i)].weight;
+  const double target = total * static_cast<double>(k1) / static_cast<double>(nparts);
+
+  double acc = 0.0;
+  std::size_t split = 0;
+  while (split < subset.size() - 1 && acc < target) {
+    acc += elems[static_cast<std::size_t>(subset[split])].weight;
+    ++split;
+  }
+  if (split == 0) split = 1;  // both halves non-empty
+
+  std::vector<int> left(subset.begin(), subset.begin() + static_cast<std::ptrdiff_t>(split));
+  std::vector<int> right(subset.begin() + static_cast<std::ptrdiff_t>(split), subset.end());
+  rib_recurse(elems, left, part_lo, k1, out);
+  rib_recurse(elems, right, part_lo + k1, k2, out);
+}
+
+}  // namespace
+
+std::vector<int> rib_partition(std::span<const Element> elems, int nparts) {
+  O2K_REQUIRE(nparts >= 1, "rib_partition: need at least one part");
+  std::vector<int> out(elems.size(), 0);
+  if (nparts == 1 || elems.empty()) return out;
+  std::vector<int> subset(elems.size());
+  std::iota(subset.begin(), subset.end(), 0);
+  rib_recurse(elems, subset, 0, nparts, out);
+  return out;
+}
+
+std::vector<double> part_weights(std::span<const Element> elems, std::span<const int> part,
+                                 int nparts) {
+  O2K_REQUIRE(elems.size() == part.size(), "part_weights: size mismatch");
+  std::vector<double> w(static_cast<std::size_t>(nparts), 0.0);
+  for (std::size_t i = 0; i < elems.size(); ++i) {
+    O2K_REQUIRE(part[i] >= 0 && part[i] < nparts, "part_weights: part id out of range");
+    w[static_cast<std::size_t>(part[i])] += elems[i].weight;
+  }
+  return w;
+}
+
+double imbalance(std::span<const Element> elems, std::span<const int> part, int nparts) {
+  const auto w = part_weights(elems, part, nparts);
+  double total = 0.0;
+  double mx = 0.0;
+  for (double x : w) {
+    total += x;
+    mx = std::max(mx, x);
+  }
+  const double avg = total / static_cast<double>(nparts);
+  return avg > 0.0 ? mx / avg : 1.0;
+}
+
+}  // namespace o2k::plum

@@ -1,0 +1,131 @@
+#include "plum/remap.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace o2k::plum {
+
+Matrix similarity_matrix(std::span<const int> current_owner, std::span<const int> new_part,
+                         std::span<const double> weight, int nprocs) {
+  O2K_REQUIRE(current_owner.size() == new_part.size() && new_part.size() == weight.size(),
+              "similarity_matrix: size mismatch");
+  Matrix s(static_cast<std::size_t>(nprocs),
+           std::vector<double>(static_cast<std::size_t>(nprocs), 0.0));
+  for (std::size_t i = 0; i < weight.size(); ++i) {
+    O2K_REQUIRE(current_owner[i] >= 0 && current_owner[i] < nprocs,
+                "similarity_matrix: owner out of range");
+    O2K_REQUIRE(new_part[i] >= 0 && new_part[i] < nprocs,
+                "similarity_matrix: part out of range");
+    s[static_cast<std::size_t>(current_owner[i])][static_cast<std::size_t>(new_part[i])] +=
+        weight[i];
+  }
+  return s;
+}
+
+std::vector<int> assign_greedy(const Matrix& s) {
+  const auto p = s.size();
+  std::vector<int> label_to_proc(p, -1);
+  std::vector<bool> proc_used(p, false);
+  std::vector<bool> label_used(p, false);
+
+  struct Entry {
+    double w;
+    int proc;
+    int label;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(p * p);
+  for (std::size_t i = 0; i < p; ++i) {
+    O2K_REQUIRE(s[i].size() == p, "assign_greedy: matrix not square");
+    for (std::size_t j = 0; j < p; ++j) {
+      entries.push_back({s[i][j], static_cast<int>(i), static_cast<int>(j)});
+    }
+  }
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    if (a.w != b.w) return a.w > b.w;
+    if (a.proc != b.proc) return a.proc < b.proc;
+    return a.label < b.label;
+  });
+  std::size_t assigned = 0;
+  for (const Entry& e : entries) {
+    if (assigned == p) break;
+    if (proc_used[static_cast<std::size_t>(e.proc)] ||
+        label_used[static_cast<std::size_t>(e.label)]) {
+      continue;
+    }
+    label_to_proc[static_cast<std::size_t>(e.label)] = e.proc;
+    proc_used[static_cast<std::size_t>(e.proc)] = true;
+    label_used[static_cast<std::size_t>(e.label)] = true;
+    ++assigned;
+  }
+  // Zero-weight leftovers (possible when some pairs never co-occur).
+  for (std::size_t l = 0; l < p; ++l) {
+    if (label_to_proc[l] >= 0) continue;
+    for (std::size_t q = 0; q < p; ++q) {
+      if (!proc_used[q]) {
+        label_to_proc[l] = static_cast<int>(q);
+        proc_used[q] = true;
+        break;
+      }
+    }
+  }
+  return label_to_proc;
+}
+
+std::vector<int> assign_optimal(const Matrix& s) {
+  const auto p = s.size();
+  O2K_REQUIRE(p <= 9, "assign_optimal: exhaustive solver limited to P <= 9");
+  std::vector<int> perm(p);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::vector<int> best = perm;
+  double best_w = -1.0;
+  do {
+    double w = 0.0;
+    for (std::size_t l = 0; l < p; ++l) w += s[static_cast<std::size_t>(perm[l])][l];
+    if (w > best_w) {
+      best_w = w;
+      best = perm;
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;  // best[label] = proc
+}
+
+double retained_weight(const Matrix& s, std::span<const int> label_to_proc) {
+  O2K_REQUIRE(label_to_proc.size() == s.size(), "retained_weight: size mismatch");
+  double w = 0.0;
+  for (std::size_t l = 0; l < s.size(); ++l) {
+    w += s[static_cast<std::size_t>(label_to_proc[l])][l];
+  }
+  return w;
+}
+
+double total_weight(const Matrix& s) {
+  double w = 0.0;
+  for (const auto& row : s) {
+    for (double x : row) w += x;
+  }
+  return w;
+}
+
+RemapDecision evaluate_remap(RemapPolicy policy, double avg_work_ns, double imb_old,
+                             double imb_new, double remap_cost_ns) {
+  RemapDecision d;
+  d.gain_ns = avg_work_ns * (imb_old - imb_new);
+  d.cost_ns = remap_cost_ns;
+  switch (policy) {
+    case RemapPolicy::kAlways:
+      d.do_remap = true;
+      break;
+    case RemapPolicy::kNever:
+      d.do_remap = false;
+      break;
+    case RemapPolicy::kGainBased:
+      d.do_remap = d.gain_ns > d.cost_ns;
+      break;
+  }
+  return d;
+}
+
+}  // namespace o2k::plum

@@ -1,0 +1,56 @@
+// PLUM's processor-reassignment stage.
+//
+// After repartitioning, the new parts are *labels*, not processors.  PLUM
+// builds a similarity matrix S[p][l] = workload weight that processor p
+// already holds of new part l, then chooses a part→processor assignment
+// maximising the retained (non-moved) weight — so the subsequent bulk remap
+// moves as little data as possible.  The paper series uses a greedy
+// heuristic; we provide that plus an exact (Hungarian-style brute force)
+// solver for small P used to bound the heuristic's gap in tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace o2k::plum {
+
+using Matrix = std::vector<std::vector<double>>;
+
+/// S[p][l] = total weight of elements currently on processor p that the new
+/// partition assigns to part label l.
+Matrix similarity_matrix(std::span<const int> current_owner, std::span<const int> new_part,
+                         std::span<const double> weight, int nprocs);
+
+/// Greedy maximal assignment: repeatedly pick the largest unassigned matrix
+/// entry.  Returns map[label] = processor.  Deterministic (ties by index).
+std::vector<int> assign_greedy(const Matrix& s);
+
+/// Exact maximal assignment by exhaustive permutation — O(P!), for P <= 9.
+std::vector<int> assign_optimal(const Matrix& s);
+
+/// Weight retained in place under an assignment map[label] = processor.
+double retained_weight(const Matrix& s, std::span<const int> label_to_proc);
+
+/// Total weight in the similarity matrix (= total workload).
+double total_weight(const Matrix& s);
+
+/// Remap policy: whether to actually move the data.
+enum class RemapPolicy : std::uint8_t {
+  kAlways,
+  kNever,
+  kGainBased,  ///< remap only if the projected gain exceeds the cost
+};
+
+struct RemapDecision {
+  bool do_remap = false;
+  double gain_ns = 0.0;  ///< projected time saved over the next solve interval
+  double cost_ns = 0.0;  ///< projected data-movement cost
+};
+
+/// Gain model: the next compute interval takes avg_work_ns * imbalance; a
+/// remap restores imbalance to `imb_new` at `remap_cost_ns`.
+RemapDecision evaluate_remap(RemapPolicy policy, double avg_work_ns, double imb_old,
+                             double imb_new, double remap_cost_ns);
+
+}  // namespace o2k::plum

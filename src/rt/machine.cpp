@@ -1,0 +1,130 @@
+#include "rt/machine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/check.hpp"
+
+namespace o2k::rt {
+
+void Pe::advance(double ns) {
+  O2K_REQUIRE(ns >= 0.0, "cannot charge negative simulated time");
+  clock_ += ns;
+}
+
+void Pe::sync_at_least(double t) { clock_ = std::max(clock_, t); }
+
+bool Pe::aborted() const { return machine_->aborted_.load(std::memory_order_relaxed); }
+
+void Pe::throw_if_aborted() const {
+  if (aborted()) throw AbortError{};
+}
+
+void Pe::barrier(double cost_ns) {
+  O2K_REQUIRE(cost_ns >= 0.0, "barrier cost must be non-negative");
+  if (nprocs_ == 1) {
+    clock_ += cost_ns;
+    return;
+  }
+  auto& b = *machine_->barrier_;
+  std::unique_lock lk(b.mu);
+  const std::uint64_t my_gen = b.generation;
+  b.max_clock = std::max(b.max_clock, clock_);
+  b.max_cost = std::max(b.max_cost, cost_ns);
+  if (++b.waiting == nprocs_) {
+    const double release = b.max_clock + b.max_cost;
+    b.release_time = release;
+    b.waiting = 0;
+    b.max_clock = 0.0;
+    b.max_cost = 0.0;
+    ++b.generation;
+    lk.unlock();
+    b.cv.notify_all();
+    clock_ = std::max(clock_, release);
+    return;
+  }
+  while (b.generation == my_gen) {
+    b.cv.wait_for(lk, std::chrono::milliseconds(Machine::kWaitPollMs));
+    if (aborted()) throw AbortError{};
+  }
+  clock_ = std::max(clock_, b.release_time);
+}
+
+Machine::Machine(origin::MachineParams params) : params_(params) {
+  O2K_REQUIRE(params_.max_pes >= 1, "machine needs at least one PE");
+  O2K_REQUIRE(params_.pes_per_node >= 1, "node needs at least one PE");
+}
+
+void Machine::record_error(std::exception_ptr e) {
+  std::scoped_lock lk(error_mu_);
+  if (!first_error_) first_error_ = e;
+  aborted_.store(true, std::memory_order_relaxed);
+}
+
+RunResult Machine::run(int nprocs, const std::function<void(Pe&)>& body) {
+  O2K_REQUIRE(nprocs >= 1, "run needs at least one PE");
+  O2K_REQUIRE(nprocs <= params_.max_pes,
+              "requested more PEs than the modelled machine has");
+
+  barrier_ = std::make_unique<BarrierState>();
+  run_nprocs_ = nprocs;
+  aborted_.store(false, std::memory_order_relaxed);
+  first_error_ = nullptr;
+
+  std::vector<std::unique_ptr<Pe>> pes;
+  pes.reserve(static_cast<std::size_t>(nprocs));
+  for (int r = 0; r < nprocs; ++r) {
+    pes.emplace_back(std::unique_ptr<Pe>(new Pe(r, nprocs, &params_, this)));
+  }
+
+  if (nprocs == 1) {
+    // Fast path: run inline, no thread spawn.
+    try {
+      body(*pes[0]);
+    } catch (...) {
+      record_error(std::current_exception());
+    }
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(nprocs));
+    for (int r = 0; r < nprocs; ++r) {
+      threads.emplace_back([this, &body, pe = pes[static_cast<std::size_t>(r)].get()] {
+        try {
+          body(*pe);
+        } catch (const AbortError&) {
+          // Secondary failure caused by another PE's abort; ignore.
+        } catch (...) {
+          record_error(std::current_exception());
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+
+  if (first_error_) {
+    barrier_.reset();
+    std::rethrow_exception(first_error_);
+  }
+
+  RunResult out;
+  out.nprocs = nprocs;
+  out.pe_ns.reserve(static_cast<std::size_t>(nprocs));
+  for (const auto& pe : pes) {
+    out.pe_ns.push_back(pe->now());
+    out.makespan_ns = std::max(out.makespan_ns, pe->now());
+    for (const auto& [name, ns] : pe->stats_.phase_ns) {
+      auto [it, inserted] = out.phases.try_emplace(name, PhaseAgg{ns, ns, ns});
+      if (!inserted) {
+        it->second.max_ns = std::max(it->second.max_ns, ns);
+        it->second.min_ns = std::min(it->second.min_ns, ns);
+        it->second.sum_ns += ns;
+      }
+    }
+    for (const auto& [name, v] : pe->stats_.counters) out.counters[name] += v;
+  }
+  barrier_.reset();
+  return out;
+}
+
+}  // namespace o2k::rt

@@ -1,0 +1,146 @@
+// The virtual-time execution substrate.
+//
+// A Machine hosts P simulated processors (PEs).  Each PE runs as an OS
+// thread, but *all timing is virtual*: computation and communication charge
+// simulated nanoseconds to per-PE clocks according to the Origin2000 cost
+// model.  Wall-clock behaviour of the host (which may have a single core)
+// is therefore irrelevant to measured results; speedup curves emerge from
+// the machine model, exactly as DESIGN.md §2 prescribes.
+//
+// Synchronisation primitives keep virtual clocks causally consistent:
+//   * barrier(cost): every PE's clock becomes max(all clocks) + cost;
+//   * matched transfers (built by the model runtimes on top of Pe) move the
+//     receiver's clock to at least the data's virtual arrival time.
+//
+// Error handling: if any PE throws, the machine aborts the run; PEs blocked
+// in barriers or model-runtime waits observe the abort flag (all waits are
+// bounded polls) and unwind with AbortError.  Machine::run rethrows the
+// first original exception.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "origin/params.hpp"
+#include "rt/phase.hpp"
+
+namespace o2k::rt {
+
+class Machine;
+
+/// Thrown inside PEs whose run was aborted by another PE's exception.
+struct AbortError : std::runtime_error {
+  AbortError() : std::runtime_error("o2k::rt run aborted by another PE") {}
+};
+
+/// Execution context of one simulated processor.  Created by Machine::run;
+/// never construct directly.  Not copyable; lives for the duration of one run.
+class Pe {
+ public:
+  Pe(const Pe&) = delete;
+  Pe& operator=(const Pe&) = delete;
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const { return nprocs_; }
+  [[nodiscard]] const origin::MachineParams& machine() const { return *params_; }
+
+  /// Current virtual time in simulated nanoseconds.
+  [[nodiscard]] double now() const { return clock_; }
+
+  /// Charge `ns` of simulated computation/occupancy to this PE.
+  void advance(double ns);
+
+  /// Move this PE's clock forward to at least `t` (communication causality);
+  /// no-op if already past `t`.
+  void sync_at_least(double t);
+
+  /// Virtual-time barrier over all PEs of the run.  After return every PE's
+  /// clock equals max(entry clocks) + cost_ns.  All PEs must call it the
+  /// same number of times (standard barrier discipline).
+  void barrier(double cost_ns);
+
+  /// RAII phase scope: simulated time elapsed inside accrues to `name`.
+  class PhaseScope {
+   public:
+    PhaseScope(Pe& pe, std::string name) : pe_(pe), name_(std::move(name)), start_(pe.clock_) {}
+    ~PhaseScope() { pe_.stats_.add_phase(name_, pe_.clock_ - start_); }
+    PhaseScope(const PhaseScope&) = delete;
+    PhaseScope& operator=(const PhaseScope&) = delete;
+
+   private:
+    Pe& pe_;
+    std::string name_;
+    double start_;
+  };
+  [[nodiscard]] PhaseScope phase(std::string name) { return PhaseScope(*this, std::move(name)); }
+
+  void add_counter(const std::string& name, std::uint64_t v) { stats_.add_counter(name, v); }
+
+  [[nodiscard]] PhaseStats& stats() { return stats_; }
+
+  /// True once any PE of this run has thrown.  Model runtimes poll this in
+  /// their wait loops and throw AbortError so the whole team unwinds.
+  [[nodiscard]] bool aborted() const;
+  void throw_if_aborted() const;
+
+ private:
+  friend class Machine;
+  Pe(int rank, int nprocs, const origin::MachineParams* params, Machine* m)
+      : rank_(rank), nprocs_(nprocs), params_(params), machine_(m) {}
+
+  int rank_;
+  int nprocs_;
+  const origin::MachineParams* params_;
+  Machine* machine_;
+  double clock_ = 0.0;
+  PhaseStats stats_;
+};
+
+/// A simulated Origin2000.  Reusable: call run() any number of times with
+/// any processor count up to params.max_pes.
+class Machine {
+ public:
+  explicit Machine(origin::MachineParams params = origin::MachineParams::origin2000());
+
+  [[nodiscard]] const origin::MachineParams& params() const { return params_; }
+
+  /// Execute `body(pe)` on `nprocs` simulated processors and aggregate
+  /// per-PE phase statistics.  Rethrows the first PE exception.
+  RunResult run(int nprocs, const std::function<void(Pe&)>& body);
+
+  /// Polling interval for abortable waits (host milliseconds).
+  static constexpr int kWaitPollMs = 20;
+
+ private:
+  friend class Pe;
+
+  struct BarrierState {
+    std::mutex mu;
+    std::condition_variable cv;
+    int waiting = 0;
+    std::uint64_t generation = 0;
+    double max_clock = 0.0;
+    double max_cost = 0.0;
+    double release_time = 0.0;
+  };
+
+  origin::MachineParams params_;
+
+  // Per-run state (valid while run() is active).
+  std::unique_ptr<BarrierState> barrier_;
+  int run_nprocs_ = 0;
+  std::atomic<bool> aborted_{false};
+  std::mutex error_mu_;
+  std::exception_ptr first_error_;
+
+  void record_error(std::exception_ptr e);
+};
+
+}  // namespace o2k::rt

@@ -1,0 +1,60 @@
+// Per-PE phase timing and event counters, plus cross-PE aggregation.
+//
+// Applications bracket their algorithmic phases ("tree build", "force",
+// "remap", ...) with Pe::phase(); the simulated time spent inside accrues to
+// that phase on that PE.  After a run, Machine aggregates the per-PE maps
+// into a PhaseReport whose `max` column is the per-phase critical path —
+// the quantity the paper's breakdown figures plot.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace o2k::rt {
+
+/// Raw per-PE accumulation.
+struct PhaseStats {
+  std::map<std::string, double> phase_ns;          ///< simulated ns per phase
+  std::map<std::string, std::uint64_t> counters;   ///< event counts (bytes sent, msgs, ...)
+
+  void add_phase(const std::string& name, double ns) { phase_ns[name] += ns; }
+  void add_counter(const std::string& name, std::uint64_t v) { counters[name] += v; }
+};
+
+/// Aggregate of one phase across all PEs of a run.
+struct PhaseAgg {
+  double max_ns = 0.0;  ///< slowest PE — the phase's contribution to the critical path
+  double min_ns = 0.0;
+  double sum_ns = 0.0;
+
+  [[nodiscard]] double avg_ns(int nprocs) const {
+    return nprocs > 0 ? sum_ns / nprocs : 0.0;
+  }
+  /// Load-imbalance factor: max / avg (1.0 = perfectly balanced).
+  [[nodiscard]] double imbalance(int nprocs) const {
+    const double a = avg_ns(nprocs);
+    return a > 0.0 ? max_ns / a : 1.0;
+  }
+};
+
+/// Result of one simulated parallel run.
+struct RunResult {
+  int nprocs = 0;
+  double makespan_ns = 0.0;           ///< max over PEs of final virtual clock
+  std::vector<double> pe_ns;          ///< final virtual clock per PE
+  std::map<std::string, PhaseAgg> phases;
+  std::map<std::string, std::uint64_t> counters;  ///< summed across PEs
+
+  [[nodiscard]] double phase_max(const std::string& name) const {
+    auto it = phases.find(name);
+    return it == phases.end() ? 0.0 : it->second.max_ns;
+  }
+  [[nodiscard]] std::uint64_t counter(const std::string& name) const {
+    auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+  }
+};
+
+}  // namespace o2k::rt

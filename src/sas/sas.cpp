@@ -1,0 +1,326 @@
+#include "sas/sas.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace o2k::sas {
+
+World::World(const origin::MachineParams& params, int nprocs, std::size_t arena_bytes,
+             Placement default_placement)
+    : params_(params),
+      nprocs_(nprocs),
+      placement_(default_placement),
+      arena_bytes_(arena_bytes) {
+  O2K_REQUIRE(nprocs >= 1, "sas::World needs at least one PE");
+  O2K_REQUIRE(nprocs <= params.max_pes, "sas::World larger than the machine");
+  O2K_REQUIRE(arena_bytes >= static_cast<std::size_t>(params.page_bytes),
+              "sas: arena smaller than one page");
+
+  arena_.reset(static_cast<std::byte*>(std::calloc(arena_bytes, 1)));
+  O2K_REQUIRE(arena_ != nullptr, "sas: arena allocation failed");
+  num_pages_ = (arena_bytes + static_cast<std::size_t>(params.page_bytes) - 1) /
+               static_cast<std::size_t>(params.page_bytes);
+  page_home_.reset(new std::atomic<int>[num_pages_]);
+  for (std::size_t p = 0; p < num_pages_; ++p) page_home_[p].store(-1, std::memory_order_relaxed);
+
+  num_lines_ = (arena_bytes + static_cast<std::size_t>(params.cache_line_bytes) - 1) /
+               static_cast<std::size_t>(params.cache_line_bytes);
+  line_version_.reset(new std::atomic<std::uint32_t>[num_lines_]);
+  line_writer_.reset(new std::atomic<int>[num_lines_]);
+  for (std::size_t l = 0; l < num_lines_; ++l) {
+    line_version_[l].store(0, std::memory_order_relaxed);
+    line_writer_[l].store(-1, std::memory_order_relaxed);
+  }
+
+  red_.resize(static_cast<std::size_t>(nprocs));
+  pe_clock_.reset(new std::atomic<double>[static_cast<std::size_t>(nprocs)]);
+  pe_state_.reset(new std::atomic<int>[static_cast<std::size_t>(nprocs)]);
+  for (int r = 0; r < nprocs; ++r) {
+    pe_clock_[static_cast<std::size_t>(r)].store(0.0, std::memory_order_relaxed);
+    pe_state_[static_cast<std::size_t>(r)].store(0, std::memory_order_relaxed);
+  }
+}
+
+std::size_t World::allocate(std::size_t bytes, Placement placement) {
+  const auto page = static_cast<std::size_t>(params_.page_bytes);
+  // Page-align every allocation so placement policies own whole pages.
+  const std::size_t off = (bump_ + page - 1) & ~(page - 1);
+  O2K_REQUIRE(off + bytes <= arena_bytes_,
+              "sas: arena exhausted — construct World with a larger arena");
+  bump_ = off + bytes;
+
+  const std::size_t first_page = off / page;
+  const std::size_t npages = (bytes + page - 1) / page;
+  switch (placement) {
+    case Placement::kFirstTouch:
+      break;  // homes stay -1 until first touch
+    case Placement::kRoundRobin:
+      for (std::size_t p = 0; p < npages; ++p) {
+        page_home_[first_page + p].store(rr_next_, std::memory_order_relaxed);
+        rr_next_ = (rr_next_ + 1) % nprocs_;
+      }
+      break;
+    case Placement::kBlock:
+      for (std::size_t p = 0; p < npages; ++p) {
+        const int home = static_cast<int>(p * static_cast<std::size_t>(nprocs_) / npages);
+        page_home_[first_page + p].store(home, std::memory_order_relaxed);
+      }
+      break;
+  }
+  return off;
+}
+
+void World::reset_homes_bytes(std::size_t offset, std::size_t bytes) {
+  const auto page = static_cast<std::size_t>(params_.page_bytes);
+  const std::size_t first = offset / page;
+  const std::size_t last = (offset + bytes + page - 1) / page;
+  for (std::size_t p = first; p < last && p < num_pages_; ++p) {
+    page_home_[p].store(-1, std::memory_order_relaxed);
+  }
+}
+
+Team::Team(World& world, rt::Pe& pe) : world_(world), pe_(pe) {
+  O2K_REQUIRE(world.size() == pe.size(),
+              "sas::World size must match the Machine::run processor count");
+  num_sets_ = world.params().l2_bytes / static_cast<std::size_t>(world.params().cache_line_bytes);
+  tag_.assign(num_sets_, 0);
+  cached_version_.assign(num_sets_, 0);
+  world_.pe_state_[static_cast<std::size_t>(rank())].store(0, std::memory_order_relaxed);
+  mirror_clock();
+}
+
+Team::~Team() {
+  world_.pe_state_[static_cast<std::size_t>(rank())].store(2, std::memory_order_relaxed);
+  world_.dispatch_.cv.notify_all();
+}
+
+void Team::mirror_clock() {
+  world_.pe_clock_[static_cast<std::size_t>(rank())].store(pe_.now(), std::memory_order_relaxed);
+}
+
+int Team::page_home_for(std::size_t page) {
+  auto& cell = world_.page_home_[page];
+  int home = cell.load(std::memory_order_relaxed);
+  if (home >= 0) return home;
+  int expected = -1;
+  if (cell.compare_exchange_strong(expected, rank(), std::memory_order_relaxed)) {
+    return rank();  // we first-touched the page
+  }
+  return expected;
+}
+
+void Team::touch_read(std::size_t off, std::size_t bytes) {
+  O2K_REQUIRE(off + bytes <= world_.arena_bytes_, "sas: touch outside arena");
+  const auto line_bytes = static_cast<std::size_t>(world_.params().cache_line_bytes);
+  const auto page_bytes = static_cast<std::size_t>(world_.params().page_bytes);
+  const std::size_t first = off / line_bytes;
+  const std::size_t last = bytes == 0 ? first : (off + bytes - 1) / line_bytes;
+
+  double premium = 0.0;
+  std::uint64_t misses = 0;
+  std::uint64_t remote = 0;
+  for (std::size_t line = first; line <= last; ++line) {
+    const std::size_t set = line % num_sets_;
+    const std::uint32_t ver = world_.line_version_[line].load(std::memory_order_relaxed);
+    if (tag_[set] == line + 1 && cached_version_[set] == ver) continue;  // hit
+    ++misses;
+    const int home = page_home_for(line * line_bytes / page_bytes);
+    if (!is_local(home)) {
+      premium += world_.params().remote_read_premium_ns(rank(), home);
+      ++remote;
+    }
+    tag_[set] = line + 1;
+    cached_version_[set] = ver;
+  }
+  if (premium > 0.0) pe_.advance(premium);
+  pe_.add_counter("sas.read_misses", misses);
+  pe_.add_counter("sas.remote_misses", remote);
+  mirror_clock();
+}
+
+void Team::touch_write(std::size_t off, std::size_t bytes) {
+  O2K_REQUIRE(off + bytes <= world_.arena_bytes_, "sas: touch outside arena");
+  const auto line_bytes = static_cast<std::size_t>(world_.params().cache_line_bytes);
+  const auto page_bytes = static_cast<std::size_t>(world_.params().page_bytes);
+  const std::size_t first = off / line_bytes;
+  const std::size_t last = bytes == 0 ? first : (off + bytes - 1) / line_bytes;
+
+  double premium = 0.0;
+  std::uint64_t misses = 0;
+  std::uint64_t remote = 0;
+  std::uint64_t transfers = 0;
+  for (std::size_t line = first; line <= last; ++line) {
+    const std::size_t set = line % num_sets_;
+    const std::uint32_t ver = world_.line_version_[line].load(std::memory_order_relaxed);
+    const bool hit = tag_[set] == line + 1 && cached_version_[set] == ver;
+    const int writer = world_.line_writer_[line].load(std::memory_order_relaxed);
+    if (!hit) {
+      ++misses;
+      const int home = page_home_for(line * line_bytes / page_bytes);
+      if (!is_local(home)) {
+        premium += world_.params().remote_read_premium_ns(rank(), home);
+        ++remote;
+      }
+    }
+    if (writer != rank() && writer != -1) {
+      // Line was last written elsewhere: ownership transfer / invalidation.
+      premium += world_.params().ownership_extra_ns;
+      ++transfers;
+    }
+    const std::uint32_t nv =
+        world_.line_version_[line].fetch_add(1, std::memory_order_relaxed) + 1;
+    world_.line_writer_[line].store(rank(), std::memory_order_relaxed);
+    tag_[set] = line + 1;
+    cached_version_[set] = nv;
+  }
+  if (premium > 0.0) pe_.advance(premium);
+  pe_.add_counter("sas.write_misses", misses);
+  pe_.add_counter("sas.remote_misses", remote);
+  pe_.add_counter("sas.ownership_transfers", transfers);
+  mirror_clock();
+}
+
+void Team::barrier() {
+  pe_.barrier(origin::MachineParams::tree_barrier_ns(size(), world_.params().sas_barrier_base_ns));
+  mirror_clock();
+}
+
+void Team::lock(std::size_t id) {
+  auto& cell = world_.locks_[id % static_cast<std::size_t>(World::kNumLocks)];
+  cell.mu.lock();
+  // Serialise in virtual time behind the previous holder.
+  pe_.sync_at_least(cell.last_release_ns);
+  pe_.advance(world_.params().sas_lock_ns);
+  pe_.add_counter("sas.locks", 1);
+  mirror_clock();
+}
+
+void Team::unlock(std::size_t id) {
+  auto& cell = world_.locks_[id % static_cast<std::size_t>(World::kNumLocks)];
+  cell.last_release_ns = pe_.now();
+  mirror_clock();
+  cell.mu.unlock();
+}
+
+double Team::reduce_sum(double v) {
+  world_.red_[static_cast<std::size_t>(rank())].d = v;
+  barrier();
+  double acc = 0.0;
+  for (int p = 0; p < size(); ++p) {
+    if (!is_local(p)) pe_.advance(world_.params().remote_read_premium_ns(rank(), p));
+    acc += world_.red_[static_cast<std::size_t>(p)].d;
+  }
+  barrier();
+  return acc;
+}
+
+std::int64_t Team::reduce_sum(std::int64_t v) {
+  world_.red_[static_cast<std::size_t>(rank())].i = v;
+  barrier();
+  std::int64_t acc = 0;
+  for (int p = 0; p < size(); ++p) {
+    if (!is_local(p)) pe_.advance(world_.params().remote_read_premium_ns(rank(), p));
+    acc += world_.red_[static_cast<std::size_t>(p)].i;
+  }
+  barrier();
+  return acc;
+}
+
+double Team::reduce_max(double v) {
+  world_.red_[static_cast<std::size_t>(rank())].d = v;
+  barrier();
+  double acc = world_.red_[0].d;
+  for (int p = 0; p < size(); ++p) {
+    if (!is_local(p)) pe_.advance(world_.params().remote_read_premium_ns(rank(), p));
+    acc = std::max(acc, world_.red_[static_cast<std::size_t>(p)].d);
+  }
+  barrier();
+  return acc;
+}
+
+std::pair<std::size_t, std::size_t> Team::static_range(std::size_t begin,
+                                                       std::size_t end) const {
+  O2K_REQUIRE(begin <= end, "sas: invalid loop bounds");
+  const std::size_t n = end - begin;
+  const auto p = static_cast<std::size_t>(size());
+  const auto r = static_cast<std::size_t>(rank());
+  const std::size_t base = n / p;
+  const std::size_t rem = n % p;
+  const std::size_t lo = begin + r * base + std::min(r, rem);
+  const std::size_t hi = lo + base + (r < rem ? 1 : 0);
+  return {lo, hi};
+}
+
+void Team::dynamic_begin(std::size_t begin, std::size_t end) {
+  barrier();
+  world_.pe_state_[static_cast<std::size_t>(rank())].store(0, std::memory_order_relaxed);
+  mirror_clock();
+  if (rank() == 0) {
+    std::scoped_lock lk(world_.dispatch_.mu);
+    world_.dispatch_.next = begin;
+    world_.dispatch_.end = end;
+    ++world_.dispatch_.epoch;
+  }
+  barrier();
+}
+
+std::pair<std::size_t, std::size_t> Team::dynamic_next(std::size_t chunk) {
+  O2K_REQUIRE(chunk > 0, "sas: chunk size must be positive");
+  auto& d = world_.dispatch_;
+  const auto me = static_cast<std::size_t>(rank());
+  mirror_clock();
+
+  std::unique_lock lk(d.mu);
+  if (d.next >= d.end) {
+    world_.pe_state_[me].store(2, std::memory_order_relaxed);
+    lk.unlock();
+    d.cv.notify_all();
+    return {0, 0};
+  }
+  world_.pe_state_[me].store(1, std::memory_order_relaxed);
+  const double my_t = pe_.now();
+
+  // Virtual-time-ordered dispatch: take the next chunk only when no other
+  // PE could request it at an earlier virtual time.  Mirrored clocks of
+  // busy PEs lower-bound their future request times, so this is safe (and
+  // makes the chunk→PE assignment reproducible; see header comment).
+  auto may_go = [&] {
+    if (d.next >= d.end) return true;  // drained while we waited
+    for (int p = 0; p < size(); ++p) {
+      if (p == rank()) continue;
+      const int st = world_.pe_state_[static_cast<std::size_t>(p)].load(std::memory_order_relaxed);
+      if (st == 2) continue;  // done
+      const double t = world_.pe_clock_[static_cast<std::size_t>(p)].load(std::memory_order_relaxed);
+      if (t < my_t || (t == my_t && st == 1 && p < rank())) return false;
+    }
+    return true;
+  };
+  while (!may_go()) {
+    d.cv.wait_for(lk, std::chrono::microseconds(500));
+    pe_.throw_if_aborted();
+  }
+  if (d.next >= d.end) {
+    world_.pe_state_[me].store(2, std::memory_order_relaxed);
+    lk.unlock();
+    d.cv.notify_all();
+    return {0, 0};
+  }
+  const std::size_t lo = d.next;
+  const std::size_t hi = std::min(d.end, lo + chunk);
+  d.next = hi;
+  world_.pe_state_[me].store(0, std::memory_order_relaxed);
+  // Charge the dispatch itself (shared counter = one lock acquire).
+  pe_.advance(world_.params().sas_lock_ns);
+  mirror_clock();
+  lk.unlock();
+  d.cv.notify_all();
+  return {lo, hi};
+}
+
+void Team::dynamic_end() {
+  barrier();
+  world_.pe_state_[static_cast<std::size_t>(rank())].store(0, std::memory_order_relaxed);
+  mirror_clock();
+}
+
+}  // namespace o2k::sas

@@ -1,0 +1,251 @@
+// CC-SAS — the cache-coherent shared-address-space programming model.
+//
+// In this model communication is *implicit*: PEs read and write a shared
+// heap, and the hardware (here: a cost simulator) moves cache lines.  The
+// backing store really is shared host memory, so data movement is free and
+// correct by construction; what the simulator adds is the *virtual-time
+// premium* of each access:
+//
+//   * a per-PE direct-mapped L2 tag/version cache (4 MB, 128 B lines);
+//   * page-granularity homes (first-touch, round-robin or block placement)
+//     — a miss on a remotely-homed page pays the NUMA round trip;
+//   * an invalidation-based coherence approximation: every line has a
+//     global version; a cached copy whose version is stale counts as a
+//     miss (another PE wrote it), and writing a line last written by a
+//     different PE pays an ownership-transfer premium.  False sharing
+//     therefore emerges naturally.
+//
+// Only the *premium* over a local miss is charged: the average local memory
+// behaviour is already folded into the kernel work constants, so MP, SHMEM
+// and CC-SAS charge identical compute for identical work (DESIGN.md §2).
+//
+// Team also provides the synchronisation the paper's SAS codes use:
+// barriers, locks (virtual-time serialised), deterministic reductions, and
+// static/dynamic parallel loops.  Dynamic scheduling dispatches chunks in
+// *virtual-time order* (the PE whose clock is least gets the next chunk),
+// which is what real self-scheduling achieves in real time.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "common/check.hpp"
+#include "rt/machine.hpp"
+
+namespace o2k::sas {
+
+enum class Placement {
+  kFirstTouch,   ///< page home = node of first touching PE (IRIX default)
+  kRoundRobin,   ///< pages dealt across PEs at allocation
+  kBlock,        ///< contiguous page blocks per PE at allocation
+};
+
+/// Handle to a shared allocation (byte offset into the World arena).
+template <typename T>
+struct SharedArray {
+  std::size_t offset = 0;
+  std::size_t count = 0;
+};
+
+/// The shared heap plus global coherence metadata.  Construct before
+/// Machine::run; allocate arrays during (serial) setup; one run at a time.
+class World {
+ public:
+  World(const origin::MachineParams& params, int nprocs,
+        std::size_t arena_bytes = std::size_t{256} << 20,
+        Placement default_placement = Placement::kFirstTouch);
+
+  [[nodiscard]] int size() const { return nprocs_; }
+  [[nodiscard]] const origin::MachineParams& params() const { return params_; }
+  [[nodiscard]] Placement default_placement() const { return placement_; }
+
+  /// Allocate a shared array (not thread-safe: call from setup code only).
+  template <typename T>
+  SharedArray<T> alloc(std::size_t count) {
+    return alloc<T>(count, placement_);
+  }
+  template <typename T>
+  SharedArray<T> alloc(std::size_t count, Placement placement) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::size_t off = allocate(count * sizeof(T), placement);
+    return SharedArray<T>{off, count};
+  }
+
+  /// Raw pointer into the arena — used by setup code and by Team accessors.
+  template <typename T>
+  [[nodiscard]] T* data(const SharedArray<T>& a) {
+    return reinterpret_cast<T*>(arena_.get() + a.offset);
+  }
+  template <typename T>
+  [[nodiscard]] std::span<T> span(const SharedArray<T>& a) {
+    return {data(a), a.count};
+  }
+
+  /// Number of lock cells available to Team::lock.
+  static constexpr int kNumLocks = 1024;
+
+  /// Reset all page homes of an allocation to "untouched" so a subsequent
+  /// parallel phase re-establishes first-touch placement.
+  template <typename T>
+  void reset_homes(const SharedArray<T>& a) {
+    reset_homes_bytes(a.offset, a.count * sizeof(T));
+  }
+  void reset_homes_bytes(std::size_t offset, std::size_t bytes);
+
+  [[nodiscard]] std::size_t arena_bytes() const { return arena_bytes_; }
+
+ private:
+  friend class Team;
+  std::size_t allocate(std::size_t bytes, Placement placement);
+
+  struct FreeDeleter {
+    void operator()(std::byte* p) const noexcept { std::free(p); }
+  };
+  const origin::MachineParams& params_;
+  int nprocs_;
+  Placement placement_;
+  std::size_t arena_bytes_;
+  std::size_t bump_ = 0;
+  std::unique_ptr<std::byte[], FreeDeleter> arena_;
+
+  // Page table: home PE per page (-1 = untouched).
+  std::unique_ptr<std::atomic<int>[]> page_home_;
+  std::size_t num_pages_ = 0;
+  int rr_next_ = 0;  ///< round-robin placement cursor
+
+  // Per-line coherence metadata.
+  std::unique_ptr<std::atomic<std::uint32_t>[]> line_version_;
+  std::unique_ptr<std::atomic<int>[]> line_writer_;
+  std::size_t num_lines_ = 0;
+
+  // Locks: virtual-time serialisation state per lock id.
+  struct LockCell {
+    std::mutex mu;
+    double last_release_ns = 0.0;
+  };
+  std::vector<LockCell> locks_{kNumLocks};
+
+  // Reduction scratch (one cacheline-padded slot per PE).
+  struct alignas(128) RedSlot {
+    double d;
+    std::int64_t i;
+  };
+  std::vector<RedSlot> red_;
+
+  // Dynamic-loop dispatcher state.
+  struct Dispatch {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t next = 0;
+    std::size_t end = 0;
+    std::uint64_t epoch = 0;
+  };
+  Dispatch dispatch_;
+  std::unique_ptr<std::atomic<double>[]> pe_clock_;   ///< mirrored clocks
+  std::unique_ptr<std::atomic<int>[]> pe_state_;      ///< 0 busy, 1 waiting, 2 done
+};
+
+/// Per-PE handle to the shared-address-space machine.
+class Team {
+ public:
+  Team(World& world, rt::Pe& pe);
+  ~Team();
+
+  [[nodiscard]] int rank() const { return pe_.rank(); }
+  [[nodiscard]] int size() const { return pe_.size(); }
+  [[nodiscard]] rt::Pe& pe() { return pe_; }
+  [[nodiscard]] World& world() { return world_; }
+
+  // ---- charged accesses -----------------------------------------------
+  /// Charge a read of `bytes` starting at arena offset `off`.
+  void touch_read(std::size_t off, std::size_t bytes);
+  void touch_write(std::size_t off, std::size_t bytes);
+
+  template <typename T>
+  [[nodiscard]] T read(const SharedArray<T>& a, std::size_t i) {
+    O2K_REQUIRE(i < a.count, "sas: read out of range");
+    touch_read(a.offset + i * sizeof(T), sizeof(T));
+    return world_.data(a)[i];
+  }
+  template <typename T>
+  void write(const SharedArray<T>& a, std::size_t i, const T& v) {
+    O2K_REQUIRE(i < a.count, "sas: write out of range");
+    touch_write(a.offset + i * sizeof(T), sizeof(T));
+    world_.data(a)[i] = v;
+  }
+  /// Charged bulk region accessors (for streaming loops).
+  template <typename T>
+  void touch_read_range(const SharedArray<T>& a, std::size_t first, std::size_t n) {
+    O2K_REQUIRE(first + n <= a.count, "sas: range out of bounds");
+    touch_read(a.offset + first * sizeof(T), n * sizeof(T));
+  }
+  template <typename T>
+  void touch_write_range(const SharedArray<T>& a, std::size_t first, std::size_t n) {
+    O2K_REQUIRE(first + n <= a.count, "sas: range out of bounds");
+    touch_write(a.offset + first * sizeof(T), n * sizeof(T));
+  }
+
+  // ---- synchronisation ----------------------------------------------------
+  void barrier();
+  /// Hash a resource id onto one of World::kNumLocks lock cells.
+  void lock(std::size_t id);
+  void unlock(std::size_t id);
+
+  /// Deterministic reductions (every PE reads all slots in rank order).
+  double reduce_sum(double v);
+  std::int64_t reduce_sum(std::int64_t v);
+  double reduce_max(double v);
+
+  // ---- parallel loops -------------------------------------------------------
+  /// Static block schedule: calls fn(i) for this PE's contiguous share.
+  template <typename Fn>
+  void parallel_for_static(std::size_t begin, std::size_t end, Fn&& fn) {
+    const auto [lo, hi] = static_range(begin, end);
+    for (std::size_t i = lo; i < hi; ++i) fn(i);
+  }
+  [[nodiscard]] std::pair<std::size_t, std::size_t> static_range(std::size_t begin,
+                                                                 std::size_t end) const;
+
+  /// Dynamic self-scheduling with virtual-time-ordered chunk dispatch.
+  /// Collective: every PE must call with identical arguments.  fn(i) runs
+  /// once for every i in [begin, end); chunk→PE assignment follows virtual
+  /// clocks.  An implicit barrier ends the loop.
+  template <typename Fn>
+  void parallel_for_dynamic(std::size_t begin, std::size_t end, std::size_t chunk, Fn&& fn) {
+    dynamic_begin(begin, end);
+    for (;;) {
+      const auto [lo, hi] = dynamic_next(chunk);
+      if (lo >= hi) break;
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    }
+    dynamic_end();
+  }
+
+ private:
+  [[nodiscard]] bool is_local(int home_pe) const {
+    return world_.params().node_of(home_pe) == world_.params().node_of(rank());
+  }
+  int page_home_for(std::size_t page);
+
+  void dynamic_begin(std::size_t begin, std::size_t end);
+  std::pair<std::size_t, std::size_t> dynamic_next(std::size_t chunk);
+  void dynamic_end();
+  void mirror_clock();
+
+  World& world_;
+  rt::Pe& pe_;
+
+  // Direct-mapped cache: tag + cached version per set.
+  std::vector<std::uint64_t> tag_;
+  std::vector<std::uint32_t> cached_version_;
+  std::size_t num_sets_;
+};
+
+}  // namespace o2k::sas

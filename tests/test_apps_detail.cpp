@@ -1,0 +1,248 @@
+// Unit tests for the application-internal building blocks: LocalMesh (the
+// rank-local mesh with geometric identity), the SAS shared edge table, and
+// the new MP gatherv/scatterv + SHMEM signal/wait primitives.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "apps/mesh_detail.hpp"
+#include "apps/sas_table.hpp"
+#include "mp/comm.hpp"
+#include "shmem/shmem.hpp"
+
+namespace o2k {
+namespace {
+
+rt::Machine& machine() {
+  static rt::Machine m;
+  return m;
+}
+
+using apps::detail::LocalMesh;
+using apps::detail::TetRec;
+
+TetRec rec(std::initializer_list<Vec3> pts, std::uint32_t mask = 0) {
+  TetRec r{};
+  int k = 0;
+  for (const Vec3& p : pts) {
+    r.c[k][0] = p.x;
+    r.c[k][1] = p.y;
+    r.c[k][2] = p.z;
+    ++k;
+  }
+  r.mask = mask;
+  return r;
+}
+
+TEST(LocalMeshTest, VertexDedupByPosition) {
+  LocalMesh lm;
+  lm.add_record(rec({{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1}}));
+  lm.add_record(rec({{1, 0, 0}, {0, 1, 0}, {0, 0, 1}, {1, 1, 1}}));
+  EXPECT_EQ(lm.tets.size(), 2u);
+  EXPECT_EQ(lm.verts.size(), 5u);  // 3 shared face vertices deduped
+}
+
+TEST(LocalMeshTest, RecordRoundTrip) {
+  LocalMesh lm;
+  lm.add_record(rec({{0, 0, 0}, {2, 0, 0}, {0, 2, 0}, {0, 0, 2}}, 0));
+  const TetRec r = lm.record_of(0, 0x3F);
+  EXPECT_EQ(r.mask, 0x3Fu);
+  LocalMesh lm2;
+  lm2.add_record(r);
+  EXPECT_NEAR(lm2.volume(0), lm.volume(0), 1e-12);
+}
+
+TEST(LocalMeshTest, EdgeKeysAgreeAcrossInstances) {
+  // Two "ranks" holding the same geometric tet must compute identical edge
+  // keys — the foundation of the closure exchange.
+  LocalMesh a, b;
+  a.add_record(rec({{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1}}));
+  b.add_record(rec({{1, 0, 0}, {0, 0, 0}, {0, 1, 0}, {0, 0, 1}}));  // permuted corners
+  std::set<std::uint64_t> ka, kb;
+  for (int le = 0; le < 6; ++le) {
+    ka.insert(a.edge_key(0, le));
+    kb.insert(b.edge_key(0, le));
+  }
+  EXPECT_EQ(ka, kb);
+}
+
+TEST(LocalMeshTest, DistinctEdgesSharingMidpointGetDistinctKeys) {
+  // Regression test for the midpoint-conflation bug: edges (s, m_qr) and
+  // (m_sq, m_sr) share a midpoint but are different edges.
+  LocalMesh lm;
+  const Vec3 q(0, 0, 0), r(2, 0, 0), s(0, 2, 0);
+  const Vec3 mqr = (q + r) * 0.5, msq = (s + q) * 0.5, msr = (s + r) * 0.5;
+  lm.add_record(rec({s, mqr, q, {0, 0, 2}}));
+  lm.add_record(rec({msq, msr, r, {0, 0, 2}}));
+  const auto key1 = lm.edge_key(mesh::EdgeKey(lm.vert_id(s), lm.vert_id(mqr)));
+  const auto key2 = lm.edge_key(mesh::EdgeKey(lm.vert_id(msq), lm.vert_id(msr)));
+  // Same midpoint...
+  EXPECT_EQ(mesh::geo_key((s + mqr) * 0.5), mesh::geo_key((msq + msr) * 0.5));
+  // ...different identity.
+  EXPECT_NE(key1, key2);
+}
+
+TEST(LocalMeshTest, RefineMatchesSerialTemplates) {
+  LocalMesh lm;
+  lm.add_record(rec({{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1}}));
+  apps::detail::MarkSet64 marks;
+  marks.insert(lm.edge_key(0, 0));  // one edge → 1:2
+  const auto st = apps::detail::refine_local(lm, marks);
+  EXPECT_EQ(st.refined, 1u);
+  EXPECT_EQ(st.new_tets, 2u);
+  EXPECT_EQ(lm.tets.size(), 2u);
+  EXPECT_NEAR(lm.total_volume(), 1.0 / 6.0, 1e-12);
+}
+
+TEST(SasEdgeTableTest, MarkAndLookup) {
+  sas::World world(machine().params(), 2, std::size_t{8} << 20);
+  apps::SasEdgeTable table(world, 1024);
+  machine().run(2, [&](rt::Pe& pe) {
+    sas::Team team(world, pe);
+    table.clear(team);
+    if (pe.rank() == 0) {
+      EXPECT_TRUE(table.mark(team, 42));
+      EXPECT_FALSE(table.mark(team, 42));  // already marked
+    }
+    team.barrier();
+    EXPECT_TRUE(table.is_marked(team, 42));
+    EXPECT_FALSE(table.is_marked(team, 43));
+    team.barrier();
+  });
+}
+
+TEST(SasEdgeTableTest, PendingInvisibleUntilPromoted) {
+  sas::World world(machine().params(), 2, std::size_t{8} << 20);
+  apps::SasEdgeTable table(world, 256);
+  machine().run(2, [&](rt::Pe& pe) {
+    sas::Team team(world, pe);
+    table.clear(team);
+    if (pe.rank() == 0) table.set_pending(team, 7);
+    team.barrier();
+    EXPECT_FALSE(table.is_marked(team, 7));  // Jacobi freeze
+    team.barrier();
+    const bool changed = table.promote_pending(team);
+    team.barrier();
+    EXPECT_TRUE(table.is_marked(team, 7));
+    // Exactly one PE's slice contained the slot.
+    (void)changed;
+    team.barrier();
+  });
+}
+
+TEST(SasEdgeTableTest, ConcurrentMidCreationIsUnique) {
+  sas::World world(machine().params(), 8, std::size_t{8} << 20);
+  apps::SasEdgeTable table(world, 4096);
+  std::atomic<std::int64_t> next_id{0};
+  std::array<std::atomic<std::int64_t>, 64> got{};
+  machine().run(8, [&](rt::Pe& pe) {
+    sas::Team team(world, pe);
+    table.clear(team);
+    // Everyone races to create mids for the same 64 keys.
+    for (std::int64_t k = 1; k <= 64; ++k) {
+      const std::int64_t id = table.get_or_create_mid(
+          team, static_cast<std::uint64_t>(k) * 0x9e3779b97f4a7c15ULL + 1,
+          [&] { return next_id.fetch_add(1); });
+      auto& slot = got[static_cast<std::size_t>(k - 1)];
+      std::int64_t expect = -0;
+      // All PEs must observe the same id per key.
+      std::int64_t prev = slot.exchange(id + 1);
+      if (prev != 0) EXPECT_EQ(prev, id + 1);
+      (void)expect;
+    }
+    team.barrier();
+  });
+  EXPECT_EQ(next_id.load(), 64);  // exactly one creation per key
+}
+
+TEST(SasEdgeTableTest, FullTableDetected) {
+  sas::World world(machine().params(), 1, std::size_t{8} << 20);
+  apps::SasEdgeTable table(world, 32);  // rounds to 64 slots
+  machine().run(1, [&](rt::Pe& pe) {
+    sas::Team team(world, pe);
+    table.clear(team);
+    EXPECT_THROW(
+        {
+          for (std::uint64_t k = 1; k <= 100; ++k) table.mark(team, k);
+        },
+        std::logic_error);
+  });
+}
+
+class MpGatherScatterP : public ::testing::TestWithParam<int> {};
+
+TEST_P(MpGatherScatterP, GathervCollectsBySource) {
+  const int p = GetParam();
+  mp::World w(machine().params(), p);
+  machine().run(p, [&](rt::Pe& pe) {
+    mp::Comm comm(w, pe);
+    std::vector<int> mine(static_cast<std::size_t>(pe.rank() + 1), pe.rank() * 7);
+    const auto blocks = comm.gatherv<int>(mine, p - 1);
+    if (pe.rank() == p - 1) {
+      for (int r = 0; r < p; ++r) {
+        ASSERT_EQ(blocks[static_cast<std::size_t>(r)].size(), static_cast<std::size_t>(r + 1));
+        for (int v : blocks[static_cast<std::size_t>(r)]) EXPECT_EQ(v, r * 7);
+      }
+    }
+  });
+}
+
+TEST_P(MpGatherScatterP, ScattervDistributesFromRoot) {
+  const int p = GetParam();
+  mp::World w(machine().params(), p);
+  machine().run(p, [&](rt::Pe& pe) {
+    mp::Comm comm(w, pe);
+    std::vector<std::vector<double>> blocks;
+    if (pe.rank() == 0) {
+      blocks.resize(static_cast<std::size_t>(p));
+      for (int r = 0; r < p; ++r) {
+        blocks[static_cast<std::size_t>(r)].assign(static_cast<std::size_t>(r % 3 + 1),
+                                                   r * 1.5);
+      }
+    }
+    const auto mine = comm.scatterv<double>(blocks, 0);
+    ASSERT_EQ(mine.size(), static_cast<std::size_t>(pe.rank() % 3 + 1));
+    for (double v : mine) EXPECT_DOUBLE_EQ(v, pe.rank() * 1.5);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(ProcCounts, MpGatherScatterP, ::testing::Values(1, 2, 4, 8, 16));
+
+TEST(ShmemSignalTest, WaitObservesValueAndArrivalTime) {
+  shmem::World w(machine().params(), 4);
+  machine().run(4, [&](rt::Pe& pe) {
+    shmem::Ctx ctx(w, pe);
+    auto cell = ctx.malloc<shmem::Ctx::Signal>(1);
+    ctx.barrier_all();
+    if (pe.rank() == 0) {
+      pe.advance(250000.0);  // producer is late
+      ctx.signal(cell, 99, 2);
+    } else if (pe.rank() == 2) {
+      ctx.wait_signal(cell, 99);
+      EXPECT_GT(pe.now(), 250000.0);  // causality: waiter released after producer
+      EXPECT_EQ(ctx.local(cell)->value, 99);
+    }
+    ctx.barrier_all();
+  });
+}
+
+TEST(ShmemSignalTest, PingPongChain) {
+  const int p = 4;
+  shmem::World w(machine().params(), p);
+  machine().run(p, [&](rt::Pe& pe) {
+    shmem::Ctx ctx(w, pe);
+    auto cell = ctx.malloc<shmem::Ctx::Signal>(1);
+    ctx.barrier_all();
+    // Token passes 0 → 1 → 2 → 3.
+    if (pe.rank() == 0) {
+      ctx.signal(cell, 1, 1);
+    } else {
+      ctx.wait_signal(cell, pe.rank());
+      if (pe.rank() < p - 1) ctx.signal(cell, pe.rank() + 1, pe.rank() + 1);
+    }
+    ctx.barrier_all();
+  });
+}
+
+}  // namespace
+}  // namespace o2k

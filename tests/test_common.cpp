@@ -1,0 +1,171 @@
+// Unit tests for src/common: RNG, Vec3, tables, CLI.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/check.hpp"
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/vec3.hpp"
+
+namespace o2k {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.uniform(-3.0, 5.0);
+    EXPECT_GE(x, -3.0);
+    EXPECT_LT(x, 5.0);
+  }
+  EXPECT_THROW(r.uniform(5.0, -5.0), std::invalid_argument);
+}
+
+TEST(Rng, NextBelowUnbiasedRange) {
+  Rng r(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 3000; ++i) {
+    const auto v = r.next_below(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_THROW(r.next_below(0), std::invalid_argument);
+}
+
+TEST(Rng, NormalHasRoughlyUnitVariance) {
+  Rng r(13);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.1);
+}
+
+TEST(Rng, SplitStreamsIndependent) {
+  Rng base(99);
+  Rng s1 = base.split(1);
+  Rng s2 = base.split(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += s1.next_u64() == s2.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Vec3, Arithmetic) {
+  const Vec3 a(1, 2, 3), b(4, 5, 6);
+  EXPECT_EQ(a + b, Vec3(5, 7, 9));
+  EXPECT_EQ(b - a, Vec3(3, 3, 3));
+  EXPECT_EQ(a * 2.0, Vec3(2, 4, 6));
+  EXPECT_EQ(2.0 * a, a * 2.0);
+  EXPECT_EQ(a / 2.0, Vec3(0.5, 1, 1.5));
+  EXPECT_EQ(-a, Vec3(-1, -2, -3));
+}
+
+TEST(Vec3, DotCrossNorm) {
+  const Vec3 a(1, 0, 0), b(0, 1, 0);
+  EXPECT_DOUBLE_EQ(a.dot(b), 0.0);
+  EXPECT_EQ(a.cross(b), Vec3(0, 0, 1));
+  EXPECT_DOUBLE_EQ(Vec3(3, 4, 0).norm(), 5.0);
+  EXPECT_DOUBLE_EQ(Vec3(1, 2, 2).norm2(), 9.0);
+}
+
+TEST(Vec3, IndexAccess) {
+  Vec3 v(7, 8, 9);
+  EXPECT_DOUBLE_EQ(v[0], 7.0);
+  EXPECT_DOUBLE_EQ(v[1], 8.0);
+  EXPECT_DOUBLE_EQ(v[2], 9.0);
+  v[1] = -1.0;
+  EXPECT_DOUBLE_EQ(v.y, -1.0);
+}
+
+TEST(TextTable, FormatsRows) {
+  TextTable t("demo");
+  t.header({"a", "bb"});
+  t.row({"1", "x"});
+  t.row({"22", "yy"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTable, RowWidthChecked) {
+  TextTable t;
+  t.header({"a", "b"});
+  EXPECT_THROW(t.row({"only one"}), std::invalid_argument);
+}
+
+TEST(TextTable, TimeFormatting) {
+  EXPECT_EQ(TextTable::time_ns(500), "500 ns");
+  EXPECT_EQ(TextTable::time_ns(1500), "1.50 us");
+  EXPECT_EQ(TextTable::time_ns(2.5e6), "2.50 ms");
+  EXPECT_EQ(TextTable::time_ns(3.25e9), "3.250 s");
+}
+
+TEST(TextTable, ByteFormatting) {
+  EXPECT_EQ(TextTable::bytes(512), "512 B");
+  EXPECT_EQ(TextTable::bytes(2048), "2.0 KiB");
+  EXPECT_EQ(TextTable::bytes(3.5 * 1024 * 1024), "3.5 MiB");
+}
+
+TEST(Cli, ParsesKeyValueForms) {
+  const char* argv[] = {"prog", "--n=42", "--name", "bob", "--flag"};
+  Cli cli(5, argv, {{"n", ""}, {"name", ""}, {"flag", ""}});
+  EXPECT_EQ(cli.get_int("n", 0), 42);
+  EXPECT_EQ(cli.get("name", ""), "bob");
+  EXPECT_TRUE(cli.get_bool("flag", false));
+  EXPECT_EQ(cli.get_int("missing", 7), 7);
+}
+
+TEST(Cli, RejectsUnknownFlag) {
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_THROW(Cli(2, argv, {{"n", ""}}), std::invalid_argument);
+}
+
+TEST(Cli, ParsesIntList) {
+  const char* argv[] = {"prog", "--procs=1,2,4"};
+  Cli cli(2, argv, {{"procs", ""}});
+  EXPECT_EQ(cli.get_int_list("procs", {}), (std::vector<int>{1, 2, 4}));
+  EXPECT_EQ(cli.get_int_list("other", {8}), (std::vector<int>{8}));
+}
+
+TEST(Check, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(O2K_REQUIRE(false, "boom"), std::invalid_argument);
+  EXPECT_NO_THROW(O2K_REQUIRE(true, "fine"));
+}
+
+TEST(Check, CheckThrowsLogicError) {
+  EXPECT_THROW(O2K_CHECK(false, "boom"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace o2k

@@ -1,0 +1,120 @@
+// Tests for mesh I/O (VTK export + binary snapshots) and the planar front.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mesh/io.hpp"
+#include "mesh/quality.hpp"
+#include "mesh/refine.hpp"
+
+namespace o2k::mesh {
+namespace {
+
+TetMesh adapted_mesh() {
+  TetMesh m = make_box_mesh(3, 3, 3);
+  SphereFront front{Vec3(1.5, 1.5, 1.5), 0.9, 0.2};
+  MarkSet marks = mark_edges(m, front);
+  close_marks(m, marks);
+  refine(m, marks);
+  return m;
+}
+
+TEST(VtkExport, WellFormedHeaderAndCounts) {
+  const TetMesh m = adapted_mesh();
+  std::ostringstream os;
+  write_vtk(m, os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("# vtk DataFile"), std::string::npos);
+  EXPECT_NE(s.find("DATASET UNSTRUCTURED_GRID"), std::string::npos);
+  EXPECT_NE(s.find("CELLS " + std::to_string(m.alive_count())), std::string::npos);
+  EXPECT_NE(s.find("SCALARS quality"), std::string::npos);
+  // One VTK_TETRA line per alive cell.
+  std::size_t tetra_lines = 0;
+  std::istringstream is(s);
+  std::string line;
+  while (std::getline(is, line)) tetra_lines += line == "10" ? 1 : 0;
+  EXPECT_EQ(tetra_lines, m.alive_count());
+}
+
+TEST(VtkExport, QualityOptional) {
+  const TetMesh m = adapted_mesh();
+  std::ostringstream os;
+  write_vtk(m, os, /*with_quality=*/false);
+  EXPECT_EQ(os.str().find("SCALARS"), std::string::npos);
+}
+
+TEST(Snapshot, RoundTripPreservesAliveGeometry) {
+  const TetMesh m = adapted_mesh();
+  std::stringstream ss;
+  save_snapshot(m, ss);
+  const TetMesh r = load_snapshot(ss);
+  EXPECT_EQ(r.alive_count(), m.alive_count());
+  EXPECT_NEAR(r.total_volume(), m.total_volume(), 1e-9);
+  const QualityStats qa = mesh_quality(m);
+  const QualityStats qb = mesh_quality(r);
+  EXPECT_NEAR(qa.mean_q, qb.mean_q, 1e-12);
+  r.validate();
+}
+
+TEST(Snapshot, ReloadedMeshIsAdaptable) {
+  const TetMesh m = adapted_mesh();
+  std::stringstream ss;
+  save_snapshot(m, ss);
+  TetMesh r = load_snapshot(ss);
+  // Continue the adaptation campaign on the restarted mesh.
+  SphereFront front{Vec3(2.0, 2.0, 2.0), 0.8, 0.2};
+  MarkSet marks = mark_edges(r, front);
+  close_marks(r, marks);
+  const double vol = r.total_volume();
+  refine(r, marks);
+  EXPECT_NEAR(r.total_volume(), vol, 1e-9);
+  r.validate();
+}
+
+TEST(Snapshot, RejectsGarbage) {
+  std::stringstream ss;
+  ss << "this is not a mesh";
+  EXPECT_THROW(load_snapshot(ss), std::invalid_argument);
+}
+
+TEST(PlaneFrontTest, CutsBand) {
+  PlaneFront f{Vec3(0, 0, 1), 1.5, 0.2};
+  EXPECT_TRUE(f.cuts({0, 0, 1.4}, {0, 0, 1.6}));
+  EXPECT_TRUE(f.cuts({0, 0, 0.0}, {0, 0, 3.0}));  // passes through
+  EXPECT_FALSE(f.cuts({0, 0, 0.1}, {0, 0, 0.2}));
+  EXPECT_FALSE(f.cuts({0, 0, 2.5}, {0, 0, 2.6}));
+}
+
+TEST(PlaneFrontTest, MarksOnlyNearPlane) {
+  TetMesh m = make_box_mesh(4, 4, 4);
+  PlaneFront f{Vec3(1, 0, 0), 2.0, 0.3};
+  MarkSet marks = mark_edges_with(m, f);
+  ASSERT_GT(marks.size(), 0u);
+  for (const EdgeKey& e : marks) {
+    const double xa = m.verts[static_cast<std::size_t>(e.a)].x;
+    const double xb = m.verts[static_cast<std::size_t>(e.b)].x;
+    // At least one endpoint within (or the edge straddling) the band.
+    EXPECT_TRUE(std::min(xa, xb) <= 2.3 && std::max(xa, xb) >= 1.7);
+  }
+  close_marks(m, marks);
+  const double vol = m.total_volume();
+  refine(m, marks);
+  EXPECT_NEAR(m.total_volume(), vol, 1e-9);
+}
+
+TEST(PlaneFrontTest, SweepAcrossBoxRefinesProgressively) {
+  TetMesh m = make_box_mesh(3, 3, 3);
+  std::size_t prev = m.alive_count();
+  for (int k = 0; k < 3; ++k) {
+    PlaneFront f{Vec3(1, 0.2, 0.1), 0.8 + 0.7 * k, 0.25};
+    MarkSet marks = mark_edges_with(m, f);
+    close_marks(m, marks);
+    refine(m, marks);
+    EXPECT_GT(m.alive_count(), prev);
+    prev = m.alive_count();
+  }
+  EXPECT_GT(mesh_quality(m).min_q, 0.01);
+}
+
+}  // namespace
+}  // namespace o2k::mesh

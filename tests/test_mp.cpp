@@ -1,0 +1,309 @@
+// Tests for the MP (message-passing) runtime: matching semantics, protocol
+// cost behaviour, and all collectives.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "mp/comm.hpp"
+
+namespace o2k::mp {
+namespace {
+
+rt::Machine& machine() {
+  static rt::Machine m;
+  return m;
+}
+
+TEST(MpP2P, SendRecvDeliversPayload) {
+  World w(machine().params(), 2);
+  machine().run(2, [&](rt::Pe& pe) {
+    Comm comm(w, pe);
+    if (pe.rank() == 0) {
+      std::vector<int> data{1, 2, 3, 4};
+      comm.send(std::span<const int>(data), 1, 7);
+    } else {
+      const auto got = comm.recv_vec<int>(0, 7);
+      EXPECT_EQ(got, (std::vector<int>{1, 2, 3, 4}));
+    }
+  });
+}
+
+TEST(MpP2P, TagMatchingSelectsCorrectMessage) {
+  World w(machine().params(), 2);
+  machine().run(2, [&](rt::Pe& pe) {
+    Comm comm(w, pe);
+    if (pe.rank() == 0) {
+      comm.send_value<int>(111, 1, /*tag=*/1);
+      comm.send_value<int>(222, 1, /*tag=*/2);
+    } else {
+      // Receive out of send order by tag.
+      EXPECT_EQ(comm.recv_value<int>(0, 2), 222);
+      EXPECT_EQ(comm.recv_value<int>(0, 1), 111);
+    }
+  });
+}
+
+TEST(MpP2P, FifoPerSourceAndTag) {
+  World w(machine().params(), 2);
+  machine().run(2, [&](rt::Pe& pe) {
+    Comm comm(w, pe);
+    if (pe.rank() == 0) {
+      for (int i = 0; i < 10; ++i) comm.send_value<int>(i, 1, 5);
+    } else {
+      for (int i = 0; i < 10; ++i) EXPECT_EQ(comm.recv_value<int>(0, 5), i);
+    }
+  });
+}
+
+TEST(MpP2P, AnyTagReceivesFirstAvailable) {
+  World w(machine().params(), 2);
+  machine().run(2, [&](rt::Pe& pe) {
+    Comm comm(w, pe);
+    if (pe.rank() == 0) {
+      comm.send_value<int>(9, 1, 42);
+    } else {
+      EXPECT_EQ(comm.recv_value<int>(0, kAnyTag), 9);
+    }
+  });
+}
+
+TEST(MpP2P, SelfSendWorks) {
+  World w(machine().params(), 1);
+  machine().run(1, [&](rt::Pe& pe) {
+    Comm comm(w, pe);
+    comm.send_value<double>(3.5, 0, 1);
+    EXPECT_DOUBLE_EQ(comm.recv_value<double>(0, 1), 3.5);
+  });
+}
+
+TEST(MpP2P, ReceiverClockRespectsArrival) {
+  World w(machine().params(), 2);
+  machine().run(2, [&](rt::Pe& pe) {
+    Comm comm(w, pe);
+    if (pe.rank() == 0) {
+      pe.advance(100000.0);  // sender is late
+      comm.send_value<int>(1, 1, 0);
+    } else {
+      (void)comm.recv_value<int>(0, 0);
+      // Receiver cannot complete before the sender even started.
+      EXPECT_GT(pe.now(), 100000.0);
+    }
+  });
+}
+
+TEST(MpP2P, RendezvousBlocksSenderUntilReceiverPosts) {
+  World w(machine().params(), 2);
+  const std::size_t big = machine().params().mp_eager_bytes + 1000;
+  machine().run(2, [&](rt::Pe& pe) {
+    Comm comm(w, pe);
+    if (pe.rank() == 0) {
+      std::vector<std::byte> data(big);
+      comm.send_bytes(data, 1, 0);
+      // Receiver posted at t=500000; sender must release after that.
+      EXPECT_GT(pe.now(), 500000.0);
+    } else {
+      pe.advance(500000.0);
+      const auto got = comm.recv_bytes(0, 0);
+      EXPECT_EQ(got.size(), big);
+    }
+  });
+}
+
+TEST(MpP2P, EagerSendDoesNotBlockSender) {
+  World w(machine().params(), 2);
+  machine().run(2, [&](rt::Pe& pe) {
+    Comm comm(w, pe);
+    if (pe.rank() == 0) {
+      comm.send_value<int>(1, 1, 0);
+      EXPECT_LT(pe.now(), 100000.0);  // far less than the receiver's delay
+    } else {
+      pe.advance(500000.0);
+      (void)comm.recv_value<int>(0, 0);
+    }
+  });
+}
+
+TEST(MpP2P, LargerMessagesCostMore) {
+  World w(machine().params(), 2);
+  double t_small = 0, t_big = 0;
+  machine().run(2, [&](rt::Pe& pe) {
+    Comm comm(w, pe);
+    if (pe.rank() == 0) {
+      std::vector<std::byte> s(64), b(8192);
+      comm.send_bytes(s, 1, 0);
+      comm.send_bytes(b, 1, 1);
+    } else {
+      const double t0 = pe.now();
+      (void)comm.recv_bytes(0, 0);
+      t_small = pe.now() - t0;
+      const double t1 = pe.now();
+      (void)comm.recv_bytes(0, 1);
+      t_big = pe.now() - t1;
+    }
+  });
+  EXPECT_GT(t_big, t_small);
+}
+
+TEST(MpP2P, InvalidRanksRejected) {
+  World w(machine().params(), 2);
+  EXPECT_THROW(machine().run(2,
+                             [&](rt::Pe& pe) {
+                               Comm comm(w, pe);
+                               comm.send_value<int>(1, 5, 0);
+                             }),
+               std::invalid_argument);
+}
+
+TEST(MpNonblocking, IrecvWaitDelivers) {
+  World w(machine().params(), 2);
+  machine().run(2, [&](rt::Pe& pe) {
+    Comm comm(w, pe);
+    if (pe.rank() == 0) {
+      std::vector<int> data{5, 6};
+      auto req = comm.isend(std::span<const int>(data), 1, 3);
+      comm.wait(req);
+    } else {
+      std::vector<int> out(2);
+      auto req = comm.irecv(std::span<int>(out), 0, 3);
+      comm.wait(req);
+      EXPECT_EQ(out, (std::vector<int>{5, 6}));
+    }
+  });
+}
+
+TEST(MpNonblocking, WaitAllCompletesEverything) {
+  World w(machine().params(), 3);
+  machine().run(3, [&](rt::Pe& pe) {
+    Comm comm(w, pe);
+    if (pe.rank() != 0) {
+      comm.isend(std::span<const int>(std::vector<int>{pe.rank()}), 0, 9);
+    } else {
+      std::vector<int> a(1), b(1);
+      std::vector<Request> reqs;
+      reqs.push_back(comm.irecv(std::span<int>(a), 1, 9));
+      reqs.push_back(comm.irecv(std::span<int>(b), 2, 9));
+      comm.wait_all(reqs);
+      EXPECT_EQ(a[0], 1);
+      EXPECT_EQ(b[0], 2);
+    }
+  });
+}
+
+class MpCollectives : public ::testing::TestWithParam<int> {};
+
+TEST_P(MpCollectives, Barrier) {
+  const int p = GetParam();
+  World w(machine().params(), p);
+  auto rr = machine().run(p, [&](rt::Pe& pe) {
+    Comm comm(w, pe);
+    pe.advance(1000.0 * pe.rank());
+    comm.barrier();
+  });
+  EXPECT_GE(rr.makespan_ns, 1000.0 * (p - 1));
+}
+
+TEST_P(MpCollectives, BcastFromEveryRoot) {
+  const int p = GetParam();
+  World w(machine().params(), p);
+  machine().run(p, [&](rt::Pe& pe) {
+    Comm comm(w, pe);
+    for (int root = 0; root < p; ++root) {
+      std::vector<int> data(3, pe.rank() == root ? root + 100 : -1);
+      comm.bcast(std::span<int>(data), root);
+      EXPECT_EQ(data, std::vector<int>(3, root + 100));
+    }
+  });
+}
+
+TEST_P(MpCollectives, AllreduceSumAndMinMax) {
+  const int p = GetParam();
+  World w(machine().params(), p);
+  machine().run(p, [&](rt::Pe& pe) {
+    Comm comm(w, pe);
+    const int sum = comm.allreduce_sum(pe.rank() + 1);
+    EXPECT_EQ(sum, p * (p + 1) / 2);
+    EXPECT_EQ(comm.allreduce_max(pe.rank()), p - 1);
+    EXPECT_EQ(comm.allreduce_min(pe.rank()), 0);
+    const double dsum = comm.allreduce_sum(0.5);
+    EXPECT_DOUBLE_EQ(dsum, 0.5 * p);
+  });
+}
+
+TEST_P(MpCollectives, GatherAndAllgather) {
+  const int p = GetParam();
+  World w(machine().params(), p);
+  machine().run(p, [&](rt::Pe& pe) {
+    Comm comm(w, pe);
+    const auto g = comm.gather(pe.rank() * 2, 0);
+    if (pe.rank() == 0) {
+      for (int r = 0; r < p; ++r) EXPECT_EQ(g[static_cast<std::size_t>(r)], r * 2);
+    }
+    const auto ag = comm.allgather(pe.rank() + 10);
+    ASSERT_EQ(ag.size(), static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r) EXPECT_EQ(ag[static_cast<std::size_t>(r)], r + 10);
+  });
+}
+
+TEST_P(MpCollectives, AllgathervConcatenatesInRankOrder) {
+  const int p = GetParam();
+  World w(machine().params(), p);
+  machine().run(p, [&](rt::Pe& pe) {
+    Comm comm(w, pe);
+    // Rank r contributes r+1 copies of r.
+    std::vector<int> mine(static_cast<std::size_t>(pe.rank() + 1), pe.rank());
+    const auto all = comm.allgatherv<int>(mine);
+    std::vector<int> expect;
+    for (int r = 0; r < p; ++r) {
+      expect.insert(expect.end(), static_cast<std::size_t>(r + 1), r);
+    }
+    EXPECT_EQ(all, expect);
+  });
+}
+
+TEST_P(MpCollectives, AlltoallvExchangesBlocks) {
+  const int p = GetParam();
+  World w(machine().params(), p);
+  machine().run(p, [&](rt::Pe& pe) {
+    Comm comm(w, pe);
+    std::vector<std::vector<int>> send(static_cast<std::size_t>(p));
+    for (int d = 0; d < p; ++d) {
+      send[static_cast<std::size_t>(d)] = {pe.rank() * 100 + d};
+    }
+    const auto recv = comm.alltoallv<int>(send);
+    for (int s = 0; s < p; ++s) {
+      ASSERT_EQ(recv[static_cast<std::size_t>(s)].size(), 1u);
+      EXPECT_EQ(recv[static_cast<std::size_t>(s)][0], s * 100 + pe.rank());
+    }
+  });
+}
+
+TEST_P(MpCollectives, ExscanSum) {
+  const int p = GetParam();
+  World w(machine().params(), p);
+  machine().run(p, [&](rt::Pe& pe) {
+    Comm comm(w, pe);
+    const int ex = comm.exscan_sum(pe.rank() + 1);
+    EXPECT_EQ(ex, pe.rank() * (pe.rank() + 1) / 2);
+  });
+}
+
+TEST_P(MpCollectives, SimulatedTimeDeterministic) {
+  const int p = GetParam();
+  World w1(machine().params(), p), w2(machine().params(), p);
+  auto body = [](World& w) {
+    return [&w](rt::Pe& pe) {
+      Comm comm(w, pe);
+      auto v = comm.allgatherv<int>(std::vector<int>(static_cast<std::size_t>(pe.rank() + 1), 1));
+      comm.barrier();
+      (void)comm.allreduce_sum(static_cast<int>(v.size()));
+    };
+  };
+  const auto r1 = machine().run(p, body(w1));
+  const auto r2 = machine().run(p, body(w2));
+  EXPECT_EQ(r1.pe_ns, r2.pe_ns);
+}
+
+INSTANTIATE_TEST_SUITE_P(ProcCounts, MpCollectives, ::testing::Values(1, 2, 3, 4, 7, 8, 16, 32));
+
+}  // namespace
+}  // namespace o2k::mp

@@ -1,0 +1,221 @@
+// Tests for the Barnes–Hut substrate: initial conditions, octree build,
+// force accuracy against direct summation, partitioners.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "nbody/body.hpp"
+#include "nbody/octree.hpp"
+#include "nbody/partition.hpp"
+
+namespace o2k::nbody {
+namespace {
+
+Vec3 direct_accel(const Body& b, std::span<const Body> bodies, double eps) {
+  Vec3 a;
+  for (const Body& o : bodies) {
+    if (o.id == b.id) continue;
+    const Vec3 d = o.pos - b.pos;
+    const double r2 = d.norm2() + eps * eps;
+    const double inv_r = 1.0 / std::sqrt(r2);
+    a += d * (o.mass * inv_r * inv_r * inv_r);
+  }
+  return a;
+}
+
+TEST(Plummer, DeterministicAndCentered) {
+  const auto a = make_plummer(512, 7);
+  const auto b = make_plummer(512, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].pos, b[i].pos);
+    EXPECT_EQ(a[i].vel, b[i].vel);
+  }
+  EXPECT_LT(mass_center(a).norm(), 1e-12);
+  EXPECT_LT(total_momentum(a).norm(), 1e-12);
+  double mass = 0.0;
+  for (const auto& body : a) mass += body.mass;
+  EXPECT_NEAR(mass, 1.0, 1e-12);
+}
+
+TEST(Plummer, DifferentSeedsDiffer) {
+  const auto a = make_plummer(64, 1);
+  const auto b = make_plummer(64, 2);
+  EXPECT_NE(a[0].pos, b[0].pos);
+}
+
+TEST(Plummer, CentrallyConcentrated) {
+  const auto bodies = make_plummer(4096, 3);
+  std::size_t inner = 0;
+  for (const auto& b : bodies) inner += b.pos.norm() < 0.5 ? 1 : 0;
+  // Around half the mass lies within ~the scale radius.
+  EXPECT_GT(inner, bodies.size() / 4);
+}
+
+TEST(UniformSphere, InsideUnitBall) {
+  const auto bodies = make_uniform_sphere(1024, 5);
+  for (const auto& b : bodies) EXPECT_LE(b.pos.norm(), 1.0 + 1e-12);
+}
+
+TEST(Octree, CountsAndMass) {
+  const auto bodies = make_plummer(2048, 11);
+  const Octree tree(bodies);
+  EXPECT_EQ(tree.cells()[0].count, 2048);
+  EXPECT_NEAR(tree.cells()[0].mass, 1.0, 1e-12);
+  // Root centre of mass equals the (centred) cluster's mass centre.
+  EXPECT_LT(tree.cells()[0].com.norm(), 1e-9);
+}
+
+TEST(Octree, DepthReasonable) {
+  const auto bodies = make_plummer(4096, 13);
+  const Octree tree(bodies);
+  EXPECT_GE(tree.depth(), 4);
+  EXPECT_LE(tree.depth(), 40);
+}
+
+TEST(Octree, TreeOrderIsPermutation) {
+  const auto bodies = make_plummer(1000, 17);
+  const Octree tree(bodies);
+  auto order = tree.bodies_in_tree_order();
+  ASSERT_EQ(order.size(), bodies.size());
+  std::vector<bool> seen(bodies.size(), false);
+  for (auto i : order) {
+    ASSERT_GE(i, 0);
+    ASSERT_LT(static_cast<std::size_t>(i), bodies.size());
+    EXPECT_FALSE(seen[static_cast<std::size_t>(i)]);
+    seen[static_cast<std::size_t>(i)] = true;
+  }
+}
+
+TEST(Octree, HandlesCoincidentBodies) {
+  std::vector<Body> bodies(4);
+  for (int i = 0; i < 4; ++i) {
+    bodies[static_cast<std::size_t>(i)].pos = Vec3(0.5, 0.5, 0.5);  // all identical
+    bodies[static_cast<std::size_t>(i)].mass = 0.25;
+    bodies[static_cast<std::size_t>(i)].id = i;
+  }
+  bodies.push_back(Body{});
+  bodies.back().pos = Vec3(1, 1, 1);
+  bodies.back().mass = 1.0;
+  bodies.back().id = 4;
+  EXPECT_NO_THROW(Octree{bodies});
+}
+
+class AccuracyP : public ::testing::TestWithParam<double> {};
+
+TEST_P(AccuracyP, TreeForceCloseToDirectSum) {
+  const double theta = GetParam();
+  const auto bodies = make_plummer(1024, 23);
+  const Octree tree(bodies);
+  WalkStats ws{};
+  double max_rel = 0.0;
+  for (std::size_t i = 0; i < bodies.size(); i += 37) {
+    const Vec3 at = tree.accel(bodies[i], bodies, theta, 0.025, ws);
+    const Vec3 ad = direct_accel(bodies[i], bodies, 0.025);
+    const double rel = (at - ad).norm() / (ad.norm() + 1e-12);
+    max_rel = std::max(max_rel, rel);
+  }
+  // Standard BH error levels (worst single body, not RMS).
+  EXPECT_LT(max_rel, theta <= 0.5 ? 0.05 : (theta <= 0.8 ? 0.10 : 0.20));
+  EXPECT_GT(ws.interactions(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, AccuracyP, ::testing::Values(0.3, 0.5, 0.7, 1.0));
+
+TEST(Octree, SmallerThetaMoreInteractions) {
+  const auto bodies = make_plummer(2048, 29);
+  const Octree tree(bodies);
+  WalkStats tight{}, loose{};
+  for (std::size_t i = 0; i < 64; ++i) {
+    (void)tree.accel(bodies[i], bodies, 0.3, 0.025, tight);
+    (void)tree.accel(bodies[i], bodies, 1.0, 0.025, loose);
+  }
+  EXPECT_GT(tight.interactions(), loose.interactions());
+}
+
+TEST(Octree, VisitorSeesEveryInteraction) {
+  const auto bodies = make_plummer(256, 31);
+  const Octree tree(bodies);
+  WalkStats ws{};
+  std::size_t visits = 0;
+  (void)tree.accel(bodies[0], bodies, 0.7, 0.025, ws, [&](std::int32_t, bool) { ++visits; });
+  // One visit per cell the walk reads (opened or accepted) plus one per
+  // body read — including the walking body itself.
+  EXPECT_EQ(visits, ws.cells_visited + ws.body_interactions + 1u);
+}
+
+TEST(Leapfrog, FreeParticleMovesLinearly) {
+  std::vector<Body> b(1);
+  b[0].vel = Vec3(1, 2, 3);
+  b[0].acc = Vec3(0, 0, 0);
+  leapfrog(b, 0.5);
+  EXPECT_EQ(b[0].pos, Vec3(0.5, 1.0, 1.5));
+}
+
+TEST(Physics, MomentumConservedOverSteps) {
+  auto bodies = make_plummer(512, 37);
+  for (int step = 0; step < 3; ++step) {
+    const Octree tree(bodies);
+    WalkStats ws{};
+    for (auto& b : bodies) b.acc = tree.accel(b, bodies, 0.5, 0.025, ws);
+    leapfrog(bodies, 0.005);
+  }
+  EXPECT_LT(total_momentum(bodies).norm(), 1e-4);
+}
+
+class PartitionP : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartitionP, CostzonesBalancesMeasuredWork) {
+  const int p = GetParam();
+  auto bodies = make_plummer(4096, 41);
+  const Octree tree(bodies);
+  // Assign realistic per-body work (interaction counts).
+  WalkStats ws{};
+  for (auto& b : bodies) {
+    const std::size_t before = ws.interactions();
+    (void)tree.accel(b, bodies, 0.7, 0.025, ws);
+    b.work = static_cast<double>(ws.interactions() - before);
+  }
+  const auto owner = partition_bodies(PartitionKind::kCostzones, bodies, tree, p);
+  EXPECT_LT(work_imbalance(bodies, owner, p), 1.25);
+}
+
+TEST_P(PartitionP, OrbBalancesWork) {
+  const int p = GetParam();
+  auto bodies = make_plummer(4096, 43);
+  const Octree tree(bodies);
+  const auto owner = partition_bodies(PartitionKind::kOrb, bodies, tree, p);
+  EXPECT_LT(work_imbalance(bodies, owner, p), 1.30);
+  std::vector<int> count(static_cast<std::size_t>(p), 0);
+  for (int o : owner) ++count[static_cast<std::size_t>(o)];
+  for (int c : count) EXPECT_GT(c, 0);
+}
+
+TEST_P(PartitionP, StaticIsContiguous) {
+  const int p = GetParam();
+  auto bodies = make_plummer(1024, 47);
+  const Octree tree(bodies);
+  const auto owner = partition_bodies(PartitionKind::kStatic, bodies, tree, p);
+  for (std::size_t i = 1; i < owner.size(); ++i) EXPECT_GE(owner[i], owner[i - 1]);
+  EXPECT_EQ(owner.front(), 0);
+  EXPECT_EQ(owner.back(), p - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(ProcCounts, PartitionP, ::testing::Values(2, 4, 8, 16, 32, 64));
+
+TEST(PartitionTest, CostzonesZonesFollowTreeOrder) {
+  auto bodies = make_plummer(512, 53);
+  const Octree tree(bodies);
+  const auto owner = partition_bodies(PartitionKind::kCostzones, bodies, tree, 4);
+  // In tree order, zone ids must be non-decreasing.
+  const auto order = tree.bodies_in_tree_order();
+  int prev = 0;
+  for (auto i : order) {
+    EXPECT_GE(owner[static_cast<std::size_t>(i)], prev);
+    prev = owner[static_cast<std::size_t>(i)];
+  }
+}
+
+}  // namespace
+}  // namespace o2k::nbody

@@ -1,0 +1,170 @@
+// Tests for the virtual-time execution substrate.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "rt/machine.hpp"
+
+namespace o2k::rt {
+namespace {
+
+TEST(Machine, SinglePeRunsInline) {
+  Machine m;
+  auto rr = m.run(1, [](Pe& pe) {
+    EXPECT_EQ(pe.rank(), 0);
+    EXPECT_EQ(pe.size(), 1);
+    pe.advance(123.0);
+  });
+  EXPECT_EQ(rr.nprocs, 1);
+  EXPECT_DOUBLE_EQ(rr.makespan_ns, 123.0);
+}
+
+TEST(Machine, RejectsBadProcCounts) {
+  Machine m;
+  EXPECT_THROW(m.run(0, [](Pe&) {}), std::invalid_argument);
+  EXPECT_THROW(m.run(65, [](Pe&) {}), std::invalid_argument);
+}
+
+TEST(Machine, MakespanIsMaxOverPes) {
+  Machine m;
+  auto rr = m.run(4, [](Pe& pe) { pe.advance(100.0 * (pe.rank() + 1)); });
+  EXPECT_DOUBLE_EQ(rr.makespan_ns, 400.0);
+  ASSERT_EQ(rr.pe_ns.size(), 4u);
+  EXPECT_DOUBLE_EQ(rr.pe_ns[0], 100.0);
+  EXPECT_DOUBLE_EQ(rr.pe_ns[3], 400.0);
+}
+
+TEST(Machine, NegativeAdvanceRejected) {
+  Machine m;
+  EXPECT_THROW(m.run(1, [](Pe& pe) { pe.advance(-1.0); }), std::invalid_argument);
+}
+
+TEST(Machine, BarrierSynchronisesClocksToMaxPlusCost) {
+  Machine m;
+  auto rr = m.run(4, [](Pe& pe) {
+    pe.advance(50.0 * (pe.rank() + 1));  // clocks: 50, 100, 150, 200
+    pe.barrier(10.0);
+    EXPECT_DOUBLE_EQ(pe.now(), 210.0);
+  });
+  EXPECT_DOUBLE_EQ(rr.makespan_ns, 210.0);
+}
+
+TEST(Machine, RepeatedBarriersStayConsistent) {
+  Machine m;
+  auto rr = m.run(8, [](Pe& pe) {
+    for (int i = 0; i < 50; ++i) {
+      pe.advance(static_cast<double>((pe.rank() * 7 + i * 13) % 10));
+      pe.barrier(1.0);
+    }
+    const double t = pe.now();
+    pe.barrier(0.0);
+    // After a zero-cost barrier all clocks are equal to the same max.
+    EXPECT_GE(pe.now(), t);
+  });
+  // All PEs end at the same time after a final barrier.
+  for (double t : rr.pe_ns) EXPECT_DOUBLE_EQ(t, rr.pe_ns[0]);
+}
+
+TEST(Machine, SyncAtLeastNeverRewinds) {
+  Machine m;
+  m.run(1, [](Pe& pe) {
+    pe.advance(100.0);
+    pe.sync_at_least(50.0);
+    EXPECT_DOUBLE_EQ(pe.now(), 100.0);
+    pe.sync_at_least(150.0);
+    EXPECT_DOUBLE_EQ(pe.now(), 150.0);
+  });
+}
+
+TEST(Machine, PhasesAccumulatePerPe) {
+  Machine m;
+  auto rr = m.run(2, [](Pe& pe) {
+    {
+      auto ph = pe.phase("alpha");
+      pe.advance(100.0 + 100.0 * pe.rank());
+    }
+    {
+      auto ph = pe.phase("beta");
+      pe.advance(10.0);
+    }
+    {
+      auto ph = pe.phase("alpha");
+      pe.advance(1.0);
+    }
+  });
+  EXPECT_DOUBLE_EQ(rr.phases.at("alpha").max_ns, 201.0);
+  EXPECT_DOUBLE_EQ(rr.phases.at("alpha").min_ns, 101.0);
+  EXPECT_DOUBLE_EQ(rr.phases.at("alpha").sum_ns, 302.0);
+  EXPECT_DOUBLE_EQ(rr.phases.at("beta").max_ns, 10.0);
+  EXPECT_DOUBLE_EQ(rr.phase_max("nonexistent"), 0.0);
+}
+
+TEST(Machine, PhaseImbalanceComputed) {
+  Machine m;
+  auto rr = m.run(4, [](Pe& pe) {
+    auto ph = pe.phase("work");
+    pe.advance(pe.rank() == 0 ? 400.0 : 100.0);
+  });
+  // avg = 175, max = 400 → imbalance ≈ 2.2857
+  EXPECT_NEAR(rr.phases.at("work").imbalance(4), 400.0 / 175.0, 1e-12);
+}
+
+TEST(Machine, CountersSummedAcrossPes) {
+  Machine m;
+  auto rr = m.run(4, [](Pe& pe) { pe.add_counter("events", static_cast<std::uint64_t>(pe.rank())); });
+  EXPECT_EQ(rr.counter("events"), 0u + 1 + 2 + 3);
+  EXPECT_EQ(rr.counter("none"), 0u);
+}
+
+TEST(Machine, ExceptionPropagatesFromPe) {
+  Machine m;
+  EXPECT_THROW(m.run(4,
+                     [](Pe& pe) {
+                       pe.barrier(0.0);
+                       if (pe.rank() == 2) throw std::runtime_error("worker failed");
+                       // Other PEs block here; the abort must release them.
+                       pe.barrier(0.0);
+                     }),
+               std::runtime_error);
+}
+
+TEST(Machine, ReusableAcrossRuns) {
+  Machine m;
+  auto r1 = m.run(2, [](Pe& pe) { pe.advance(10.0); });
+  auto r2 = m.run(8, [](Pe& pe) { pe.advance(20.0); });
+  EXPECT_DOUBLE_EQ(r1.makespan_ns, 10.0);
+  EXPECT_DOUBLE_EQ(r2.makespan_ns, 20.0);
+  // Recovers after a failed run, too.
+  EXPECT_THROW(m.run(2, [](Pe&) { throw std::runtime_error("x"); }), std::runtime_error);
+  auto r3 = m.run(4, [](Pe& pe) { pe.advance(1.0); });
+  EXPECT_DOUBLE_EQ(r3.makespan_ns, 1.0);
+}
+
+class MachineP : public ::testing::TestWithParam<int> {};
+
+TEST_P(MachineP, DeterministicMakespanWithBarriers) {
+  const int p = GetParam();
+  Machine m;
+  auto body = [](Pe& pe) {
+    for (int i = 0; i < 20; ++i) {
+      pe.advance(static_cast<double>((pe.rank() + 1) * (i + 1)));
+      pe.barrier(5.0);
+    }
+  };
+  const auto r1 = m.run(p, body);
+  const auto r2 = m.run(p, body);
+  EXPECT_DOUBLE_EQ(r1.makespan_ns, r2.makespan_ns);
+  EXPECT_EQ(r1.pe_ns, r2.pe_ns);
+}
+
+TEST_P(MachineP, BarrierCostChargedOnce) {
+  const int p = GetParam();
+  Machine m;
+  auto rr = m.run(p, [](Pe& pe) { pe.barrier(100.0); });
+  EXPECT_DOUBLE_EQ(rr.makespan_ns, 100.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(ProcCounts, MachineP, ::testing::Values(1, 2, 3, 4, 8, 16, 32, 64));
+
+}  // namespace
+}  // namespace o2k::rt

@@ -1,0 +1,276 @@
+// Tests for the CC-SAS runtime: placement, cache/coherence premiums,
+// synchronisation and parallel loops.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <numeric>
+
+#include "sas/sas.hpp"
+
+namespace o2k::sas {
+namespace {
+
+rt::Machine& machine() {
+  static rt::Machine m;
+  return m;
+}
+
+constexpr std::size_t kArena = std::size_t{16} << 20;
+
+TEST(SasWorld, AllocationsArePageAligned) {
+  World w(machine().params(), 2, kArena);
+  auto a = w.alloc<double>(3);
+  auto b = w.alloc<double>(3);
+  const auto page = static_cast<std::size_t>(machine().params().page_bytes);
+  EXPECT_EQ(a.offset % page, 0u);
+  EXPECT_EQ(b.offset % page, 0u);
+  EXPECT_NE(a.offset, b.offset);
+}
+
+TEST(SasWorld, ArenaExhaustionDetected) {
+  World w(machine().params(), 1, std::size_t{1} << 20);
+  EXPECT_THROW((void)w.alloc<double>(10'000'000), std::invalid_argument);
+}
+
+TEST(SasWorld, SharedDataVisibleToAllPes) {
+  World w(machine().params(), 4, kArena);
+  auto arr = w.alloc<int>(4);
+  machine().run(4, [&](rt::Pe& pe) {
+    Team team(w, pe);
+    team.write(arr, static_cast<std::size_t>(pe.rank()), pe.rank() * 3);
+    team.barrier();
+    for (std::size_t i = 0; i < 4; ++i) {
+      EXPECT_EQ(team.read(arr, i), static_cast<int>(i) * 3);
+    }
+  });
+}
+
+TEST(SasCache, HitsAreFreeMissesLocalFree) {
+  World w(machine().params(), 2, kArena);
+  auto arr = w.alloc<double>(1024);
+  machine().run(2, [&](rt::Pe& pe) {
+    Team team(w, pe);
+    if (pe.rank() == 0) {
+      // First touch homes the pages on PE 0's node; PE 1 shares the node
+      // (2 PEs per node) so neither pays a remote premium.
+      const double t0 = pe.now();
+      team.touch_read_range(arr, 0, 1024);
+      EXPECT_DOUBLE_EQ(pe.now(), t0);  // local misses are folded into kernels
+      const double t1 = pe.now();
+      team.touch_read_range(arr, 0, 1024);  // all hits now
+      EXPECT_DOUBLE_EQ(pe.now(), t1);
+    }
+    team.barrier();
+  });
+}
+
+TEST(SasCache, RemoteMissChargesPremium) {
+  World w(machine().params(), 8, kArena);
+  auto arr = w.alloc<double>(4096);
+  machine().run(8, [&](rt::Pe& pe) {
+    Team team(w, pe);
+    if (pe.rank() == 0) team.touch_read_range(arr, 0, 4096);  // first-touch → node 0
+    team.barrier();
+    if (pe.rank() == 6) {  // node 3: remote
+      const double t0 = pe.now();
+      team.touch_read_range(arr, 0, 4096);
+      EXPECT_GT(pe.now(), t0);
+    }
+    team.barrier();
+  });
+}
+
+TEST(SasCache, InvalidationForcesRefetch) {
+  World w(machine().params(), 8, kArena);
+  auto arr = w.alloc<double>(16);
+  std::array<double, 3> cost{};
+  machine().run(8, [&](rt::Pe& pe) {
+    Team team(w, pe);
+    if (pe.rank() == 6) {
+      const double t0 = pe.now();
+      team.touch_read_range(arr, 0, 16);  // first touch homes remotely? no — PE6 touches first
+      cost[0] = pe.now() - t0;
+    }
+    team.barrier();
+    if (pe.rank() == 0) team.touch_write_range(arr, 0, 16);  // invalidates PE6's copy
+    team.barrier();
+    if (pe.rank() == 6) {
+      const double t1 = pe.now();
+      team.touch_read_range(arr, 0, 16);  // stale → miss again (home = PE6: local)
+      cost[1] = pe.now() - t1;
+      const double t2 = pe.now();
+      team.touch_read_range(arr, 0, 16);  // now cached
+      cost[2] = pe.now() - t2;
+    }
+    team.barrier();
+  });
+  // First touch by PE6 = local, free; after PE0's write the line version
+  // changed so PE6 re-misses (still local home, so premium 0) — but the
+  // version-based invalidation must at least not *increase* costs for the
+  // cached case.
+  EXPECT_DOUBLE_EQ(cost[2], 0.0);
+}
+
+TEST(SasCache, OwnershipTransferChargedOnSharedWrites) {
+  World w(machine().params(), 4, kArena);
+  auto arr = w.alloc<double>(4);  // one cache line
+  std::array<double, 2> cost{};
+  machine().run(4, [&](rt::Pe& pe) {
+    Team team(w, pe);
+    if (pe.rank() == 0) {
+      const double t0 = pe.now();
+      team.touch_write_range(arr, 0, 1);
+      cost[0] = pe.now() - t0;  // first write: no other writer
+    }
+    team.barrier();
+    if (pe.rank() == 1) {
+      const double t0 = pe.now();
+      team.touch_write_range(arr, 1, 1);  // same line, last written by PE 0
+      cost[1] = pe.now() - t0;
+    }
+    team.barrier();
+  });
+  EXPECT_GT(cost[1], cost[0]);  // false sharing pays the ownership premium
+}
+
+TEST(SasPlacement, RoundRobinSpreadsPages) {
+  World w(machine().params(), 4, kArena, Placement::kRoundRobin);
+  auto arr = w.alloc<double>(4 * 16384 / sizeof(double));  // 4 pages
+  // Under round-robin, PE 2 (node 1) reading page 0 (home PE 0, node 0)
+  // pays a premium even as the first toucher.
+  machine().run(4, [&](rt::Pe& pe) {
+    Team team(w, pe);
+    if (pe.rank() == 2) {
+      const double t0 = pe.now();
+      team.touch_read_range(arr, 0, 4);
+      EXPECT_GT(pe.now(), t0);
+    }
+    team.barrier();
+  });
+}
+
+TEST(SasPlacement, ResetHomesRestoresFirstTouch) {
+  World w(machine().params(), 8, kArena);
+  auto arr = w.alloc<double>(64);
+  machine().run(8, [&](rt::Pe& pe) {
+    Team team(w, pe);
+    if (pe.rank() == 0) team.touch_read_range(arr, 0, 64);
+    team.barrier();
+    if (pe.rank() == 0) w.reset_homes(arr);
+    team.barrier();
+    if (pe.rank() == 6) {
+      const double t0 = pe.now();
+      team.touch_read_range(arr, 0, 64);  // re-first-touched by PE 6 → local
+      EXPECT_DOUBLE_EQ(pe.now(), t0);
+    }
+    team.barrier();
+  });
+}
+
+TEST(SasSync, LocksSerialiseInVirtualTime) {
+  World w(machine().params(), 4, kArena);
+  machine().run(4, [&](rt::Pe& pe) {
+    Team team(w, pe);
+    team.lock(5);
+    team.unlock(5);
+    team.barrier();
+  });
+  // Each acquire is serialised behind the previous holder's release: total
+  // time at the last PE must cover all four critical sections.
+  World w2(machine().params(), 4, kArena);
+  auto rr = machine().run(4, [&](rt::Pe& pe) {
+    Team team(w2, pe);
+    team.lock(1);
+    pe.advance(1000.0);
+    team.unlock(1);
+    team.barrier();
+  });
+  EXPECT_GE(rr.makespan_ns, 4000.0);
+}
+
+TEST(SasSync, ReductionsAreExactAndUniform) {
+  World w(machine().params(), 8, kArena);
+  std::array<double, 8> results{};
+  machine().run(8, [&](rt::Pe& pe) {
+    Team team(w, pe);
+    results[static_cast<std::size_t>(pe.rank())] =
+        team.reduce_sum(static_cast<double>(pe.rank() + 1));
+    EXPECT_EQ(team.reduce_sum(static_cast<std::int64_t>(2)), 16);
+    EXPECT_DOUBLE_EQ(team.reduce_max(static_cast<double>(pe.rank())), 7.0);
+  });
+  for (double r : results) EXPECT_DOUBLE_EQ(r, 36.0);
+}
+
+TEST(SasLoops, StaticRangeCoversAll) {
+  World w(machine().params(), 8, kArena);
+  std::atomic<int> total{0};
+  machine().run(8, [&](rt::Pe& pe) {
+    Team team(w, pe);
+    team.parallel_for_static(3, 1003, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 1000);
+}
+
+TEST(SasLoops, StaticRangesDisjointAndOrdered) {
+  World w(machine().params(), 7, kArena);
+  machine().run(7, [&](rt::Pe& pe) {
+    Team team(w, pe);
+    const auto [lo, hi] = team.static_range(0, 100);
+    EXPECT_LE(lo, hi);
+    if (pe.rank() == 0) EXPECT_EQ(lo, 0u);
+    if (pe.rank() == 6) EXPECT_EQ(hi, 100u);
+  });
+}
+
+TEST(SasLoops, DynamicExecutesEachIndexOnce) {
+  World w(machine().params(), 8, kArena);
+  std::vector<std::atomic<int>> hits(500);
+  machine().run(8, [&](rt::Pe& pe) {
+    Team team(w, pe);
+    team.parallel_for_dynamic(0, 500, 16, [&](std::size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+      pe.advance(10.0);
+    });
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(SasLoops, DynamicBalancesSkewedWork) {
+  // Work is heavily skewed to low indices; dynamic scheduling should keep
+  // the virtual makespan well below a static split's.
+  const auto work = [](std::size_t i) { return i < 32 ? 10000.0 : 10.0; };
+  World w1(machine().params(), 8, kArena);
+  auto stat = machine().run(8, [&](rt::Pe& pe) {
+    Team team(w1, pe);
+    team.parallel_for_static(0, 256, [&](std::size_t i) { pe.advance(work(i)); });
+    team.barrier();
+  });
+  World w2(machine().params(), 8, kArena);
+  auto dyn = machine().run(8, [&](rt::Pe& pe) {
+    Team team(w2, pe);
+    team.parallel_for_dynamic(0, 256, 4, [&](std::size_t i) { pe.advance(work(i)); });
+  });
+  EXPECT_LT(dyn.makespan_ns, stat.makespan_ns);
+}
+
+class SasLoopP : public ::testing::TestWithParam<int> {};
+
+TEST_P(SasLoopP, DynamicCompletesAtAnyProcCount) {
+  const int p = GetParam();
+  World w(machine().params(), p, kArena);
+  std::atomic<long> sum{0};
+  machine().run(p, [&](rt::Pe& pe) {
+    Team team(w, pe);
+    team.parallel_for_dynamic(0, 300, 7, [&](std::size_t i) {
+      sum.fetch_add(static_cast<long>(i), std::memory_order_relaxed);
+      pe.advance(static_cast<double>(i % 11) * 5.0);
+    });
+  });
+  EXPECT_EQ(sum.load(), 300L * 299 / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(ProcCounts, SasLoopP, ::testing::Values(1, 2, 3, 5, 8, 16));
+
+}  // namespace
+}  // namespace o2k::sas
