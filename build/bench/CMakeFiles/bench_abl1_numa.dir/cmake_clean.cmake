@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl1_numa.dir/bench_abl1_numa.cpp.o"
+  "CMakeFiles/bench_abl1_numa.dir/bench_abl1_numa.cpp.o.d"
+  "bench_abl1_numa"
+  "bench_abl1_numa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl1_numa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

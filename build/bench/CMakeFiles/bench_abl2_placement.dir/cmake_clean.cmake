@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl2_placement.dir/bench_abl2_placement.cpp.o"
+  "CMakeFiles/bench_abl2_placement.dir/bench_abl2_placement.cpp.o.d"
+  "bench_abl2_placement"
+  "bench_abl2_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl2_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

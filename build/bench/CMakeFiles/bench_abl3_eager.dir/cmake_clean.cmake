@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl3_eager.dir/bench_abl3_eager.cpp.o"
+  "CMakeFiles/bench_abl3_eager.dir/bench_abl3_eager.cpp.o.d"
+  "bench_abl3_eager"
+  "bench_abl3_eager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl3_eager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl4_partition.dir/bench_abl4_partition.cpp.o"
+  "CMakeFiles/bench_abl4_partition.dir/bench_abl4_partition.cpp.o.d"
+  "bench_abl4_partition"
+  "bench_abl4_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl4_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

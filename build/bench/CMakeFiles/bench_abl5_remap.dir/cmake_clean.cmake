@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl5_remap.dir/bench_abl5_remap.cpp.o"
+  "CMakeFiles/bench_abl5_remap.dir/bench_abl5_remap.cpp.o.d"
+  "bench_abl5_remap"
+  "bench_abl5_remap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl5_remap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig6_commvolume.cpp" "bench/CMakeFiles/bench_fig6_commvolume.dir/bench_fig6_commvolume.cpp.o" "gcc" "bench/CMakeFiles/bench_fig6_commvolume.dir/bench_fig6_commvolume.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/o2k_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/o2k_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/o2k_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/shmem/CMakeFiles/o2k_shmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sas/CMakeFiles/o2k_sas.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/o2k_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/origin/CMakeFiles/o2k_origin.dir/DependInfo.cmake"
+  "/root/repo/build/src/nbody/CMakeFiles/o2k_nbody.dir/DependInfo.cmake"
+  "/root/repo/build/src/plum/CMakeFiles/o2k_plum.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/o2k_mesh.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_commvolume.dir/bench_fig6_commvolume.cpp.o"
+  "CMakeFiles/bench_fig6_commvolume.dir/bench_fig6_commvolume.cpp.o.d"
+  "bench_fig6_commvolume"
+  "bench_fig6_commvolume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_commvolume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_mesh.dir/adaptive_mesh.cpp.o"
+  "CMakeFiles/adaptive_mesh.dir/adaptive_mesh.cpp.o.d"
+  "adaptive_mesh"
+  "adaptive_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_adapted_mesh.dir/export_adapted_mesh.cpp.o"
+  "CMakeFiles/export_adapted_mesh.dir/export_adapted_mesh.cpp.o.d"
+  "export_adapted_mesh"
+  "export_adapted_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_adapted_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

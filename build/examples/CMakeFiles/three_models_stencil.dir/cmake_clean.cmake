@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/three_models_stencil.dir/three_models_stencil.cpp.o"
+  "CMakeFiles/three_models_stencil.dir/three_models_stencil.cpp.o.d"
+  "three_models_stencil"
+  "three_models_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/three_models_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for three_models_stencil.
+# This may be replaced when dependencies are built.

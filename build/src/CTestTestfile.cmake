@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("origin")
+subdirs("rt")
+subdirs("mp")
+subdirs("shmem")
+subdirs("sas")
+subdirs("mesh")
+subdirs("plum")
+subdirs("nbody")
+subdirs("apps")
+subdirs("metrics")

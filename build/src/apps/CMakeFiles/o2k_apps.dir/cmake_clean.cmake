@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/o2k_apps.dir/mesh_detail.cpp.o"
+  "CMakeFiles/o2k_apps.dir/mesh_detail.cpp.o.d"
+  "CMakeFiles/o2k_apps.dir/mesh_mp.cpp.o"
+  "CMakeFiles/o2k_apps.dir/mesh_mp.cpp.o.d"
+  "CMakeFiles/o2k_apps.dir/mesh_sas.cpp.o"
+  "CMakeFiles/o2k_apps.dir/mesh_sas.cpp.o.d"
+  "CMakeFiles/o2k_apps.dir/mesh_serial.cpp.o"
+  "CMakeFiles/o2k_apps.dir/mesh_serial.cpp.o.d"
+  "CMakeFiles/o2k_apps.dir/mesh_shmem.cpp.o"
+  "CMakeFiles/o2k_apps.dir/mesh_shmem.cpp.o.d"
+  "CMakeFiles/o2k_apps.dir/nbody_detail.cpp.o"
+  "CMakeFiles/o2k_apps.dir/nbody_detail.cpp.o.d"
+  "CMakeFiles/o2k_apps.dir/nbody_mp.cpp.o"
+  "CMakeFiles/o2k_apps.dir/nbody_mp.cpp.o.d"
+  "CMakeFiles/o2k_apps.dir/nbody_sas.cpp.o"
+  "CMakeFiles/o2k_apps.dir/nbody_sas.cpp.o.d"
+  "CMakeFiles/o2k_apps.dir/nbody_serial.cpp.o"
+  "CMakeFiles/o2k_apps.dir/nbody_serial.cpp.o.d"
+  "CMakeFiles/o2k_apps.dir/nbody_shmem.cpp.o"
+  "CMakeFiles/o2k_apps.dir/nbody_shmem.cpp.o.d"
+  "libo2k_apps.a"
+  "libo2k_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/o2k_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libo2k_apps.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/o2k_common.dir/cli.cpp.o"
+  "CMakeFiles/o2k_common.dir/cli.cpp.o.d"
+  "CMakeFiles/o2k_common.dir/table.cpp.o"
+  "CMakeFiles/o2k_common.dir/table.cpp.o.d"
+  "libo2k_common.a"
+  "libo2k_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/o2k_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

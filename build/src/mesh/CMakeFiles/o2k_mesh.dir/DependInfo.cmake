@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mesh/dualgraph.cpp" "src/mesh/CMakeFiles/o2k_mesh.dir/dualgraph.cpp.o" "gcc" "src/mesh/CMakeFiles/o2k_mesh.dir/dualgraph.cpp.o.d"
+  "/root/repo/src/mesh/io.cpp" "src/mesh/CMakeFiles/o2k_mesh.dir/io.cpp.o" "gcc" "src/mesh/CMakeFiles/o2k_mesh.dir/io.cpp.o.d"
+  "/root/repo/src/mesh/mesh.cpp" "src/mesh/CMakeFiles/o2k_mesh.dir/mesh.cpp.o" "gcc" "src/mesh/CMakeFiles/o2k_mesh.dir/mesh.cpp.o.d"
+  "/root/repo/src/mesh/quality.cpp" "src/mesh/CMakeFiles/o2k_mesh.dir/quality.cpp.o" "gcc" "src/mesh/CMakeFiles/o2k_mesh.dir/quality.cpp.o.d"
+  "/root/repo/src/mesh/refine.cpp" "src/mesh/CMakeFiles/o2k_mesh.dir/refine.cpp.o" "gcc" "src/mesh/CMakeFiles/o2k_mesh.dir/refine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/o2k_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/o2k_mesh.dir/dualgraph.cpp.o"
+  "CMakeFiles/o2k_mesh.dir/dualgraph.cpp.o.d"
+  "CMakeFiles/o2k_mesh.dir/io.cpp.o"
+  "CMakeFiles/o2k_mesh.dir/io.cpp.o.d"
+  "CMakeFiles/o2k_mesh.dir/mesh.cpp.o"
+  "CMakeFiles/o2k_mesh.dir/mesh.cpp.o.d"
+  "CMakeFiles/o2k_mesh.dir/quality.cpp.o"
+  "CMakeFiles/o2k_mesh.dir/quality.cpp.o.d"
+  "CMakeFiles/o2k_mesh.dir/refine.cpp.o"
+  "CMakeFiles/o2k_mesh.dir/refine.cpp.o.d"
+  "libo2k_mesh.a"
+  "libo2k_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/o2k_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

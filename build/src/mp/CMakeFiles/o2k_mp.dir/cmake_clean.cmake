@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/o2k_mp.dir/comm.cpp.o"
+  "CMakeFiles/o2k_mp.dir/comm.cpp.o.d"
+  "libo2k_mp.a"
+  "libo2k_mp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/o2k_mp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

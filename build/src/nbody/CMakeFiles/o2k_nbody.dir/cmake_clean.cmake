@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/o2k_nbody.dir/body.cpp.o"
+  "CMakeFiles/o2k_nbody.dir/body.cpp.o.d"
+  "CMakeFiles/o2k_nbody.dir/octree.cpp.o"
+  "CMakeFiles/o2k_nbody.dir/octree.cpp.o.d"
+  "CMakeFiles/o2k_nbody.dir/partition.cpp.o"
+  "CMakeFiles/o2k_nbody.dir/partition.cpp.o.d"
+  "libo2k_nbody.a"
+  "libo2k_nbody.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/o2k_nbody.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/o2k_origin.dir/params.cpp.o"
+  "CMakeFiles/o2k_origin.dir/params.cpp.o.d"
+  "libo2k_origin.a"
+  "libo2k_origin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/o2k_origin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plum/partition.cpp" "src/plum/CMakeFiles/o2k_plum.dir/partition.cpp.o" "gcc" "src/plum/CMakeFiles/o2k_plum.dir/partition.cpp.o.d"
+  "/root/repo/src/plum/remap.cpp" "src/plum/CMakeFiles/o2k_plum.dir/remap.cpp.o" "gcc" "src/plum/CMakeFiles/o2k_plum.dir/remap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/o2k_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/o2k_mesh.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

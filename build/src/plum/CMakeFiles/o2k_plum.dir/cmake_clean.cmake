@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/o2k_plum.dir/partition.cpp.o"
+  "CMakeFiles/o2k_plum.dir/partition.cpp.o.d"
+  "CMakeFiles/o2k_plum.dir/remap.cpp.o"
+  "CMakeFiles/o2k_plum.dir/remap.cpp.o.d"
+  "libo2k_plum.a"
+  "libo2k_plum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/o2k_plum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/o2k_rt.dir/machine.cpp.o"
+  "CMakeFiles/o2k_rt.dir/machine.cpp.o.d"
+  "libo2k_rt.a"
+  "libo2k_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/o2k_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

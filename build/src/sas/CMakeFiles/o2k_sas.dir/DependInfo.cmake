@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sas/sas.cpp" "src/sas/CMakeFiles/o2k_sas.dir/sas.cpp.o" "gcc" "src/sas/CMakeFiles/o2k_sas.dir/sas.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rt/CMakeFiles/o2k_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/origin/CMakeFiles/o2k_origin.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/o2k_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

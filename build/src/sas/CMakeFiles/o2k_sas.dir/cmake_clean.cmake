@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/o2k_sas.dir/sas.cpp.o"
+  "CMakeFiles/o2k_sas.dir/sas.cpp.o.d"
+  "libo2k_sas.a"
+  "libo2k_sas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/o2k_sas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

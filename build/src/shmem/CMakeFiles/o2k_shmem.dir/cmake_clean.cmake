@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/o2k_shmem.dir/shmem.cpp.o"
+  "CMakeFiles/o2k_shmem.dir/shmem.cpp.o.d"
+  "libo2k_shmem.a"
+  "libo2k_shmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/o2k_shmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_mesh.dir/test_apps_mesh.cpp.o"
+  "CMakeFiles/test_apps_mesh.dir/test_apps_mesh.cpp.o.d"
+  "test_apps_mesh"
+  "test_apps_mesh.pdb"
+  "test_apps_mesh[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_nbody.dir/test_apps_nbody.cpp.o"
+  "CMakeFiles/test_apps_nbody.dir/test_apps_nbody.cpp.o.d"
+  "test_apps_nbody"
+  "test_apps_nbody.pdb"
+  "test_apps_nbody[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_nbody.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nbody.dir/test_nbody.cpp.o"
+  "CMakeFiles/test_nbody.dir/test_nbody.cpp.o.d"
+  "test_nbody"
+  "test_nbody.pdb"
+  "test_nbody[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nbody.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_origin.dir/test_origin.cpp.o"
+  "CMakeFiles/test_origin.dir/test_origin.cpp.o.d"
+  "test_origin"
+  "test_origin.pdb"
+  "test_origin[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_origin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

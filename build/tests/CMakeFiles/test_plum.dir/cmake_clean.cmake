@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_plum.dir/test_plum.cpp.o"
+  "CMakeFiles/test_plum.dir/test_plum.cpp.o.d"
+  "test_plum"
+  "test_plum.pdb"
+  "test_plum[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_plum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sas.dir/test_sas.cpp.o"
+  "CMakeFiles/test_sas.dir/test_sas.cpp.o.d"
+  "test_sas"
+  "test_sas.pdb"
+  "test_sas[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
