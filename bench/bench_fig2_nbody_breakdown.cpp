@@ -22,20 +22,23 @@ int main(int argc, char** argv) {
   const int p = static_cast<int>(cli.get_int("p", 32));
 
   rt::Machine machine;
+  const metrics::Options mopts = metrics::Options::from_cli(cli);
   bench::Emitter out("bench_fig2_nbody_breakdown", cli,
                      "R-F2: N-body phase breakdown at P=" + std::to_string(p) + " (" +
                          std::to_string(cfg.n) + " bodies)");
   out.header({"model", "total", "tree", "force", "update", "comm", "balance",
               "force imbalance"});
   for (const auto model : bench::all_models()) {
-    const auto rep = apps::run_nbody(model, machine, p, cfg);
-    const auto& r = rep.run;
-    const auto force_it = r.phases.find("force");
+    // One structured report per model point instead of scraping RunResult
+    // phase maps; --trace/--report here drops per-model artifacts too.
+    const metrics::RunReport r = bench::run_point(
+        machine, p, mopts, "nbody", model,
+        [&](rt::Machine& m) { return apps::run_nbody(model, m, p, cfg); });
     out.row({apps::model_name(model), TextTable::time_ns(r.makespan_ns),
              TextTable::time_ns(r.phase_max("tree")), TextTable::time_ns(r.phase_max("force")),
              TextTable::time_ns(r.phase_max("update")), TextTable::time_ns(r.phase_max("comm")),
              TextTable::time_ns(r.phase_max("balance")),
-             force_it == r.phases.end() ? "-" : TextTable::num(force_it->second.imbalance(p))});
+             r.phase("force") == nullptr ? "-" : TextTable::num(r.phase_imbalance("force"))});
   }
   out.print();
   std::cout << "\nShape check: force dominates; comm+balance > 0 only for MP/SHMEM;\n"

@@ -7,6 +7,7 @@
 // size flags) for paper-scale runs.
 #pragma once
 
+#include <functional>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -15,6 +16,7 @@
 #include "apps/nbody_app.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
+#include "metrics/metrics.hpp"
 
 namespace o2k::bench {
 
@@ -24,13 +26,31 @@ inline std::vector<apps::Model> all_models() {
   return {apps::Model::kMp, apps::Model::kShmem, apps::Model::kSas};
 }
 
-/// Standard flags shared by the app-level benches.
+/// Standard flags shared by the app-level benches (includes the metrics
+/// --trace/--report/--comm family; see src/metrics/README.md).
 inline std::map<std::string, std::string> common_flags() {
-  return {
+  std::map<std::string, std::string> flags{
       {"procs", "comma-separated processor counts (default 1,2,4,8,16,32,64)"},
       {"full", "run at paper scale instead of smoke scale"},
       {"csv", "CSV output path (default <bench>.csv)"},
   };
+  metrics::add_cli_flags(flags);
+  return flags;
+}
+
+/// Run one (model, P) measurement point under the shared metrics flags and
+/// return its structured report.  When --trace/--report/--comm was passed,
+/// each point fans out into its own artifact tagged `label` (e.g.
+/// "out.json" -> "out.mp_p8.json" via metrics::Options::with_label); with
+/// no metrics flag this is exactly a bare run.
+inline metrics::RunReport run_point(rt::Machine& machine, int nprocs,
+                                    const metrics::Options& base, const std::string& app,
+                                    apps::Model model,
+                                    const std::function<apps::AppReport(rt::Machine&)>& run) {
+  const std::string label = std::string(apps::model_slug(model)) + "_p" + std::to_string(nprocs);
+  metrics::Session session(machine, nprocs, base.with_label(label));
+  const apps::AppReport rep = run(machine);
+  return session.finish(rep.run, app, apps::model_name(model));
 }
 
 /// Emit a table and mirror it to CSV.

@@ -1,0 +1,112 @@
+#include "apps/main/app_main.hpp"
+
+#include <functional>
+#include <iostream>
+#include <string>
+
+#include "apps/mesh_app.hpp"
+#include "apps/nbody_app.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "metrics/metrics.hpp"
+
+namespace o2k::apps::appmain {
+
+namespace {
+
+/// Run under an attached metrics session, print the standard summary.
+int run_and_report(rt::Machine& machine, int nprocs, const std::string& app, Model model,
+                   const metrics::Options& mopts,
+                   const std::function<AppReport(rt::Machine&)>& run) {
+  metrics::Session session(machine, nprocs, mopts);
+  const AppReport rep = run(machine);
+  const metrics::RunReport report = session.finish(rep.run, app, model_name(model));
+
+  TextTable t(app + " / " + model_name(model) + " on " + std::to_string(nprocs) +
+              " simulated PEs  (makespan " + TextTable::time_ns(report.makespan_ns) + ")");
+  t.header({"phase", "max", "avg", "min", "imbalance", "pes"});
+  for (const auto& p : report.phases) {
+    t.row({p.name, TextTable::time_ns(p.max_ns), TextTable::time_ns(p.avg_ns),
+           TextTable::time_ns(p.min_ns), TextTable::num(p.imbalance), std::to_string(p.pes)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\ncomm: " << TextTable::bytes(static_cast<double>(report.comm_bytes)) << " in "
+            << report.comm_msgs << " transfers\n";
+  if (report.trace_events > 0) {
+    std::cout << "trace: " << report.trace_events << " events recorded, "
+              << report.trace_dropped << " dropped by ring bound\n";
+  }
+  for (const auto& [k, v] : rep.checks) std::cout << "check " << k << " = " << v << '\n';
+  if (!mopts.trace_path.empty()) std::cout << "wrote trace:  " << mopts.trace_path << '\n';
+  if (!mopts.comm_path.empty()) std::cout << "wrote comm:   " << mopts.comm_path << '\n';
+  if (!mopts.report_path.empty()) std::cout << "wrote report: " << mopts.report_path << '\n';
+  return 0;
+}
+
+}  // namespace
+
+int nbody_main(int argc, char** argv, Model model) {
+  std::map<std::string, std::string> flags{
+      {"p", "simulated processor count (default 8)"},
+      {"n", "number of bodies (default 4096)"},
+      {"steps", "leapfrog steps (default 2)"},
+      {"theta", "opening criterion (default 0.7)"},
+      {"seed", "RNG seed"},
+      {"rebalance-every", "rebalance cadence in steps, 0 = never (default 1)"},
+      {"uniform-sphere", "use the less-adaptive uniform initial condition"},
+  };
+  metrics::add_cli_flags(flags);
+  Cli cli(argc, argv, flags);
+  if (cli.has("help")) {
+    std::cout << cli.help();
+    return 0;
+  }
+
+  NbodyConfig cfg;
+  cfg.n = static_cast<std::size_t>(cli.get_int("n", static_cast<std::int64_t>(cfg.n)));
+  cfg.steps = static_cast<int>(cli.get_int("steps", cfg.steps));
+  cfg.theta = cli.get_double("theta", cfg.theta);
+  cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", static_cast<std::int64_t>(cfg.seed)));
+  cfg.rebalance_every = static_cast<int>(cli.get_int("rebalance-every", cfg.rebalance_every));
+  cfg.uniform_sphere = cli.get_bool("uniform-sphere", cfg.uniform_sphere);
+  const int p = static_cast<int>(cli.get_int("p", 8));
+
+  rt::Machine machine;
+  return run_and_report(machine, p, std::string("nbody_") + model_slug(model), model,
+                        metrics::Options::from_cli(cli), [&](rt::Machine& m) {
+                          return run_nbody(model, m, p, cfg);
+                        });
+}
+
+int mesh_main(int argc, char** argv, Model model) {
+  std::map<std::string, std::string> flags{
+      {"p", "simulated processor count (default 8)"},
+      {"box", "initial box resolution per axis (default 10)"},
+      {"phases", "adaptation phases (default 3)"},
+      {"solve-ns", "surrogate solver work per element per phase in ns"},
+      {"no-plum", "disable the PLUM balance stage (MP/SHMEM)"},
+  };
+  metrics::add_cli_flags(flags);
+  Cli cli(argc, argv, flags);
+  if (cli.has("help")) {
+    std::cout << cli.help();
+    return 0;
+  }
+
+  MeshConfig cfg;
+  const int box = static_cast<int>(cli.get_int("box", cfg.nx));
+  cfg.nx = cfg.ny = cfg.nz = box;
+  cfg.phases = static_cast<int>(cli.get_int("phases", cfg.phases));
+  cfg.solve_ns_per_tet = cli.get_double("solve-ns", cfg.solve_ns_per_tet);
+  cfg.use_plum = !cli.get_bool("no-plum", false);
+  const int p = static_cast<int>(cli.get_int("p", 8));
+
+  rt::Machine machine;
+  return run_and_report(machine, p, std::string("mesh_") + model_slug(model), model,
+                        metrics::Options::from_cli(cli), [&](rt::Machine& m) {
+                          return run_mesh(model, m, p, cfg);
+                        });
+}
+
+}  // namespace o2k::apps::appmain

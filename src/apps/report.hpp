@@ -38,4 +38,17 @@ inline const char* model_name(Model m) {
   return "?";
 }
 
+/// Short lowercase tag for file names and artifact labels.
+inline const char* model_slug(Model m) {
+  switch (m) {
+    case Model::kMp:
+      return "mp";
+    case Model::kShmem:
+      return "shmem";
+    case Model::kSas:
+      return "sas";
+  }
+  return "?";
+}
+
 }  // namespace o2k::apps

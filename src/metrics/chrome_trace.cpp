@@ -1,0 +1,139 @@
+#include "metrics/chrome_trace.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "common/check.hpp"
+#include "metrics/json.hpp"
+
+namespace o2k::metrics {
+
+namespace {
+
+constexpr double kNsPerUs = 1000.0;
+
+void event_common(JsonWriter& j, const char* ph, double ts_ns, int pe) {
+  j.kv("ph", ph);
+  j.kv("ts", ts_ns / kNsPerUs);
+  j.kv("pid", 0);
+  j.kv("tid", pe);
+}
+
+void write_pe_events(JsonWriter& j, const TraceCollector& tc, int pe) {
+  // Counters are emitted as running totals so the Perfetto counter track
+  // shows cumulative volume rather than per-event deltas.
+  std::vector<std::uint64_t> totals;
+  for (const Event& e : tc.events(pe)) {
+    switch (e.kind) {
+      case EventKind::kPhaseBegin:
+      case EventKind::kPhaseEnd:
+        j.begin_object();
+        j.kv("name", tc.name(pe, e.name));
+        j.kv("cat", "phase");
+        event_common(j, e.kind == EventKind::kPhaseBegin ? "B" : "E", e.t_ns, pe);
+        j.end_object();
+        break;
+      case EventKind::kBarrier:
+        j.begin_object();
+        j.kv("name", "barrier");
+        j.kv("cat", "sync");
+        event_common(j, "X", e.t_ns, pe);
+        j.kv("dur", (e.t2_ns - e.t_ns) / kNsPerUs);
+        j.end_object();
+        break;
+      case EventKind::kSend:
+      case EventKind::kRecv:
+        j.begin_object();
+        j.kv("name", e.kind == EventKind::kSend ? "send" : "recv");
+        j.kv("cat", "comm");
+        event_common(j, "i", e.t_ns, pe);
+        j.kv("s", "t");  // thread-scoped instant
+        j.key("args");
+        j.begin_object();
+        j.kv("peer", static_cast<std::int64_t>(e.peer));
+        j.kv("bytes", e.value);
+        j.end_object();
+        j.end_object();
+        break;
+      case EventKind::kCounter: {
+        if (e.name >= totals.size()) totals.resize(e.name + 1, 0);
+        totals[e.name] += e.value;
+        j.begin_object();
+        j.kv("name", tc.name(pe, e.name));
+        j.kv("cat", "counter");
+        event_common(j, "C", e.t_ns, pe);
+        j.key("args");
+        j.begin_object();
+        j.kv("value", totals[e.name]);
+        j.end_object();
+        j.end_object();
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void write_chrome_trace(const TraceCollector& tc, std::ostream& os) {
+  JsonWriter j(os);
+  j.begin_object();
+  j.kv("displayTimeUnit", "ns");
+  j.kv("otherData_note", "timestamps are simulated Origin2000 nanoseconds (virtual time)");
+  j.key("traceEvents");
+  j.begin_array();
+
+  // Metadata: name the process and one thread track per PE.
+  j.begin_object();
+  j.kv("name", "process_name");
+  j.kv("ph", "M");
+  j.kv("pid", 0);
+  j.key("args");
+  j.begin_object();
+  j.kv("name", "o2k virtual Origin2000");
+  j.end_object();
+  j.end_object();
+  for (int pe = 0; pe < tc.nprocs(); ++pe) {
+    j.begin_object();
+    j.kv("name", "thread_name");
+    j.kv("ph", "M");
+    j.kv("pid", 0);
+    j.kv("tid", pe);
+    j.key("args");
+    j.begin_object();
+    j.kv("name", "PE " + std::to_string(pe));
+    j.end_object();
+    j.end_object();
+    // Make ring drops visible in the trace itself.
+    if (tc.dropped(pe) > 0) {
+      j.begin_object();
+      j.kv("name", "events_dropped");
+      j.kv("cat", "meta");
+      j.kv("ph", "C");
+      j.kv("ts", 0.0);
+      j.kv("pid", 0);
+      j.kv("tid", pe);
+      j.key("args");
+      j.begin_object();
+      j.kv("value", tc.dropped(pe));
+      j.end_object();
+      j.end_object();
+    }
+  }
+
+  for (int pe = 0; pe < tc.nprocs(); ++pe) write_pe_events(j, tc, pe);
+
+  j.end_array();
+  j.end_object();
+  os << '\n';
+}
+
+void write_chrome_trace_file(const TraceCollector& tc, const std::string& path) {
+  std::ofstream os(path);
+  O2K_REQUIRE(os.good(), "metrics: cannot open trace output file: " + path);
+  write_chrome_trace(tc, os);
+  os.flush();
+  O2K_REQUIRE(os.good(), "metrics: failed writing trace output file: " + path);
+}
+
+}  // namespace o2k::metrics

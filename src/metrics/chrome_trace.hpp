@@ -1,0 +1,25 @@
+// Chrome trace_event exporter.
+//
+// Serialises a TraceCollector into the JSON Array/Object format understood
+// by chrome://tracing and Perfetto (https://ui.perfetto.dev): one process
+// ("o2k virtual Origin2000"), one thread track per PE, with
+//   * phase brackets as duration events (ph B/E),
+//   * barriers as complete events (ph X, name "barrier"),
+//   * message send/recv as instant events (ph i) carrying peer + bytes,
+//   * counters as counter events (ph C).
+// Timestamps are *virtual* microseconds (the trace_event unit), i.e.
+// Pe::now() / 1000 — a track therefore shows simulated time, not host time,
+// and per-track timestamps are monotone (the collector guarantees it).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "metrics/trace.hpp"
+
+namespace o2k::metrics {
+
+void write_chrome_trace(const TraceCollector& tc, std::ostream& os);
+void write_chrome_trace_file(const TraceCollector& tc, const std::string& path);
+
+}  // namespace o2k::metrics

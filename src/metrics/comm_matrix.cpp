@@ -1,0 +1,64 @@
+#include "metrics/comm_matrix.hpp"
+
+#include <fstream>
+#include <numeric>
+#include <ostream>
+
+#include "common/check.hpp"
+
+namespace o2k::metrics {
+
+std::uint64_t CommMatrix::total_bytes() const {
+  return std::accumulate(bytes.begin(), bytes.end(), std::uint64_t{0});
+}
+
+std::uint64_t CommMatrix::total_msgs() const {
+  return std::accumulate(msgs.begin(), msgs.end(), std::uint64_t{0});
+}
+
+std::uint64_t CommMatrix::row_bytes(int src) const {
+  std::uint64_t n = 0;
+  for (int d = 0; d < nprocs; ++d) n += bytes_at(src, d);
+  return n;
+}
+
+std::uint64_t CommMatrix::col_bytes(int dst) const {
+  std::uint64_t n = 0;
+  for (int s = 0; s < nprocs; ++s) n += bytes_at(s, dst);
+  return n;
+}
+
+namespace {
+
+void write_block(std::ostream& os, const CommMatrix& m,
+                 const std::vector<std::uint64_t>& cells) {
+  os << "src\\dst";
+  for (int d = 0; d < m.nprocs; ++d) os << ',' << d;
+  os << '\n';
+  for (int s = 0; s < m.nprocs; ++s) {
+    os << s;
+    for (int d = 0; d < m.nprocs; ++d) os << ',' << cells[m.idx(s, d)];
+    os << '\n';
+  }
+}
+
+}  // namespace
+
+void CommMatrix::write_csv(std::ostream& os) const {
+  os << "# o2k communication matrix, P=" << nprocs << '\n';
+  os << "# total_bytes=" << total_bytes() << " total_msgs=" << total_msgs() << '\n';
+  os << "# bytes[src][dst]\n";
+  write_block(os, *this, bytes);
+  os << "# msgs[src][dst]\n";
+  write_block(os, *this, msgs);
+}
+
+void CommMatrix::write_csv_file(const std::string& path) const {
+  std::ofstream os(path);
+  O2K_REQUIRE(os.good(), "metrics: cannot open comm-matrix output file: " + path);
+  write_csv(os);
+  os.flush();
+  O2K_REQUIRE(os.good(), "metrics: failed writing comm-matrix output file: " + path);
+}
+
+}  // namespace o2k::metrics

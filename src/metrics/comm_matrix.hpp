@@ -1,0 +1,56 @@
+// P×P communication matrix: bytes and message counts per (source,
+// destination) PE pair, accumulated from the canonical transfer
+// observations a TraceCollector records (see sink.hpp for why each
+// transfer is counted exactly once).
+//
+// For the explicit models the per-model totals equal the runtimes' own
+// byte counters (`mp.bytes`, `shmem.bytes`); for CC-SAS the matrix holds
+// remote cache-line traffic keyed by (home PE → missing PE), i.e.
+// `sas.remote_misses` × line size.  The reconstructed communication-volume
+// figures (R-F4/R-F6) are row/column sums of this matrix.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace o2k::metrics {
+
+struct CommMatrix {
+  int nprocs = 0;
+  std::vector<std::uint64_t> bytes;  ///< row-major [src * nprocs + dst]
+  std::vector<std::uint64_t> msgs;   ///< row-major [src * nprocs + dst]
+
+  CommMatrix() = default;
+  explicit CommMatrix(int p)
+      : nprocs(p),
+        bytes(static_cast<std::size_t>(p) * static_cast<std::size_t>(p), 0),
+        msgs(static_cast<std::size_t>(p) * static_cast<std::size_t>(p), 0) {}
+
+  [[nodiscard]] std::size_t idx(int src, int dst) const {
+    return static_cast<std::size_t>(src) * static_cast<std::size_t>(nprocs) +
+           static_cast<std::size_t>(dst);
+  }
+  [[nodiscard]] std::uint64_t bytes_at(int src, int dst) const { return bytes[idx(src, dst)]; }
+  [[nodiscard]] std::uint64_t msgs_at(int src, int dst) const { return msgs[idx(src, dst)]; }
+
+  void add(int src, int dst, std::uint64_t b, std::uint64_t m = 1) {
+    bytes[idx(src, dst)] += b;
+    msgs[idx(src, dst)] += m;
+  }
+
+  [[nodiscard]] std::uint64_t total_bytes() const;
+  [[nodiscard]] std::uint64_t total_msgs() const;
+  /// Bytes sent by `src` to anyone (row sum).
+  [[nodiscard]] std::uint64_t row_bytes(int src) const;
+  /// Bytes received by `dst` from anyone (column sum).
+  [[nodiscard]] std::uint64_t col_bytes(int dst) const;
+
+  /// CSV: a commented header, then the bytes matrix and the message-count
+  /// matrix, both with `src\dst` row/column labels.
+  void write_csv(std::ostream& os) const;
+  void write_csv_file(const std::string& path) const;
+};
+
+}  // namespace o2k::metrics

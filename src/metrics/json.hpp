@@ -1,0 +1,129 @@
+// Minimal streaming JSON writer used by the metrics exporters.
+//
+// Comma placement is handled by a small container stack so exporters can't
+// produce syntactically invalid JSON; strings are escaped per RFC 8259 and
+// non-finite doubles are emitted as null (JSON has no inf/nan).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace o2k::metrics {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  void begin_object() {
+    comma();
+    os_ << '{';
+    stack_.push_back(false);
+  }
+  void end_object() {
+    pop();
+    os_ << '}';
+  }
+  void begin_array() {
+    comma();
+    os_ << '[';
+    stack_.push_back(false);
+  }
+  void end_array() {
+    pop();
+    os_ << ']';
+  }
+
+  void key(const std::string& k) {
+    comma();
+    write_string(k);
+    os_ << ':';
+    pending_key_ = true;
+  }
+
+  void value(const std::string& v) {
+    comma();
+    write_string(v);
+  }
+  void value(const char* v) { value(std::string(v)); }
+  void value(double v) {
+    comma();
+    if (!std::isfinite(v)) {
+      os_ << "null";
+      return;
+    }
+    std::ostringstream ss;
+    ss.precision(17);
+    ss << v;
+    os_ << ss.str();
+  }
+  void value(std::uint64_t v) {
+    comma();
+    os_ << v;
+  }
+  void value(std::int64_t v) {
+    comma();
+    os_ << v;
+  }
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(bool v) {
+    comma();
+    os_ << (v ? "true" : "false");
+  }
+
+  /// Convenience: key + scalar value.
+  template <typename T>
+  void kv(const std::string& k, const T& v) {
+    key(k);
+    value(v);
+  }
+
+ private:
+  void comma() {
+    if (pending_key_) {
+      pending_key_ = false;
+      return;
+    }
+    if (!stack_.empty()) {
+      if (stack_.back()) os_ << ',';
+      stack_.back() = true;
+    }
+  }
+  void pop() {
+    O2K_CHECK(!stack_.empty(), "json: unbalanced container close");
+    stack_.pop_back();
+  }
+  void write_string(const std::string& s) {
+    os_ << '"';
+    for (const char ch : s) {
+      switch (ch) {
+        case '"': os_ << "\\\""; break;
+        case '\\': os_ << "\\\\"; break;
+        case '\n': os_ << "\\n"; break;
+        case '\r': os_ << "\\r"; break;
+        case '\t': os_ << "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(ch) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+            os_ << buf;
+          } else {
+            os_ << ch;
+          }
+      }
+    }
+    os_ << '"';
+  }
+
+  std::ostream& os_;
+  std::vector<bool> stack_;  ///< per open container: "already has an element"
+  bool pending_key_ = false;
+};
+
+}  // namespace o2k::metrics

@@ -1,0 +1,64 @@
+#include "metrics/metrics.hpp"
+
+namespace o2k::metrics {
+
+void add_cli_flags(std::map<std::string, std::string>& flags) {
+  flags["trace"] = "write a Chrome trace_event JSON (virtual time) to this path";
+  flags["report"] = "write a structured o2k.run_report.v1 JSON to this path";
+  flags["comm"] = "write the PxP communication matrix CSV to this path";
+  flags["trace-capacity"] = "per-PE trace ring capacity in events (default 65536)";
+}
+
+Options Options::from_cli(const Cli& cli) {
+  Options o;
+  o.trace_path = cli.get("trace", "");
+  o.report_path = cli.get("report", "");
+  o.comm_path = cli.get("comm", "");
+  o.ring_capacity =
+      static_cast<std::size_t>(cli.get_int("trace-capacity", static_cast<std::int64_t>(o.ring_capacity)));
+  return o;
+}
+
+namespace {
+
+std::string tag_path(const std::string& path, const std::string& label) {
+  if (path.empty() || label.empty()) return path;
+  const auto slash = path.find_last_of('/');
+  const auto dot = path.find_last_of('.');
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash)) {
+    return path + "." + label;
+  }
+  return path.substr(0, dot) + "." + label + path.substr(dot);
+}
+
+}  // namespace
+
+Options Options::with_label(const std::string& label) const {
+  Options o = *this;
+  o.trace_path = tag_path(trace_path, label);
+  o.report_path = tag_path(report_path, label);
+  o.comm_path = tag_path(comm_path, label);
+  return o;
+}
+
+Session::Session(rt::Machine& machine, int nprocs, Options opts)
+    : machine_(machine), opts_(std::move(opts)), previous_sink_(machine.sink()) {
+  if (!opts_.any()) return;
+  collector_ = std::make_unique<TraceCollector>(nprocs, TraceOptions{opts_.ring_capacity});
+  machine_.set_sink(collector_.get());
+}
+
+Session::~Session() { machine_.set_sink(previous_sink_); }
+
+RunReport Session::finish(const rt::RunResult& rr, const std::string& app,
+                          const std::string& model) {
+  RunReport rep = build_report(rr, machine_.params(), app, model, collector_.get());
+  if (collector_ != nullptr) {
+    if (!opts_.trace_path.empty()) write_chrome_trace_file(*collector_, opts_.trace_path);
+    if (!opts_.comm_path.empty()) collector_->comm_matrix().write_csv_file(opts_.comm_path);
+  }
+  if (!opts_.report_path.empty()) rep.write_json_file(opts_.report_path);
+  return rep;
+}
+
+}  // namespace o2k::metrics

@@ -1,0 +1,82 @@
+// Umbrella header and the front door for binaries: CLI flags, Options and
+// the RAII Session that ties a TraceCollector to an rt::Machine.
+//
+// Typical use (every app main and bench does exactly this):
+//
+//   auto flags = ...; metrics::add_cli_flags(flags);
+//   Cli cli(argc, argv, flags);
+//   metrics::Options mopts = metrics::Options::from_cli(cli);
+//   rt::Machine machine;
+//   {
+//     metrics::Session session(machine, nprocs, mopts);
+//     auto rr = machine.run(nprocs, body);
+//     metrics::RunReport rep = session.finish(rr, "nbody", "MPI");
+//   }   // sink detached; --trace/--comm/--report files written by finish()
+//
+// When no metrics flag was given, Session attaches nothing and the run is
+// bit-identical to an uninstrumented one (the acceptance bar for this
+// subsystem).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/cli.hpp"
+#include "metrics/chrome_trace.hpp"
+#include "metrics/comm_matrix.hpp"
+#include "metrics/report.hpp"
+#include "metrics/sink.hpp"
+#include "metrics/trace.hpp"
+#include "rt/machine.hpp"
+
+namespace o2k::metrics {
+
+struct Options {
+  std::string trace_path;   ///< Chrome trace_event JSON ("" = off)
+  std::string report_path;  ///< structured RunReport JSON ("" = off)
+  std::string comm_path;    ///< P×P comm matrix CSV ("" = off)
+  std::size_t ring_capacity = std::size_t{1} << 16;
+
+  [[nodiscard]] bool any() const {
+    return !trace_path.empty() || !report_path.empty() || !comm_path.empty();
+  }
+
+  [[nodiscard]] static Options from_cli(const Cli& cli);
+
+  /// Derive per-run output paths from shared flags by tagging a label
+  /// before the extension: "out.json" + "mp_p8" -> "out.mp_p8.json".
+  /// Benches that execute many (model, P) combinations use this so one
+  /// --trace/--report flag fans out into one artifact per run.
+  [[nodiscard]] Options with_label(const std::string& label) const;
+};
+
+/// Merge the standard metrics flags into a Cli `allowed` map.
+void add_cli_flags(std::map<std::string, std::string>& flags);
+
+/// Scoped attachment of a TraceCollector to a Machine.  Construction
+/// installs the sink (only if `opts.any()`); destruction restores the
+/// previous one, so Sessions nest safely around each Machine::run.
+class Session {
+ public:
+  Session(rt::Machine& machine, int nprocs, Options opts);
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Null when no metrics output was requested.
+  [[nodiscard]] TraceCollector* collector() { return collector_.get(); }
+  [[nodiscard]] const Options& options() const { return opts_; }
+
+  /// Build the RunReport and write every configured artifact
+  /// (trace/report/comm).  Call once, after Machine::run returned.
+  RunReport finish(const rt::RunResult& rr, const std::string& app, const std::string& model);
+
+ private:
+  rt::Machine& machine_;
+  Options opts_;
+  std::unique_ptr<TraceCollector> collector_;
+  Sink* previous_sink_ = nullptr;
+};
+
+}  // namespace o2k::metrics

@@ -1,0 +1,151 @@
+#include "metrics/report.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "common/check.hpp"
+#include "metrics/json.hpp"
+#include "metrics/trace.hpp"
+
+#ifndef O2K_GIT_DESCRIBE
+#define O2K_GIT_DESCRIBE "unknown"
+#endif
+
+namespace o2k::metrics {
+
+const char* build_version() { return O2K_GIT_DESCRIBE; }
+
+const RunReport::Phase* RunReport::phase(const std::string& name) const {
+  for (const Phase& p : phases) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+RunReport build_report(const rt::RunResult& rr, const origin::MachineParams& params,
+                       std::string app, std::string model, const TraceCollector* collector) {
+  RunReport out;
+  out.app = std::move(app);
+  out.model = std::move(model);
+  out.nprocs = rr.nprocs;
+  out.makespan_ns = rr.makespan_ns;
+  out.pe_ns = rr.pe_ns;
+  out.counters = rr.counters;
+  out.machine = params;
+  out.meta["version"] = build_version();
+
+  out.phases.reserve(rr.phases.size());
+  for (const auto& [name, agg] : rr.phases) {  // std::map: already name-sorted
+    RunReport::Phase p;
+    p.name = name;
+    p.max_ns = agg.max_ns;
+    p.min_ns = agg.min_ns;
+    p.sum_ns = agg.sum_ns;
+    p.avg_ns = agg.avg_ns(rr.nprocs);
+    p.imbalance = agg.imbalance(rr.nprocs);
+    p.pes = agg.pes;
+    out.phases.push_back(std::move(p));
+  }
+
+  if (collector != nullptr) {
+    const CommMatrix m = collector->comm_matrix();
+    out.comm_bytes = m.total_bytes();
+    out.comm_msgs = m.total_msgs();
+    out.trace_events = collector->total_recorded();
+    out.trace_dropped = collector->total_dropped();
+  } else {
+    // No collector: the explicit runtimes' own counters are the volume.
+    out.comm_bytes = rr.nprocs == 0 ? 0
+                                    : out.counter("mp.bytes") + out.counter("shmem.bytes") +
+                                          out.counter("sas.remote_misses") *
+                                              static_cast<std::uint64_t>(params.cache_line_bytes);
+    out.comm_msgs = out.counter("mp.msgs") + out.counter("shmem.puts") +
+                    out.counter("shmem.gets");
+  }
+  return out;
+}
+
+void RunReport::write_json(std::ostream& os) const {
+  JsonWriter j(os);
+  j.begin_object();
+  j.kv("schema", kSchema);
+  j.kv("app", app);
+  j.kv("model", model);
+  j.kv("nprocs", nprocs);
+  j.kv("makespan_ns", makespan_ns);
+
+  j.key("phases");
+  j.begin_array();
+  for (const Phase& p : phases) {
+    j.begin_object();
+    j.kv("name", p.name);
+    j.kv("max_ns", p.max_ns);
+    j.kv("min_ns", p.min_ns);
+    j.kv("avg_ns", p.avg_ns);
+    j.kv("sum_ns", p.sum_ns);
+    j.kv("imbalance", p.imbalance);
+    j.kv("pes", p.pes);
+    j.end_object();
+  }
+  j.end_array();
+
+  j.key("counters");
+  j.begin_object();
+  for (const auto& [name, v] : counters) j.kv(name, v);
+  j.end_object();
+
+  j.key("pe_ns");
+  j.begin_array();
+  for (const double t : pe_ns) j.value(t);
+  j.end_array();
+
+  j.key("comm");
+  j.begin_object();
+  j.kv("bytes", comm_bytes);
+  j.kv("msgs", comm_msgs);
+  j.end_object();
+
+  j.key("trace");
+  j.begin_object();
+  j.kv("events", trace_events);
+  j.kv("dropped", trace_dropped);
+  j.end_object();
+
+  j.key("machine");
+  j.begin_object();
+  j.kv("max_pes", machine.max_pes);
+  j.kv("pes_per_node", machine.pes_per_node);
+  j.kv("cpu_hz", machine.cpu_hz);
+  j.kv("cache_line_bytes", machine.cache_line_bytes);
+  j.kv("page_bytes", machine.page_bytes);
+  j.kv("local_mem_ns", machine.local_mem_ns);
+  j.kv("router_hop_ns", machine.router_hop_ns);
+  j.kv("mp_o_send_ns", machine.mp_o_send_ns);
+  j.kv("mp_o_recv_ns", machine.mp_o_recv_ns);
+  j.kv("mp_bw_bytes_per_ns", machine.mp_bw_bytes_per_ns);
+  j.kv("mp_eager_bytes", static_cast<std::uint64_t>(machine.mp_eager_bytes));
+  j.kv("shmem_o_ns", machine.shmem_o_ns);
+  j.kv("shmem_bw_bytes_per_ns", machine.shmem_bw_bytes_per_ns);
+  j.kv("shmem_atomic_ns", machine.shmem_atomic_ns);
+  j.kv("sas_barrier_base_ns", machine.sas_barrier_base_ns);
+  j.kv("ownership_extra_ns", machine.ownership_extra_ns);
+  j.end_object();
+
+  j.key("meta");
+  j.begin_object();
+  for (const auto& [k, v] : meta) j.kv(k, v);
+  j.end_object();
+
+  j.end_object();
+  os << '\n';
+}
+
+void RunReport::write_json_file(const std::string& path) const {
+  std::ofstream os(path);
+  O2K_REQUIRE(os.good(), "metrics: cannot open report output file: " + path);
+  write_json(os);
+  os.flush();
+  O2K_REQUIRE(os.good(), "metrics: failed writing report output file: " + path);
+}
+
+}  // namespace o2k::metrics

@@ -1,0 +1,90 @@
+// Structured, machine-readable report of one simulated run.
+//
+// This replaces the ad-hoc scraping of `rt::RunResult::phases` that each
+// bench binary used to do: `build_report` turns a RunResult (plus machine
+// parameters, labels and an optional TraceCollector) into a stable schema
+// ("o2k.run_report.v1") that carries everything the paper's figures need —
+// per-phase max/min/avg and load-imbalance factors, event counters,
+// communication totals, per-PE final clocks, the machine-model parameters
+// the run was costed with, and free-form metadata (configuration, build
+// version).  `write_json` serialises it; consumers either use the accessor
+// API in-process (see bench_fig2) or parse the JSON offline.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "origin/params.hpp"
+#include "rt/phase.hpp"
+
+namespace o2k::metrics {
+
+class TraceCollector;
+
+struct RunReport {
+  static constexpr const char* kSchema = "o2k.run_report.v1";
+
+  std::string app;    ///< "nbody", "mesh", ... (free-form label)
+  std::string model;  ///< "MPI", "SHMEM", "CC-SAS", ...
+  int nprocs = 0;
+  double makespan_ns = 0.0;
+
+  struct Phase {
+    std::string name;
+    double max_ns = 0.0;  ///< critical path (slowest PE)
+    double min_ns = 0.0;  ///< over all PEs; 0 when some PE skipped the phase
+    double avg_ns = 0.0;
+    double sum_ns = 0.0;
+    double imbalance = 1.0;  ///< max / avg
+    int pes = 0;             ///< PEs that recorded the phase
+  };
+  std::vector<Phase> phases;  ///< sorted by name
+
+  std::map<std::string, std::uint64_t> counters;
+  std::vector<double> pe_ns;
+
+  /// Communication totals: from the comm matrix when a collector was
+  /// attached, otherwise derived from the runtimes' byte counters.
+  std::uint64_t comm_bytes = 0;
+  std::uint64_t comm_msgs = 0;
+
+  /// Trace bookkeeping (zero when no collector was attached).
+  std::uint64_t trace_events = 0;
+  std::uint64_t trace_dropped = 0;
+
+  /// The machine-model parameters the run was costed with.
+  origin::MachineParams machine;
+
+  /// Free-form metadata: build version, workload configuration, ...
+  std::map<std::string, std::string> meta;
+
+  [[nodiscard]] const Phase* phase(const std::string& name) const;
+  [[nodiscard]] double phase_max(const std::string& name) const {
+    const Phase* p = phase(name);
+    return p == nullptr ? 0.0 : p->max_ns;
+  }
+  [[nodiscard]] double phase_imbalance(const std::string& name) const {
+    const Phase* p = phase(name);
+    return p == nullptr ? 1.0 : p->imbalance;
+  }
+  [[nodiscard]] std::uint64_t counter(const std::string& name) const {
+    auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+  }
+
+  void write_json(std::ostream& os) const;
+  void write_json_file(const std::string& path) const;
+};
+
+/// Version string baked in at configure time (`git describe`), "unknown"
+/// when the build tree had no git metadata.
+[[nodiscard]] const char* build_version();
+
+RunReport build_report(const rt::RunResult& rr, const origin::MachineParams& params,
+                       std::string app, std::string model,
+                       const TraceCollector* collector = nullptr);
+
+}  // namespace o2k::metrics

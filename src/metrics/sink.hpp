@@ -1,0 +1,53 @@
+// The observer interface between the virtual-time substrate and the
+// metrics subsystem.
+//
+// `rt::Pe` / `rt::Machine` hold an optional `metrics::Sink*`; when it is
+// null (the default) every instrumentation point reduces to one branch and
+// the simulation is bit-identical to an uninstrumented build.  When a sink
+// is attached, the runtime reports phase brackets, data transfers, counter
+// increments and barriers — all stamped with *virtual* nanoseconds
+// (`Pe::now()`), never host time, so traces are as deterministic as the
+// simulation itself.
+//
+// Threading contract: each method is invoked only from the calling PE's own
+// thread, identified by the `pe` argument.  Implementations may therefore
+// keep strictly per-PE state and need no locks (see TraceCollector).
+//
+// This header deliberately depends on nothing from rt/ so the substrate can
+// include it without creating a dependency cycle; the concrete collector
+// and the exporters live in the o2k_metrics library.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace o2k::metrics {
+
+class Sink {
+ public:
+  virtual ~Sink() = default;
+
+  /// Entry into / exit from a named phase bracket (Pe::PhaseScope).
+  virtual void on_phase_begin(int pe, const std::string& name, double t_ns) = 0;
+  virtual void on_phase_end(int pe, const std::string& name, double t_ns) = 0;
+
+  /// A counter increment (Pe::add_counter); `delta` is the increment, not
+  /// the running total.
+  virtual void on_counter(int pe, const std::string& name, std::uint64_t delta,
+                          double t_ns) = 0;
+
+  /// A data transfer `src -> dst` observed by `pe` (always one of the two).
+  /// Exactly one observation of each transfer carries `in_matrix == true` —
+  /// the canonical one that accrues to the communication matrix — so
+  /// two-sided protocols (whose sender *and* receiver both report the same
+  /// message for tracing) never double count volume.
+  virtual void on_message(int pe, int src, int dst, std::uint64_t bytes, double t_ns,
+                          bool in_matrix) = 0;
+
+  /// A barrier this PE participated in: entered at `begin_ns`, released at
+  /// `end_ns` (both virtual).
+  virtual void on_barrier(int pe, double begin_ns, double end_ns) = 0;
+};
+
+}  // namespace o2k::metrics

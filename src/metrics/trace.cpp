@@ -1,0 +1,148 @@
+#include "metrics/trace.hpp"
+
+#include "common/check.hpp"
+
+namespace o2k::metrics {
+
+TraceCollector::TraceCollector(int nprocs, TraceOptions opt) : nprocs_(nprocs), opt_(opt) {
+  O2K_REQUIRE(nprocs >= 1, "metrics: collector needs at least one PE");
+  cells_.reserve(static_cast<std::size_t>(nprocs));
+  for (int r = 0; r < nprocs; ++r) {
+    auto c = std::make_unique<PeCell>();
+    c->ring.reserve(opt_.ring_capacity);
+    c->out_bytes.assign(static_cast<std::size_t>(nprocs), 0);
+    c->out_msgs.assign(static_cast<std::size_t>(nprocs), 0);
+    c->in_bytes.assign(static_cast<std::size_t>(nprocs), 0);
+    c->in_msgs.assign(static_cast<std::size_t>(nprocs), 0);
+    cells_.push_back(std::move(c));
+  }
+}
+
+TraceCollector::PeCell& TraceCollector::cell(int pe) {
+  O2K_REQUIRE(pe >= 0 && pe < nprocs_, "metrics: event from PE outside the collector's run");
+  return *cells_[static_cast<std::size_t>(pe)];
+}
+
+const TraceCollector::PeCell& TraceCollector::cell(int pe) const {
+  O2K_REQUIRE(pe >= 0 && pe < nprocs_, "metrics: PE outside the collector's run");
+  return *cells_[static_cast<std::size_t>(pe)];
+}
+
+void TraceCollector::push(PeCell& c, Event e) {
+  ++c.offered;
+  if (opt_.ring_capacity == 0) return;
+  if (c.count < opt_.ring_capacity) {
+    c.ring.push_back(e);
+    ++c.count;
+    c.head = c.count % opt_.ring_capacity;
+    return;
+  }
+  // Full: overwrite the oldest slot (head) — classic ring, drop accounting
+  // via offered - count.
+  c.ring[c.head] = e;
+  c.head = (c.head + 1) % opt_.ring_capacity;
+}
+
+std::uint32_t TraceCollector::intern(PeCell& c, const std::string& name) {
+  auto [it, inserted] = c.intern.try_emplace(name, static_cast<std::uint32_t>(c.names.size()));
+  if (inserted) c.names.push_back(name);
+  return it->second;
+}
+
+void TraceCollector::on_phase_begin(int pe, const std::string& name, double t_ns) {
+  auto& c = cell(pe);
+  push(c, Event{EventKind::kPhaseBegin, intern(c, name), -1, t_ns, 0.0, 0});
+}
+
+void TraceCollector::on_phase_end(int pe, const std::string& name, double t_ns) {
+  auto& c = cell(pe);
+  push(c, Event{EventKind::kPhaseEnd, intern(c, name), -1, t_ns, 0.0, 0});
+}
+
+void TraceCollector::on_counter(int pe, const std::string& name, std::uint64_t delta,
+                                double t_ns) {
+  auto& c = cell(pe);
+  push(c, Event{EventKind::kCounter, intern(c, name), -1, t_ns, 0.0, delta});
+}
+
+void TraceCollector::on_message(int pe, int src, int dst, std::uint64_t bytes, double t_ns,
+                                bool in_matrix) {
+  O2K_REQUIRE(src >= 0 && src < nprocs_ && dst >= 0 && dst < nprocs_,
+              "metrics: message endpoint outside the collector's run");
+  auto& c = cell(pe);
+  const bool outgoing = (src == pe);
+  const int peer = outgoing ? dst : src;
+  push(c, Event{outgoing ? EventKind::kSend : EventKind::kRecv, Event::kNoName, peer, t_ns,
+                0.0, bytes});
+  if (!in_matrix) return;
+  if (outgoing) {
+    c.out_bytes[static_cast<std::size_t>(dst)] += bytes;
+    ++c.out_msgs[static_cast<std::size_t>(dst)];
+  } else {
+    c.in_bytes[static_cast<std::size_t>(src)] += bytes;
+    ++c.in_msgs[static_cast<std::size_t>(src)];
+  }
+}
+
+void TraceCollector::on_barrier(int pe, double begin_ns, double end_ns) {
+  auto& c = cell(pe);
+  push(c, Event{EventKind::kBarrier, Event::kNoName, -1, begin_ns, end_ns, 0});
+}
+
+std::vector<Event> TraceCollector::events(int pe) const {
+  const auto& c = cell(pe);
+  std::vector<Event> out;
+  out.reserve(c.count);
+  if (c.count < opt_.ring_capacity) {
+    out.assign(c.ring.begin(), c.ring.end());
+  } else {
+    // Ring has wrapped: oldest surviving event sits at head.
+    out.insert(out.end(), c.ring.begin() + static_cast<std::ptrdiff_t>(c.head), c.ring.end());
+    out.insert(out.end(), c.ring.begin(), c.ring.begin() + static_cast<std::ptrdiff_t>(c.head));
+  }
+  return out;
+}
+
+const std::string& TraceCollector::name(int pe, std::uint32_t id) const {
+  const auto& c = cell(pe);
+  O2K_REQUIRE(id < c.names.size(), "metrics: unknown intern id");
+  return c.names[id];
+}
+
+std::uint64_t TraceCollector::recorded(int pe) const { return cell(pe).offered; }
+
+std::uint64_t TraceCollector::dropped(int pe) const {
+  const auto& c = cell(pe);
+  return c.offered - static_cast<std::uint64_t>(c.count);
+}
+
+std::uint64_t TraceCollector::total_recorded() const {
+  std::uint64_t n = 0;
+  for (int r = 0; r < nprocs_; ++r) n += recorded(r);
+  return n;
+}
+
+std::uint64_t TraceCollector::total_dropped() const {
+  std::uint64_t n = 0;
+  for (int r = 0; r < nprocs_; ++r) n += dropped(r);
+  return n;
+}
+
+CommMatrix TraceCollector::comm_matrix() const {
+  CommMatrix m(nprocs_);
+  for (int p = 0; p < nprocs_; ++p) {
+    const auto& c = cell(p);
+    for (int peer = 0; peer < nprocs_; ++peer) {
+      const auto q = static_cast<std::size_t>(peer);
+      if (c.out_bytes[q] != 0 || c.out_msgs[q] != 0) {
+        m.add(p, peer, c.out_bytes[q], c.out_msgs[q]);
+      }
+      if (c.in_bytes[q] != 0 || c.in_msgs[q] != 0) {
+        m.add(peer, p, c.in_bytes[q], c.in_msgs[q]);
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace o2k::metrics

@@ -1,0 +1,111 @@
+// TraceCollector — the concrete metrics::Sink the runtime reports into.
+//
+// Design: strictly per-PE state, no locks on the record path.  Every PE of
+// a run owns one cache-line-padded cell holding
+//   * a bounded ring buffer of events (overwrite-oldest; overwritten events
+//     are counted as drops, never silently lost),
+//   * a private string-intern table for phase/counter names,
+//   * full-length communication accumulation rows (these are exact — the
+//     comm matrix never suffers ring drops).
+// Sink callbacks are invoked only from the owning PE's thread (the
+// contract in sink.hpp), so recording is race-free by construction —
+// "lock-free" the cheap way.  Reading accessors (events(), comm_matrix(),
+// ...) must only be called after Machine::run returned.
+//
+// All timestamps are virtual nanoseconds; within one PE's cell they are
+// monotone non-decreasing because a PE's clock never rewinds and events
+// are appended in call order.  Exporters rely on this.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "metrics/comm_matrix.hpp"
+#include "metrics/sink.hpp"
+
+namespace o2k::metrics {
+
+enum class EventKind : std::uint8_t {
+  kPhaseBegin,
+  kPhaseEnd,
+  kCounter,
+  kSend,     ///< transfer this PE initiated towards `peer`
+  kRecv,     ///< transfer that arrived at this PE from `peer`
+  kBarrier,  ///< t_ns = entry, t2_ns = release
+};
+
+struct Event {
+  EventKind kind = EventKind::kCounter;
+  std::uint32_t name = 0;  ///< intern id (phases/counters); kNoName otherwise
+  std::int32_t peer = -1;  ///< other PE for send/recv; -1 otherwise
+  double t_ns = 0.0;
+  double t2_ns = 0.0;       ///< barrier release time; unused otherwise
+  std::uint64_t value = 0;  ///< bytes (send/recv) or counter delta
+
+  static constexpr std::uint32_t kNoName = 0xffffffffu;
+};
+
+struct TraceOptions {
+  /// Events retained per PE; older events are overwritten (and counted as
+  /// dropped) once a PE exceeds this.  0 disables event recording entirely
+  /// while keeping the exact comm-matrix accumulation.
+  std::size_t ring_capacity = std::size_t{1} << 16;
+};
+
+class TraceCollector final : public Sink {
+ public:
+  explicit TraceCollector(int nprocs, TraceOptions opt = {});
+
+  [[nodiscard]] int nprocs() const { return nprocs_; }
+  [[nodiscard]] const TraceOptions& options() const { return opt_; }
+
+  // ---- Sink (record path; PE-thread only) -------------------------------
+  void on_phase_begin(int pe, const std::string& name, double t_ns) override;
+  void on_phase_end(int pe, const std::string& name, double t_ns) override;
+  void on_counter(int pe, const std::string& name, std::uint64_t delta, double t_ns) override;
+  void on_message(int pe, int src, int dst, std::uint64_t bytes, double t_ns,
+                  bool in_matrix) override;
+  void on_barrier(int pe, double begin_ns, double end_ns) override;
+
+  // ---- read-out (only after the run finished) ---------------------------
+  /// Events of one PE in chronological order (oldest surviving first).
+  [[nodiscard]] std::vector<Event> events(int pe) const;
+  /// Name behind an intern id of `pe`'s table.
+  [[nodiscard]] const std::string& name(int pe, std::uint32_t id) const;
+  /// Events offered to `pe`'s ring (including dropped ones).
+  [[nodiscard]] std::uint64_t recorded(int pe) const;
+  /// Events overwritten by ring wrap-around on `pe`.
+  [[nodiscard]] std::uint64_t dropped(int pe) const;
+  [[nodiscard]] std::uint64_t total_recorded() const;
+  [[nodiscard]] std::uint64_t total_dropped() const;
+
+  /// Merge the per-PE accumulation rows into the P×P matrix.
+  [[nodiscard]] CommMatrix comm_matrix() const;
+
+ private:
+  struct alignas(64) PeCell {
+    std::vector<Event> ring;
+    std::size_t head = 0;        ///< next write slot (ring is full iff count == capacity)
+    std::size_t count = 0;       ///< live events in the ring
+    std::uint64_t offered = 0;   ///< total events pushed (>= count)
+    std::map<std::string, std::uint32_t> intern;
+    std::vector<std::string> names;
+    // Canonical transfer accumulation, indexed by the other endpoint.
+    std::vector<std::uint64_t> out_bytes, out_msgs;  ///< this PE -> peer
+    std::vector<std::uint64_t> in_bytes, in_msgs;    ///< peer -> this PE
+  };
+
+  void push(PeCell& c, Event e);
+  std::uint32_t intern(PeCell& c, const std::string& name);
+  [[nodiscard]] PeCell& cell(int pe);
+  [[nodiscard]] const PeCell& cell(int pe) const;
+
+  int nprocs_;
+  TraceOptions opt_;
+  std::vector<std::unique_ptr<PeCell>> cells_;
+};
+
+}  // namespace o2k::metrics

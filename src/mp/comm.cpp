@@ -36,6 +36,7 @@ void Comm::send_bytes(std::span<const std::byte> data, int dst, int tag) {
   const std::size_t bytes = data.size();
   pe_.add_counter("mp.msgs", 1);
   pe_.add_counter("mp.bytes", bytes);
+  pe_.trace_send(dst, bytes);
 
   detail::Message m;
   m.src = rank();
@@ -77,6 +78,7 @@ void Comm::post_bytes(std::span<const std::byte> data, int dst, int tag) {
   const std::size_t bytes = data.size();
   pe_.add_counter("mp.msgs", 1);
   pe_.add_counter("mp.bytes", bytes);
+  pe_.trace_send(dst, bytes);
 
   detail::Message m;
   m.src = rank();
@@ -137,6 +139,7 @@ std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
     m.rdv->cv.notify_all();
   }
   pe_.add_counter("mp.recv_msgs", 1);
+  pe_.trace_recv(m.src, bytes);
   return std::move(m.payload);
 }
 

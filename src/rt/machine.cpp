@@ -23,8 +23,10 @@ void Pe::throw_if_aborted() const {
 
 void Pe::barrier(double cost_ns) {
   O2K_REQUIRE(cost_ns >= 0.0, "barrier cost must be non-negative");
+  const double entry_ns = clock_;
   if (nprocs_ == 1) {
     clock_ += cost_ns;
+    if (sink_) sink_->on_barrier(rank_, entry_ns, clock_);
     return;
   }
   auto& b = *machine_->barrier_;
@@ -42,6 +44,7 @@ void Pe::barrier(double cost_ns) {
     lk.unlock();
     b.cv.notify_all();
     clock_ = std::max(clock_, release);
+    if (sink_) sink_->on_barrier(rank_, entry_ns, clock_);
     return;
   }
   while (b.generation == my_gen) {
@@ -49,6 +52,7 @@ void Pe::barrier(double cost_ns) {
     if (aborted()) throw AbortError{};
   }
   clock_ = std::max(clock_, b.release_time);
+  if (sink_) sink_->on_barrier(rank_, entry_ns, clock_);
 }
 
 Machine::Machine(origin::MachineParams params) : params_(params) {
@@ -76,6 +80,7 @@ RunResult Machine::run(int nprocs, const std::function<void(Pe&)>& body) {
   pes.reserve(static_cast<std::size_t>(nprocs));
   for (int r = 0; r < nprocs; ++r) {
     pes.emplace_back(std::unique_ptr<Pe>(new Pe(r, nprocs, &params_, this)));
+    pes.back()->sink_ = sink_;
   }
 
   if (nprocs == 1) {
@@ -113,16 +118,10 @@ RunResult Machine::run(int nprocs, const std::function<void(Pe&)>& body) {
   for (const auto& pe : pes) {
     out.pe_ns.push_back(pe->now());
     out.makespan_ns = std::max(out.makespan_ns, pe->now());
-    for (const auto& [name, ns] : pe->stats_.phase_ns) {
-      auto [it, inserted] = out.phases.try_emplace(name, PhaseAgg{ns, ns, ns});
-      if (!inserted) {
-        it->second.max_ns = std::max(it->second.max_ns, ns);
-        it->second.min_ns = std::min(it->second.min_ns, ns);
-        it->second.sum_ns += ns;
-      }
-    }
+    for (const auto& [name, ns] : pe->stats_.phase_ns) out.phases[name].add_pe(ns);
     for (const auto& [name, v] : pe->stats_.counters) out.counters[name] += v;
   }
+  for (auto& [name, agg] : out.phases) agg.finalize(nprocs);
   barrier_.reset();
   return out;
 }

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "metrics/sink.hpp"
 #include "origin/params.hpp"
 #include "rt/phase.hpp"
 
@@ -69,8 +70,13 @@ class Pe {
   /// RAII phase scope: simulated time elapsed inside accrues to `name`.
   class PhaseScope {
    public:
-    PhaseScope(Pe& pe, std::string name) : pe_(pe), name_(std::move(name)), start_(pe.clock_) {}
-    ~PhaseScope() { pe_.stats_.add_phase(name_, pe_.clock_ - start_); }
+    PhaseScope(Pe& pe, std::string name) : pe_(pe), name_(std::move(name)), start_(pe.clock_) {
+      if (pe_.sink_) pe_.sink_->on_phase_begin(pe_.rank_, name_, start_);
+    }
+    ~PhaseScope() {
+      pe_.stats_.add_phase(name_, pe_.clock_ - start_);
+      if (pe_.sink_) pe_.sink_->on_phase_end(pe_.rank_, name_, pe_.clock_);
+    }
     PhaseScope(const PhaseScope&) = delete;
     PhaseScope& operator=(const PhaseScope&) = delete;
 
@@ -81,7 +87,33 @@ class Pe {
   };
   [[nodiscard]] PhaseScope phase(std::string name) { return PhaseScope(*this, std::move(name)); }
 
-  void add_counter(const std::string& name, std::uint64_t v) { stats_.add_counter(name, v); }
+  void add_counter(const std::string& name, std::uint64_t v) {
+    stats_.add_counter(name, v);
+    // Zero increments update no cumulative track — don't spend ring slots.
+    if (sink_ && v != 0) sink_->on_counter(rank_, name, v, clock_);
+  }
+
+  // ---- metrics emission (no-ops when no sink is attached) ---------------
+  /// True when a metrics sink is attached (lets callers skip event-prep
+  /// work on the hot path).
+  [[nodiscard]] bool tracing() const { return sink_ != nullptr; }
+  /// A transfer this PE initiates towards `dst` (canonical comm-matrix
+  /// observation: me -> dst).  Pass `in_matrix=false` for control traffic
+  /// (signals, ...) that no byte counter accounts for.
+  void trace_send(int dst, std::size_t bytes, bool in_matrix = true) {
+    if (sink_) sink_->on_message(rank_, rank_, dst, bytes, clock_, in_matrix);
+  }
+  /// Arrival of a transfer from `src` whose send side already accrued to
+  /// the matrix (two-sided receives: trace-only).
+  void trace_recv(int src, std::size_t bytes) {
+    if (sink_) sink_->on_message(rank_, src, rank_, bytes, clock_, /*in_matrix=*/false);
+  }
+  /// A transfer this PE *pulls* from `src` (one-sided get, remote cache
+  /// line fetch).  `in_matrix=false` records trace-only events, e.g.
+  /// remote atomics that no byte counter accounts for.
+  void trace_pull(int src, std::size_t bytes, bool in_matrix = true) {
+    if (sink_) sink_->on_message(rank_, src, rank_, bytes, clock_, in_matrix);
+  }
 
   [[nodiscard]] PhaseStats& stats() { return stats_; }
 
@@ -99,6 +131,7 @@ class Pe {
   int nprocs_;
   const origin::MachineParams* params_;
   Machine* machine_;
+  metrics::Sink* sink_ = nullptr;  ///< optional observer; never affects clocks
   double clock_ = 0.0;
   PhaseStats stats_;
 };
@@ -114,6 +147,14 @@ class Machine {
   /// Execute `body(pe)` on `nprocs` simulated processors and aggregate
   /// per-PE phase statistics.  Rethrows the first PE exception.
   RunResult run(int nprocs, const std::function<void(Pe&)>& body);
+
+  /// Attach a metrics observer (or nullptr to detach).  The sink receives
+  /// phase/message/counter/barrier events from every PE of subsequent
+  /// run() calls; it observes virtual time but never alters it, so results
+  /// are bit-identical with and without a sink.  Not thread-safe: set it
+  /// between runs only (metrics::Session does this scoped).
+  void set_sink(metrics::Sink* sink) { sink_ = sink; }
+  [[nodiscard]] metrics::Sink* sink() const { return sink_; }
 
   /// Polling interval for abortable waits (host milliseconds).
   static constexpr int kWaitPollMs = 20;
@@ -132,6 +173,7 @@ class Machine {
   };
 
   origin::MachineParams params_;
+  metrics::Sink* sink_ = nullptr;
 
   // Per-run state (valid while run() is active).
   std::unique_ptr<BarrierState> barrier_;

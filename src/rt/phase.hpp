@@ -7,6 +7,7 @@
 // the quantity the paper's breakdown figures plot.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -24,10 +25,33 @@ struct PhaseStats {
 };
 
 /// Aggregate of one phase across all PEs of a run.
+///
+/// Semantics: every statistic is taken over *all* `nprocs` PEs of the run,
+/// and a PE that never entered the phase contributes 0 ns.  Hence
+/// `min_ns == 0` exactly when at least one PE skipped the phase (check
+/// `pes` to distinguish "skipped by someone" from "fastest recorded 0"),
+/// `avg_ns`/`imbalance` divide by `nprocs`, and `max_ns` is the per-phase
+/// critical path.  Aggregation must go through `add_pe` + `finalize`; the
+/// zero-initialised `min_ns` of a default-constructed PhaseAgg is *not* a
+/// recorded minimum (earlier code merged around that ambiguity — see
+/// Machine::run).
 struct PhaseAgg {
   double max_ns = 0.0;  ///< slowest PE — the phase's contribution to the critical path
-  double min_ns = 0.0;
+  double min_ns = 0.0;  ///< fastest PE, absent PEs counting as 0 (see above)
   double sum_ns = 0.0;
+  int pes = 0;          ///< PEs that actually recorded the phase
+
+  /// Fold in one PE that recorded `ns` inside the phase.
+  void add_pe(double ns) {
+    max_ns = std::max(max_ns, ns);
+    min_ns = pes == 0 ? ns : std::min(min_ns, ns);
+    sum_ns += ns;
+    ++pes;
+  }
+  /// Apply the absent-PE-is-zero rule once all recording PEs are folded in.
+  void finalize(int nprocs) {
+    if (pes < nprocs) min_ns = 0.0;
+  }
 
   [[nodiscard]] double avg_ns(int nprocs) const {
     return nprocs > 0 ? sum_ns / nprocs : 0.0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <map>
 
 namespace o2k::sas {
 
@@ -119,6 +120,8 @@ void Team::touch_read(std::size_t off, std::size_t bytes) {
   double premium = 0.0;
   std::uint64_t misses = 0;
   std::uint64_t remote = 0;
+  std::map<int, std::uint64_t> remote_lines;  // home PE -> lines (tracing only)
+  const bool tracing = pe_.tracing();
   for (std::size_t line = first; line <= last; ++line) {
     const std::size_t set = line % num_sets_;
     const std::uint32_t ver = world_.line_version_[line].load(std::memory_order_relaxed);
@@ -128,6 +131,7 @@ void Team::touch_read(std::size_t off, std::size_t bytes) {
     if (!is_local(home)) {
       premium += world_.params().remote_read_premium_ns(rank(), home);
       ++remote;
+      if (tracing) ++remote_lines[home];
     }
     tag_[set] = line + 1;
     cached_version_[set] = ver;
@@ -135,6 +139,7 @@ void Team::touch_read(std::size_t off, std::size_t bytes) {
   if (premium > 0.0) pe_.advance(premium);
   pe_.add_counter("sas.read_misses", misses);
   pe_.add_counter("sas.remote_misses", remote);
+  for (const auto& [home, nlines] : remote_lines) pe_.trace_pull(home, nlines * line_bytes);
   mirror_clock();
 }
 
@@ -149,6 +154,8 @@ void Team::touch_write(std::size_t off, std::size_t bytes) {
   std::uint64_t misses = 0;
   std::uint64_t remote = 0;
   std::uint64_t transfers = 0;
+  std::map<int, std::uint64_t> remote_lines;  // home PE -> lines (tracing only)
+  const bool tracing = pe_.tracing();
   for (std::size_t line = first; line <= last; ++line) {
     const std::size_t set = line % num_sets_;
     const std::uint32_t ver = world_.line_version_[line].load(std::memory_order_relaxed);
@@ -160,6 +167,7 @@ void Team::touch_write(std::size_t off, std::size_t bytes) {
       if (!is_local(home)) {
         premium += world_.params().remote_read_premium_ns(rank(), home);
         ++remote;
+        if (tracing) ++remote_lines[home];
       }
     }
     if (writer != rank() && writer != -1) {
@@ -177,6 +185,7 @@ void Team::touch_write(std::size_t off, std::size_t bytes) {
   pe_.add_counter("sas.write_misses", misses);
   pe_.add_counter("sas.remote_misses", remote);
   pe_.add_counter("sas.ownership_transfers", transfers);
+  for (const auto& [home, nlines] : remote_lines) pe_.trace_pull(home, nlines * line_bytes);
   mirror_clock();
 }
 

@@ -46,6 +46,7 @@ void Ctx::charge_put(std::size_t bytes, int target_pe, bool blocking) {
   const auto& P = world_.params();
   pe_.add_counter("shmem.puts", 1);
   pe_.add_counter("shmem.bytes", bytes);
+  pe_.trace_send(target_pe, bytes);
   if (blocking) {
     pe_.advance(P.shmem_o_ns + static_cast<double>(bytes) / P.shmem_bw_bytes_per_ns);
   } else {
@@ -61,6 +62,7 @@ void Ctx::charge_get(std::size_t bytes, int target_pe) {
   pe_.add_counter("shmem.bytes", bytes);
   pe_.advance(P.shmem_o_ns + 2.0 * P.wire_ns(rank(), target_pe) +
               static_cast<double>(bytes) / P.shmem_bw_bytes_per_ns);
+  pe_.trace_pull(target_pe, bytes);
 }
 
 void Ctx::fence() {
@@ -78,6 +80,7 @@ std::int64_t Ctx::fetch_add(SymPtr<std::int64_t> target, std::int64_t v, int tar
   const auto& P = world_.params();
   pe_.advance(P.shmem_atomic_ns + 2.0 * P.wire_ns(rank(), target_pe));
   pe_.add_counter("shmem.atomics", 1);
+  pe_.trace_pull(target_pe, sizeof(std::int64_t), /*in_matrix=*/false);
   std::scoped_lock lk(world_.atomic_mu_);
   auto* cell = reinterpret_cast<std::int64_t*>(heap(target_pe) + target.offset);
   const std::int64_t old = *cell;
@@ -91,6 +94,7 @@ std::int64_t Ctx::cswap(SymPtr<std::int64_t> target, std::int64_t expected,
   const auto& P = world_.params();
   pe_.advance(P.shmem_atomic_ns + 2.0 * P.wire_ns(rank(), target_pe));
   pe_.add_counter("shmem.atomics", 1);
+  pe_.trace_pull(target_pe, sizeof(std::int64_t), /*in_matrix=*/false);
   std::scoped_lock lk(world_.atomic_mu_);
   auto* cell = reinterpret_cast<std::int64_t*>(heap(target_pe) + target.offset);
   const std::int64_t old = *cell;
@@ -124,6 +128,7 @@ void Ctx::signal(SymPtr<Signal> cell, std::int64_t value, int target_pe) {
   const auto& P = world_.params();
   pe_.advance(P.shmem_o_ns);
   pe_.add_counter("shmem.signals", 1);
+  pe_.trace_send(target_pe, sizeof(Signal), /*in_matrix=*/false);
   auto* s = reinterpret_cast<Signal*>(heap(target_pe) + cell.offset);
   // Arrival time first, then the value with release ordering so the
   // waiter's acquire load sees a consistent pair.
