@@ -1,8 +1,28 @@
 // R-M1 — Host micro-benchmarks of the simulator's own primitives
 // (google-benchmark).  These measure *host* cost, not simulated time: they
 // exist so regressions in the simulation machinery itself are visible.
+//
+// A second mode, `--wall`, sweeps the fig1/fig3 smoke workloads over all
+// three models and P = {1..64} and records host wall-clock seconds per
+// point as line-oriented JSON (schema o2k.bench_sched.v1).  Pass
+// `--before=<prior.json>` to join a previous run of the same sweep and emit
+// per-point and total speedups — this is how BENCH_sched.json at the repo
+// root was produced.
+//
+//   ./bench_micro_runtime --wall --out=before.json          # old substrate
+//   ./bench_micro_runtime --wall --before=before.json --out=BENCH_sched.json
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/mesh_app.hpp"
+#include "apps/nbody_app.hpp"
 #include "mp/comm.hpp"
 #include "sas/sas.hpp"
 #include "shmem/shmem.hpp"
@@ -81,6 +101,175 @@ void BM_SasTouch(benchmark::State& state) {
 }
 BENCHMARK(BM_SasTouch);
 
+// ---------------------------------------------------------------------------
+// --wall mode: end-to-end host wall-clock of the fig1/fig3 smoke sweeps.
+// ---------------------------------------------------------------------------
+
+struct WallPoint {
+  std::string app;
+  std::string model;
+  int p = 0;
+  double wall_s = 0.0;
+  double makespan_ns = 0.0;
+};
+
+std::string point_key(const WallPoint& pt) {
+  return pt.app + "|" + pt.model + "|" + std::to_string(pt.p);
+}
+
+/// Pull `"field":<number>` / `"field":"string"` out of one JSON line.  The
+/// before-file is our own line-oriented output, so this narrow parse is safe.
+bool json_field(const std::string& line, const std::string& field, std::string& out) {
+  const std::string needle = "\"" + field + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  std::size_t b = at + needle.size();
+  if (b < line.size() && line[b] == '"') {
+    const std::size_t e = line.find('"', b + 1);
+    if (e == std::string::npos) return false;
+    out = line.substr(b + 1, e - b - 1);
+    return true;
+  }
+  std::size_t e = b;
+  while (e < line.size() && line[e] != ',' && line[e] != '}') ++e;
+  out = line.substr(b, e - b);
+  return !out.empty();
+}
+
+std::vector<WallPoint> load_wall_points(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "bench_micro_runtime: cannot read --before file " << path << "\n";
+    std::exit(2);
+  }
+  std::vector<WallPoint> out;
+  std::string line;
+  while (std::getline(in, line)) {
+    WallPoint pt;
+    std::string p, wall, mk;
+    if (!json_field(line, "app", pt.app) || !json_field(line, "model", pt.model) ||
+        !json_field(line, "P", p) || !json_field(line, "wall_s", wall)) {
+      continue;  // header / totals / blank lines
+    }
+    pt.p = std::stoi(p);
+    pt.wall_s = std::stod(wall);
+    if (json_field(line, "makespan_ns", mk)) pt.makespan_ns = std::stod(mk);
+    out.push_back(pt);
+  }
+  return out;
+}
+
+int run_wall_mode(const std::string& out_path, const std::string& before_path) {
+  const std::vector<int> procs{1, 2, 4, 8, 16, 32, 64};
+  const apps::Model models[] = {apps::Model::kMp, apps::Model::kShmem, apps::Model::kSas};
+
+  std::vector<WallPoint> before;
+  if (!before_path.empty()) before = load_wall_points(before_path);
+  auto find_before = [&](const WallPoint& pt) -> const WallPoint* {
+    for (const auto& b : before)
+      if (point_key(b) == point_key(pt)) return &b;
+    return nullptr;
+  };
+
+  rt::Machine machine;
+  std::vector<WallPoint> points;
+  for (const char* app : {"nbody", "mesh"}) {
+    for (auto model : models) {
+      for (int p : procs) {
+        WallPoint pt;
+        pt.app = app;
+        pt.model = apps::model_name(model);
+        pt.p = p;
+        const auto t0 = std::chrono::steady_clock::now();
+        if (std::string(app) == "nbody") {
+          apps::NbodyConfig cfg;  // fig1 smoke scale
+          cfg.n = 8192;
+          cfg.steps = 2;
+          pt.makespan_ns = apps::run_nbody(model, machine, p, cfg).run.makespan_ns;
+        } else {
+          apps::MeshConfig cfg;  // fig3 smoke scale
+          cfg.nx = cfg.ny = cfg.nz = 10;
+          cfg.phases = 3;
+          pt.makespan_ns = apps::run_mesh(model, machine, p, cfg).run.makespan_ns;
+        }
+        pt.wall_s =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+        points.push_back(pt);
+        std::fprintf(stderr, "  %-5s %-6s P=%-2d  %.3fs\n", pt.app.c_str(), pt.model.c_str(),
+                     pt.p, pt.wall_s);
+      }
+    }
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "bench_micro_runtime: cannot write " << out_path << "\n";
+    return 2;
+  }
+  out << "{\"schema\":\"o2k.bench_sched.v1\",\"points\":[\n";
+  double total_after = 0.0, total_before = 0.0;
+  bool all_joined = !before.empty();
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const WallPoint& pt = points[i];
+    total_after += pt.wall_s;
+    char buf[512];
+    std::snprintf(buf, sizeof buf,
+                  "{\"app\":\"%s\",\"model\":\"%s\",\"P\":%d,\"wall_s\":%.6f,"
+                  "\"makespan_ns\":%.17g",
+                  pt.app.c_str(), pt.model.c_str(), pt.p, pt.wall_s, pt.makespan_ns);
+    out << buf;
+    if (const WallPoint* b = find_before(pt)) {
+      total_before += b->wall_s;
+      std::snprintf(buf, sizeof buf, ",\"before_wall_s\":%.6f,\"speedup\":%.2f", b->wall_s,
+                    pt.wall_s > 0 ? b->wall_s / pt.wall_s : 0.0);
+      out << buf;
+      // The sweep is virtual-time deterministic: a makespan drift between the
+      // two runs means the substrate change was *not* scheduling-neutral.
+      if (b->makespan_ns != 0.0 && b->makespan_ns != pt.makespan_ns) {
+        out << ",\"makespan_drift\":true";
+        std::fprintf(stderr, "WARNING: makespan drift at %s\n", point_key(pt).c_str());
+      }
+    } else {
+      all_joined = false;
+    }
+    out << "}" << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  out << "]";
+  if (all_joined && total_after > 0) {
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  ",\"total\":{\"before_wall_s\":%.6f,\"after_wall_s\":%.6f,\"speedup\":%.2f}",
+                  total_before, total_after, total_before / total_after);
+    out << buf;
+  }
+  out << "}\n";
+  std::fprintf(stderr, "wrote %s (total %.3fs)\n", out_path.c_str(), total_after);
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool wall = false;
+  std::string out_path = "bench_sched.json", before_path;
+  std::vector<char*> pass{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--wall") {
+      wall = true;
+    } else if (a.rfind("--out=", 0) == 0) {
+      out_path = a.substr(6);
+    } else if (a.rfind("--before=", 0) == 0) {
+      before_path = a.substr(9);
+    } else {
+      pass.push_back(argv[i]);
+    }
+  }
+  if (wall) return run_wall_mode(out_path, before_path);
+  int pargc = static_cast<int>(pass.size());
+  benchmark::Initialize(&pargc, pass.data());
+  if (benchmark::ReportUnrecognizedArguments(pargc, pass.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -7,6 +7,8 @@
 // size flags) for paper-scale runs.
 #pragma once
 
+#include <chrono>
+#include <cstdio>
 #include <functional>
 #include <iostream>
 #include <string>
@@ -43,29 +45,56 @@ inline std::map<std::string, std::string> common_flags() {
 /// each point fans out into its own artifact tagged `label` (e.g.
 /// "out.json" -> "out.mp_p8.json" via metrics::Options::with_label); with
 /// no metrics flag this is exactly a bare run.
+/// Seconds formatted for CSV/metadata (ms resolution is plenty for bench
+/// points; sub-ms points print as 0.000).
+inline std::string format_host_seconds(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", s);
+  return buf;
+}
+
 inline metrics::RunReport run_point(rt::Machine& machine, int nprocs,
                                     const metrics::Options& base, const std::string& app,
                                     apps::Model model,
                                     const std::function<apps::AppReport(rt::Machine&)>& run) {
   const std::string label = std::string(apps::model_slug(model)) + "_p" + std::to_string(nprocs);
   metrics::Session session(machine, nprocs, base.with_label(label));
+  const auto t0 = std::chrono::steady_clock::now();
   const apps::AppReport rep = run(machine);
-  return session.finish(rep.run, app, apps::model_name(model));
+  const std::chrono::duration<double> host = std::chrono::steady_clock::now() - t0;
+  metrics::RunReport report = session.finish(rep.run, app, apps::model_name(model));
+  // Host wall-clock cost of the point — a simulator-performance number, kept
+  // in metadata so it never mixes with the virtual-time results.
+  report.meta["host_seconds"] = format_host_seconds(host.count());
+  return report;
 }
 
-/// Emit a table and mirror it to CSV.
+/// Emit a table and mirror it to CSV.  The CSV grows a trailing `host_s`
+/// column automatically: host wall-clock seconds elapsed since the previous
+/// row (i.e. the cost of producing this row's measurement).  The printed
+/// table stays as the bench declares it — host timing is plumbing, not a
+/// paper result.
 class Emitter {
  public:
   Emitter(std::string bench_name, const Cli& cli, std::string title)
       : table_(std::move(title)),
-        csv_(cli.get("csv", bench_name + ".csv")) {}
+        csv_(cli.get("csv", bench_name + ".csv")),
+        last_(std::chrono::steady_clock::now()) {}
 
   void header(std::vector<std::string> cols) {
-    csv_.row(cols);
+    std::vector<std::string> csv_cols = cols;
+    csv_cols.emplace_back("host_s");
+    csv_.row(csv_cols);
     table_.header(std::move(cols));
+    last_ = std::chrono::steady_clock::now();
   }
   void row(std::vector<std::string> cells) {
-    csv_.row(cells);
+    const auto now = std::chrono::steady_clock::now();
+    const std::chrono::duration<double> host = now - last_;
+    last_ = now;
+    std::vector<std::string> csv_cells = cells;
+    csv_cells.push_back(format_host_seconds(host.count()));
+    csv_.row(csv_cells);
     table_.row(std::move(cells));
   }
   void print() { table_.print(std::cout); }
@@ -73,6 +102,7 @@ class Emitter {
  private:
   TextTable table_;
   CsvWriter csv_;
+  std::chrono::steady_clock::time_point last_;
 };
 
 /// Smoke vs paper-scale N-body configuration.

@@ -1,5 +1,7 @@
 #include "apps/main/app_main.hpp"
 
+#include <chrono>
+#include <cstdio>
 #include <functional>
 #include <iostream>
 #include <string>
@@ -19,7 +21,12 @@ int run_and_report(rt::Machine& machine, int nprocs, const std::string& app, Mod
                    const metrics::Options& mopts,
                    const std::function<AppReport(rt::Machine&)>& run) {
   metrics::Session session(machine, nprocs, mopts);
+  const auto host_start = std::chrono::steady_clock::now();
   const AppReport rep = run(machine);
+  const std::chrono::duration<double> host = std::chrono::steady_clock::now() - host_start;
+  char host_s[32];
+  std::snprintf(host_s, sizeof host_s, "%.3f", host.count());
+  session.add_meta("host_seconds", host_s);
   const metrics::RunReport report = session.finish(rep.run, app, model_name(model));
 
   TextTable t(app + " / " + model_name(model) + " on " + std::to_string(nprocs) +

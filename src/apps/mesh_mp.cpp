@@ -11,6 +11,7 @@
 
 #include "apps/mesh_app.hpp"
 #include "apps/mesh_detail.hpp"
+#include "apps/replicated.hpp"
 #include "common/check.hpp"
 #include "mp/comm.hpp"
 #include "plum/partition.hpp"
@@ -31,18 +32,34 @@ AppReport run_mesh_mp(rt::Machine& machine, int nprocs, const MeshConfig& cfg) {
   std::map<std::string, double> checks;
   std::mutex checks_mu;
 
+  // Shared result of the uncharged setup every PE replicates on identical
+  // inputs (see replicated.hpp); virtual charges are untouched.
+  struct Setup {
+    mesh::TetMesh gm;
+    std::vector<int> owner;
+  };
+  detail::Replicated<Setup> setup_cache;
+
   auto rr = machine.run(nprocs, [&](rt::Pe& pe) {
     mp::Comm comm(world, pe);
     const int P = pe.size();
     const int me = pe.rank();
 
-    // ---- uncharged setup: identical global mesh + deterministic initial RIB.
+    // ---- uncharged setup: identical global mesh + deterministic initial RIB
+    // (computed once on the host, shared by every PE).
     LocalMesh lm;
     {
-      const auto gm = mesh::make_box_mesh(cfg.nx, cfg.ny, cfg.nz, cfg.scale);
-      std::vector<plum::Element> el(gm.tets.size());
-      for (std::size_t t = 0; t < gm.tets.size(); ++t) el[t] = {gm.centroid(static_cast<mesh::TetId>(t)), 1.0};
-      const auto owner0 = plum::rib_partition(el, P);
+      const auto setup = setup_cache.get(0, [&] {
+        Setup s;
+        s.gm = mesh::make_box_mesh(cfg.nx, cfg.ny, cfg.nz, cfg.scale);
+        std::vector<plum::Element> el(s.gm.tets.size());
+        for (std::size_t t = 0; t < s.gm.tets.size(); ++t)
+          el[t] = {s.gm.centroid(static_cast<mesh::TetId>(t)), 1.0};
+        s.owner = plum::rib_partition(el, P);
+        return s;
+      });
+      const mesh::TetMesh& gm = setup->gm;
+      const std::vector<int>& owner0 = setup->owner;
       for (std::size_t t = 0; t < gm.tets.size(); ++t) {
         if (owner0[t] != me) continue;
         TetRec r{};

@@ -15,6 +15,7 @@
 
 #include "apps/nbody_app.hpp"
 #include "apps/nbody_detail.hpp"
+#include "apps/replicated.hpp"
 #include "common/check.hpp"
 #include "mp/comm.hpp"
 #include "nbody/octree.hpp"
@@ -47,21 +48,36 @@ AppReport run_nbody_mp(rt::Machine& machine, int nprocs, const NbodyConfig& cfg)
     double x, y, z, w;
   };
 
+  // Host-side caches for the computations every PE performs on identical
+  // replicated inputs (see replicated.hpp): the uncharged setup and the
+  // per-step replicated-ORB owner map.  Virtual charges are untouched.
+  struct Setup {
+    std::vector<Body> all;
+    std::vector<int> owner;
+  };
+  detail::Replicated<Setup> setup_cache;
+  detail::Replicated<std::vector<int>> owner_cache;
+
   auto rr = machine.run(nprocs, [&](rt::Pe& pe) {
     mp::Comm comm(world, pe);
     const int P = pe.size();
     const int me = pe.rank();
 
-    // ---- uncharged setup: identical generation + deterministic initial ORB.
+    // ---- uncharged setup: identical generation + deterministic initial ORB
+    // (computed once on the host, shared by every PE).
     std::vector<Body> owned;
     {
-      auto all = cfg.uniform_sphere ? nbody::make_uniform_sphere(cfg.n, cfg.seed)
-                                    : nbody::make_plummer(cfg.n, cfg.seed);
-      std::vector<plum::Element> el(all.size());
-      for (std::size_t i = 0; i < all.size(); ++i) el[i] = {all[i].pos, 1.0};
-      const auto owner0 = plum::rib_partition(el, P);
-      for (std::size_t i = 0; i < all.size(); ++i) {
-        if (owner0[i] == me) owned.push_back(all[i]);
+      const auto setup = setup_cache.get(0, [&] {
+        Setup s;
+        s.all = cfg.uniform_sphere ? nbody::make_uniform_sphere(cfg.n, cfg.seed)
+                                   : nbody::make_plummer(cfg.n, cfg.seed);
+        std::vector<plum::Element> el(s.all.size());
+        for (std::size_t i = 0; i < s.all.size(); ++i) el[i] = {s.all[i].pos, 1.0};
+        s.owner = plum::rib_partition(el, P);
+        return s;
+      });
+      for (std::size_t i = 0; i < setup->all.size(); ++i) {
+        if (setup->owner[i] == me) owned.push_back(setup->all[i]);
       }
     }
 
@@ -85,7 +101,11 @@ AppReport run_nbody_mp(rt::Machine& machine, int nprocs, const NbodyConfig& cfg)
         // redundantly from the replicated cloud.
         pe.advance(static_cast<double>(recs.size()) / P * rib_levels(P) *
                    kc.partition_vertex_ns);
-        const auto new_owner = plum::rib_partition(el, P);
+        // Every PE holds the same allgathered cloud (rank order), so the
+        // replicated ORB result is shared instead of recomputed P times.
+        const auto new_owner_sp =
+            owner_cache.get(static_cast<std::uint64_t>(step), [&] { return plum::rib_partition(el, P); });
+        const auto& new_owner = *new_owner_sp;
 
         std::size_t off = 0;
         for (int r = 0; r < me; ++r) off += static_cast<std::size_t>(counts[static_cast<std::size_t>(r)]);

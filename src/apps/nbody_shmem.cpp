@@ -13,6 +13,7 @@
 
 #include "apps/nbody_app.hpp"
 #include "apps/nbody_detail.hpp"
+#include "apps/replicated.hpp"
 #include "apps/shmem_coll.hpp"
 #include "common/check.hpp"
 #include "nbody/octree.hpp"
@@ -43,6 +44,15 @@ AppReport run_nbody_shmem(rt::Machine& machine, int nprocs, const NbodyConfig& c
   std::map<std::string, double> checks;
   std::mutex checks_mu;
 
+  // Shared results of the computations every PE replicates on identical
+  // inputs (see replicated.hpp); virtual charges are untouched.
+  struct Setup {
+    std::vector<Body> all;
+    std::vector<int> owner;
+  };
+  detail::Replicated<Setup> setup_cache;
+  detail::Replicated<std::vector<int>> owner_cache;
+
   auto rr = machine.run(nprocs, [&](rt::Pe& pe) {
     shmem::Ctx ctx(world, pe);
     const int P = pe.size();
@@ -55,16 +65,21 @@ AppReport run_nbody_shmem(rt::Machine& machine, int nprocs, const NbodyConfig& c
     auto my_box = ctx.malloc<detail::BBox>(1);
     auto all_boxes = ctx.malloc<detail::BBox>(static_cast<std::size_t>(P));
 
-    // ---- uncharged setup: identical generation + deterministic initial ORB.
+    // ---- uncharged setup: identical generation + deterministic initial ORB
+    // (computed once on the host, shared by every PE).
     std::vector<Body> owned;
     {
-      auto all = cfg.uniform_sphere ? nbody::make_uniform_sphere(cfg.n, cfg.seed)
-                                    : nbody::make_plummer(cfg.n, cfg.seed);
-      std::vector<plum::Element> el(all.size());
-      for (std::size_t i = 0; i < all.size(); ++i) el[i] = {all[i].pos, 1.0};
-      const auto owner0 = plum::rib_partition(el, P);
-      for (std::size_t i = 0; i < all.size(); ++i) {
-        if (owner0[i] == me) owned.push_back(all[i]);
+      const auto setup = setup_cache.get(0, [&] {
+        Setup s;
+        s.all = cfg.uniform_sphere ? nbody::make_uniform_sphere(cfg.n, cfg.seed)
+                                   : nbody::make_plummer(cfg.n, cfg.seed);
+        std::vector<plum::Element> el(s.all.size());
+        for (std::size_t i = 0; i < s.all.size(); ++i) el[i] = {s.all[i].pos, 1.0};
+        s.owner = plum::rib_partition(el, P);
+        return s;
+      });
+      for (std::size_t i = 0; i < setup->all.size(); ++i) {
+        if (setup->owner[i] == me) owned.push_back(setup->all[i]);
       }
     }
 
@@ -92,7 +107,10 @@ AppReport run_nbody_shmem(rt::Machine& machine, int nprocs, const NbodyConfig& c
         // Parallel-ORB charge; see the MP code.
         pe.advance(static_cast<double>(recs.size()) / P * rib_levels *
                    kc.partition_vertex_ns);
-        const auto new_owner = plum::rib_partition(el, P);
+        // Identical allgathered cloud on every PE: share the ORB result.
+        const auto new_owner_sp =
+            owner_cache.get(static_cast<std::uint64_t>(step), [&] { return plum::rib_partition(el, P); });
+        const auto& new_owner = *new_owner_sp;
 
         std::vector<std::vector<Body>> sendbufs(static_cast<std::size_t>(P));
         for (std::size_t i = 0; i < owned.size(); ++i) {

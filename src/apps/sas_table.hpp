@@ -15,8 +15,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
-#include <thread>
 
 #include "common/check.hpp"
 #include "sas/sas.hpp"
@@ -103,13 +101,14 @@ class SasEdgeTable {
           const std::int64_t id = create();
           team.touch_write(slot_off(i) + 16, 8);
           mid.store(static_cast<std::uint64_t>(id) + 2, std::memory_order_release);
+          team.pe().wake_all();  // losers park until the mid publishes
           return id;
         }
         continue;
       }
-      if (v == 1) {  // another PE is creating; wait for the publish
-        std::this_thread::sleep_for(std::chrono::microseconds(50));
-        team.pe().throw_if_aborted();
+      if (v == 1) {  // another PE is creating; park until the publish
+        team.pe().park_until(
+            [&] { return mid.load(std::memory_order_acquire) != 1; });
         continue;
       }
       team.touch_read(slot_off(i) + 16, 8);

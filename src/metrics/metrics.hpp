@@ -68,6 +68,11 @@ class Session {
   [[nodiscard]] TraceCollector* collector() { return collector_.get(); }
   [[nodiscard]] const Options& options() const { return opts_; }
 
+  /// Extra key/value pairs copied into RunReport::meta by finish() —
+  /// host-side context (e.g. wall-clock seconds) that is not part of the
+  /// simulated results.
+  void add_meta(const std::string& key, const std::string& value) { meta_[key] = value; }
+
   /// Build the RunReport and write every configured artifact
   /// (trace/report/comm).  Call once, after Machine::run returned.
   RunReport finish(const rt::RunResult& rr, const std::string& app, const std::string& model);
@@ -77,6 +82,7 @@ class Session {
   Options opts_;
   std::unique_ptr<TraceCollector> collector_;
   Sink* previous_sink_ = nullptr;
+  std::map<std::string, std::string> meta_;
 };
 
 }  // namespace o2k::metrics

@@ -1,7 +1,6 @@
 #include "mp/comm.hpp"
 
 #include <algorithm>
-#include <chrono>
 
 namespace o2k::mp {
 
@@ -20,12 +19,12 @@ Comm::Comm(World& world, rt::Pe& pe) : world_(world), pe_(pe) {
 
 namespace {
 
-void enqueue(detail::Mailbox& box, detail::Message&& m) {
+void enqueue(rt::Pe& pe, detail::Mailbox& box, int dst, detail::Message&& m) {
   {
     std::scoped_lock lk(box.mu);
     box.q.push_back(std::move(m));
   }
-  box.cv.notify_all();
+  pe.wake(dst);
 }
 
 }  // namespace
@@ -34,8 +33,8 @@ void Comm::send_bytes(std::span<const std::byte> data, int dst, int tag) {
   O2K_REQUIRE(dst >= 0 && dst < size(), "mp: invalid destination rank");
   const auto& P = world_.params();
   const std::size_t bytes = data.size();
-  pe_.add_counter("mp.msgs", 1);
-  pe_.add_counter("mp.bytes", bytes);
+  pe_.add_counter(c_msgs_, 1);
+  pe_.add_counter(c_bytes_, bytes);
   pe_.trace_send(dst, bytes);
 
   detail::Message m;
@@ -46,14 +45,14 @@ void Comm::send_bytes(std::span<const std::byte> data, int dst, int tag) {
   if (dst == rank()) {
     pe_.advance(P.mp_o_send_ns + P.memcpy_ns(bytes));
     m.arrival_ns = pe_.now();
-    enqueue(*world_.boxes_[static_cast<std::size_t>(dst)], std::move(m));
+    enqueue(pe_, *world_.boxes_[static_cast<std::size_t>(dst)], dst, std::move(m));
     return;
   }
 
   if (bytes <= P.mp_eager_bytes) {
     pe_.advance(P.mp_o_send_ns + static_cast<double>(bytes) / P.mp_bw_bytes_per_ns);
     m.arrival_ns = pe_.now() + P.wire_ns(rank(), dst);
-    enqueue(*world_.boxes_[static_cast<std::size_t>(dst)], std::move(m));
+    enqueue(pe_, *world_.boxes_[static_cast<std::size_t>(dst)], dst, std::move(m));
     return;
   }
 
@@ -62,13 +61,9 @@ void Comm::send_bytes(std::span<const std::byte> data, int dst, int tag) {
   auto rdv = std::make_shared<detail::RdvState>();
   m.rdv = rdv;
   m.rts_arrival_ns = pe_.now() + P.wire_ns(rank(), dst);
-  enqueue(*world_.boxes_[static_cast<std::size_t>(dst)], std::move(m));
+  enqueue(pe_, *world_.boxes_[static_cast<std::size_t>(dst)], dst, std::move(m));
 
-  std::unique_lock lk(rdv->mu);
-  while (!rdv->done) {
-    rdv->cv.wait_for(lk, std::chrono::milliseconds(rt::Machine::kWaitPollMs));
-    pe_.throw_if_aborted();
-  }
+  pe_.park_until([&] { return rdv->done.load(std::memory_order_acquire); });
   pe_.sync_at_least(rdv->release_ns);
 }
 
@@ -76,8 +71,8 @@ void Comm::post_bytes(std::span<const std::byte> data, int dst, int tag) {
   O2K_REQUIRE(dst >= 0 && dst < size(), "mp: invalid destination rank");
   const auto& P = world_.params();
   const std::size_t bytes = data.size();
-  pe_.add_counter("mp.msgs", 1);
-  pe_.add_counter("mp.bytes", bytes);
+  pe_.add_counter(c_msgs_, 1);
+  pe_.add_counter(c_bytes_, bytes);
   pe_.trace_send(dst, bytes);
 
   detail::Message m;
@@ -94,7 +89,7 @@ void Comm::post_bytes(std::span<const std::byte> data, int dst, int tag) {
     m.arrival_ns = pe_.now() + P.wire_ns(rank(), dst) +
                    static_cast<double>(bytes) / P.mp_bw_bytes_per_ns;
   }
-  enqueue(*world_.boxes_[static_cast<std::size_t>(dst)], std::move(m));
+  enqueue(pe_, *world_.boxes_[static_cast<std::size_t>(dst)], dst, std::move(m));
 }
 
 std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
@@ -102,22 +97,19 @@ std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
   auto& box = *world_.boxes_[static_cast<std::size_t>(rank())];
   const auto& P = world_.params();
 
+  // The matching predicate consumes the message as its side effect; every
+  // sender wakes this rank after enqueueing (see detail::Mailbox).
   detail::Message m;
-  {
-    std::unique_lock lk(box.mu);
-    for (;;) {
-      auto it = std::find_if(box.q.begin(), box.q.end(), [&](const detail::Message& cand) {
-        return cand.src == src && (tag == kAnyTag || cand.tag == tag);
-      });
-      if (it != box.q.end()) {
-        m = std::move(*it);
-        box.q.erase(it);
-        break;
-      }
-      box.cv.wait_for(lk, std::chrono::milliseconds(rt::Machine::kWaitPollMs));
-      pe_.throw_if_aborted();
-    }
-  }
+  pe_.park_until([&] {
+    std::scoped_lock lk(box.mu);
+    auto it = std::find_if(box.q.begin(), box.q.end(), [&](const detail::Message& cand) {
+      return cand.src == src && (tag == kAnyTag || cand.tag == tag);
+    });
+    if (it == box.q.end()) return false;
+    m = std::move(*it);
+    box.q.erase(it);
+    return true;
+  });
 
   const std::size_t bytes = m.payload.size();
   if (!m.rdv) {
@@ -131,14 +123,11 @@ std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
     const double done = start + static_cast<double>(bytes) / P.mp_bw_bytes_per_ns +
                         P.wire_ns(m.src, rank());
     pe_.sync_at_least(done);
-    {
-      std::scoped_lock lk(m.rdv->mu);
-      m.rdv->release_ns = done;
-      m.rdv->done = true;
-    }
-    m.rdv->cv.notify_all();
+    m.rdv->release_ns = done;
+    m.rdv->done.store(true, std::memory_order_release);
+    pe_.wake(m.src);
   }
-  pe_.add_counter("mp.recv_msgs", 1);
+  pe_.add_counter(c_recv_msgs_, 1);
   pe_.trace_recv(m.src, bytes);
   return std::move(m.payload);
 }

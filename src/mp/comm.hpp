@@ -22,7 +22,7 @@
 // deadlock; irecv records the match request and performs it at wait().
 #pragma once
 
-#include <condition_variable>
+#include <atomic>
 #include <cstring>
 #include <deque>
 #include <memory>
@@ -43,11 +43,11 @@ inline constexpr int kAnyTag = -1;
 
 namespace detail {
 
-/// Sender-side blocking state for a rendezvous transfer.
+/// Sender-side blocking state for a rendezvous transfer.  The receiver
+/// writes `release_ns` and then release-stores `done`; the parked sender
+/// acquire-loads `done` and may then read `release_ns` without a lock.
 struct RdvState {
-  std::mutex mu;
-  std::condition_variable cv;
-  bool done = false;
+  std::atomic<bool> done{false};
   double release_ns = 0.0;
 };
 
@@ -60,9 +60,14 @@ struct Message {
   double rts_arrival_ns = 0.0;
 };
 
+/// Per-rank message queue.  Blocking receives park on the owner PE's wait
+/// slot; a sender enqueues under `mu` and then wakes the owner, whose
+/// matching predicate rescans the queue under `mu`.  The wait slot's epoch
+/// is the generation counter that closes the classic lost-wakeup window: a
+/// notify between the failed scan and the sleep bumps the epoch, so the
+/// receiver re-scans instead of sleeping (see Pe::park_until).
 struct Mailbox {
   std::mutex mu;
-  std::condition_variable cv;
   std::deque<Message> q;
 };
 
@@ -373,6 +378,12 @@ class Comm {
 
   void bcast_bytes(std::span<std::byte> data, int root, int tag);
   int next_coll_tag() { return kCollTagBase + coll_seq_++; }
+
+  // Interned counter ids, resolved once per Comm so per-message accounting
+  // never hashes or allocates a name.
+  rt::CounterId c_msgs_{"mp.msgs"};
+  rt::CounterId c_bytes_{"mp.bytes"};
+  rt::CounterId c_recv_msgs_{"mp.recv_msgs"};
 
   static constexpr int kCollTagBase = 1 << 24;
 

@@ -11,12 +11,15 @@
 namespace o2k::nbody {
 
 struct Body {
+  // Field order is walk-hot-first: the force walk reads pos/mass/id per
+  // direct body interaction; vel/acc/work are touched only in the much
+  // rarer update and balance passes.
   Vec3 pos;
+  double mass = 0.0;
+  std::int32_t id = -1;
   Vec3 vel;
   Vec3 acc;
-  double mass = 0.0;
   double work = 1.0;  ///< interactions charged last step (costzones weight)
-  std::int32_t id = -1;
 };
 
 /// Plummer-model cluster (the SPLASH-2 `barnes` initial condition family):

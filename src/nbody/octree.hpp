@@ -25,12 +25,15 @@ namespace o2k::nbody {
 /// One node of the octree.  Children encode either a sub-cell (>= 0, cell
 /// index) or a single body (encoded as -2 - body_index); -1 = empty.
 struct Cell {
-  Vec3 center;
-  double half = 0.0;  ///< half edge length
+  // Field order is walk-hot-first: accel_over_cells reads com/mass/half/
+  // count/child on every visited cell, while center is only used during
+  // construction, so it sits last to keep the walk's working set dense.
   Vec3 com;
   double mass = 0.0;
+  double half = 0.0;  ///< half edge length
   std::int32_t count = 0;  ///< bodies beneath
   std::array<std::int32_t, 8> child{-1, -1, -1, -1, -1, -1, -1, -1};
+  Vec3 center;
 
   static constexpr std::int32_t encode_body(std::int32_t i) { return -2 - i; }
   static constexpr bool is_body(std::int32_t c) { return c <= -2; }

@@ -1,7 +1,6 @@
 #include "rt/machine.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <thread>
 
 #include "common/check.hpp"
@@ -31,7 +30,7 @@ void Pe::barrier(double cost_ns) {
   }
   auto& b = *machine_->barrier_;
   std::unique_lock lk(b.mu);
-  const std::uint64_t my_gen = b.generation;
+  const std::uint64_t my_gen = b.generation.load(std::memory_order_relaxed);
   b.max_clock = std::max(b.max_clock, clock_);
   b.max_cost = std::max(b.max_cost, cost_ns);
   if (++b.waiting == nprocs_) {
@@ -40,20 +39,26 @@ void Pe::barrier(double cost_ns) {
     b.waiting = 0;
     b.max_clock = 0.0;
     b.max_cost = 0.0;
-    ++b.generation;
+    // Publishes release_time: waiters acquire-load the bumped generation.
+    b.generation.store(my_gen + 1, std::memory_order_release);
     lk.unlock();
-    b.cv.notify_all();
+    wake_all();
     clock_ = std::max(clock_, release);
     if (sink_) sink_->on_barrier(rank_, entry_ns, clock_);
     return;
   }
-  while (b.generation == my_gen) {
-    b.cv.wait_for(lk, std::chrono::milliseconds(Machine::kWaitPollMs));
-    if (aborted()) throw AbortError{};
-  }
+  lk.unlock();
+  park_until(
+      [&] { return b.generation.load(std::memory_order_acquire) != my_gen; });
+  // Safe without b.mu: release_time cannot be overwritten until every
+  // waiter of this generation (including us) re-entered the barrier.
   clock_ = std::max(clock_, b.release_time);
   if (sink_) sink_->on_barrier(rank_, entry_ns, clock_);
 }
+
+void Pe::wake(int rank) { machine_->wake_slot(rank); }
+
+void Pe::wake_all() { machine_->wake_all_slots(); }
 
 Machine::Machine(origin::MachineParams params) : params_(params) {
   O2K_REQUIRE(params_.max_pes >= 1, "machine needs at least one PE");
@@ -61,9 +66,28 @@ Machine::Machine(origin::MachineParams params) : params_(params) {
 }
 
 void Machine::record_error(std::exception_ptr e) {
-  std::scoped_lock lk(error_mu_);
-  if (!first_error_) first_error_ = e;
-  aborted_.store(true, std::memory_order_relaxed);
+  {
+    std::scoped_lock lk(error_mu_);
+    if (!first_error_) first_error_ = e;
+    aborted_.store(true, std::memory_order_relaxed);
+  }
+  // Unblock every parked PE; park_until rechecks aborted() and throws.
+  // (The seq_cst epoch bump orders the aborted_ store before any woken
+  // PE's re-check.)
+  wake_all_slots();
+}
+
+void Machine::wake_slot(int rank) {
+  WaitSlot& s = *slots_[static_cast<std::size_t>(rank)];
+  s.epoch.fetch_add(1, std::memory_order_seq_cst);
+  if (s.parked.load(std::memory_order_seq_cst) != 0) {
+    std::scoped_lock lk(s.mu);
+    s.cv.notify_one();
+  }
+}
+
+void Machine::wake_all_slots() {
+  for (int r = 0; r < run_nprocs_; ++r) wake_slot(r);
 }
 
 RunResult Machine::run(int nprocs, const std::function<void(Pe&)>& body) {
@@ -73,6 +97,8 @@ RunResult Machine::run(int nprocs, const std::function<void(Pe&)>& body) {
 
   barrier_ = std::make_unique<BarrierState>();
   run_nprocs_ = nprocs;
+  while (slots_.size() < static_cast<std::size_t>(nprocs))
+    slots_.push_back(std::make_unique<WaitSlot>());
   aborted_.store(false, std::memory_order_relaxed);
   first_error_ = nullptr;
 
@@ -118,8 +144,14 @@ RunResult Machine::run(int nprocs, const std::function<void(Pe&)>& body) {
   for (const auto& pe : pes) {
     out.pe_ns.push_back(pe->now());
     out.makespan_ns = std::max(out.makespan_ns, pe->now());
-    for (const auto& [name, ns] : pe->stats_.phase_ns) out.phases[name].add_pe(ns);
-    for (const auto& [name, v] : pe->stats_.counters) out.counters[name] += v;
+    for (std::uint32_t id = 0; id < pe->stats_.phase_ns.size(); ++id) {
+      if (pe->stats_.phase_seen[id])
+        out.phases[NameRegistry::phases().name(id)].add_pe(pe->stats_.phase_ns[id]);
+    }
+    for (std::uint32_t id = 0; id < pe->stats_.counters.size(); ++id) {
+      if (pe->stats_.counter_seen[id])
+        out.counters[NameRegistry::counters().name(id)] += pe->stats_.counters[id];
+    }
   }
   for (auto& [name, agg] : out.phases) agg.finalize(nprocs);
   barrier_.reset();

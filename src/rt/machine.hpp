@@ -13,12 +13,23 @@
 //     receiver's clock to at least the data's virtual arrival time.
 //
 // Error handling: if any PE throws, the machine aborts the run; PEs blocked
-// in barriers or model-runtime waits observe the abort flag (all waits are
-// bounded polls) and unwind with AbortError.  Machine::run rethrows the
-// first original exception.
+// in barriers or model-runtime waits are woken through the wait registry
+// (every wait is an event-driven park, see Pe::park_until), observe the
+// abort flag and unwind with AbortError.  Machine::run rethrows the first
+// original exception.
+//
+// Waiting discipline (DESIGN.md §5): a blocked PE never polls on a timer.
+// It parks on its per-PE wait slot — an eventcount of {epoch, parked flag,
+// mutex, condvar} owned by the Machine — and the state-changing side calls
+// Pe::wake(rank) / wake_all() *after* publishing the state the waiter's
+// predicate reads.  Wakeups carry no timing information: they only cause
+// the predicate to be re-evaluated, and every virtual-clock update is
+// derived from values (release times, arrival times) computed from virtual
+// clocks alone, so host scheduling cannot alter simulated results.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <exception>
 #include <functional>
@@ -67,30 +78,33 @@ class Pe {
   /// same number of times (standard barrier discipline).
   void barrier(double cost_ns);
 
-  /// RAII phase scope: simulated time elapsed inside accrues to `name`.
+  /// RAII phase scope: simulated time elapsed inside accrues to the phase.
+  /// Holds an interned id, so entering/leaving a phase never allocates.
   class PhaseScope {
    public:
-    PhaseScope(Pe& pe, std::string name) : pe_(pe), name_(std::move(name)), start_(pe.clock_) {
-      if (pe_.sink_) pe_.sink_->on_phase_begin(pe_.rank_, name_, start_);
+    PhaseScope(Pe& pe, PhaseId id) : pe_(pe), id_(id), start_(pe.clock_) {
+      if (pe_.sink_) pe_.sink_->on_phase_begin(pe_.rank_, id_.str(), start_);
     }
     ~PhaseScope() {
-      pe_.stats_.add_phase(name_, pe_.clock_ - start_);
-      if (pe_.sink_) pe_.sink_->on_phase_end(pe_.rank_, name_, pe_.clock_);
+      pe_.stats_.add_phase(id_, pe_.clock_ - start_);
+      if (pe_.sink_) pe_.sink_->on_phase_end(pe_.rank_, id_.str(), pe_.clock_);
     }
     PhaseScope(const PhaseScope&) = delete;
     PhaseScope& operator=(const PhaseScope&) = delete;
 
    private:
     Pe& pe_;
-    std::string name_;
+    PhaseId id_;
     double start_;
   };
-  [[nodiscard]] PhaseScope phase(std::string name) { return PhaseScope(*this, std::move(name)); }
+  /// `PhaseId` converts implicitly from a name (interned on first use), so
+  /// `pe.phase("force")` keeps working; hot call sites may cache the id.
+  [[nodiscard]] PhaseScope phase(PhaseId id) { return PhaseScope(*this, id); }
 
-  void add_counter(const std::string& name, std::uint64_t v) {
-    stats_.add_counter(name, v);
+  void add_counter(CounterId id, std::uint64_t v) {
+    stats_.add_counter(id, v);
     // Zero increments update no cumulative track — don't spend ring slots.
-    if (sink_ && v != 0) sink_->on_counter(rank_, name, v, clock_);
+    if (sink_ && v != 0) sink_->on_counter(rank_, id.str(), v, clock_);
   }
 
   // ---- metrics emission (no-ops when no sink is attached) ---------------
@@ -117,8 +131,24 @@ class Pe {
 
   [[nodiscard]] PhaseStats& stats() { return stats_; }
 
-  /// True once any PE of this run has thrown.  Model runtimes poll this in
-  /// their wait loops and throw AbortError so the whole team unwinds.
+  // ---- wait registry (event-driven blocking) ----------------------------
+  /// Block this PE until `pred()` returns true.  The predicate must be
+  /// monotonic-per-wake: once the guarding state is published it stays
+  /// observable until this PE consumes it.  `pred` may have side effects
+  /// (e.g. claim the item that satisfied it) — it is re-evaluated only on
+  /// wakeups, never on a timer.  Whoever mutates state a parked PE may be
+  /// predicated on MUST call wake(rank)/wake_all() after the mutation.
+  /// Throws AbortError when the run was aborted while blocked.
+  template <class Pred>
+  void park_until(Pred&& pred);
+
+  /// Re-evaluate `rank`'s parked predicate (no-op if that PE is running).
+  void wake(int rank);
+  /// Wake every PE of the run (barrier release, lock release, abort).
+  void wake_all();
+
+  /// True once any PE of this run has thrown.  Model runtimes check this in
+  /// their waits and throw AbortError so the whole team unwinds.
   [[nodiscard]] bool aborted() const;
   void throw_if_aborted() const;
 
@@ -156,17 +186,32 @@ class Machine {
   void set_sink(metrics::Sink* sink) { sink_ = sink; }
   [[nodiscard]] metrics::Sink* sink() const { return sink_; }
 
-  /// Polling interval for abortable waits (host milliseconds).
-  static constexpr int kWaitPollMs = 20;
-
  private:
   friend class Pe;
 
-  struct BarrierState {
+  /// One eventcount per PE: the only blocking primitive in the substrate.
+  ///
+  /// Waiter protocol (park_until): load `epoch`, test the predicate, then —
+  /// under `mu`, with `parked` set — sleep on `cv` until the epoch moved.
+  /// Waker protocol (wake_slot): bump `epoch`, and only if `parked` is set
+  /// take `mu` and notify.  Both `epoch` and `parked` accesses are seq_cst,
+  /// so the store-buffering interleaving (waiter misses the bump AND waker
+  /// misses the flag) is impossible; the parked==0 fast path makes a wake
+  /// of a running PE two uncontended atomic ops.
+  struct WaitSlot {
+    std::atomic<std::uint64_t> epoch{0};
+    std::atomic<int> parked{0};
     std::mutex mu;
     std::condition_variable cv;
+  };
+
+  struct BarrierState {
+    std::mutex mu;
     int waiting = 0;
-    std::uint64_t generation = 0;
+    // Written under mu, read without it: waiters acquire-load `generation`
+    // and may then read the `release_time` published before the bump (the
+    // next round cannot overwrite it until every waiter re-entered).
+    std::atomic<std::uint64_t> generation{0};
     double max_clock = 0.0;
     double max_cost = 0.0;
     double release_time = 0.0;
@@ -175,14 +220,41 @@ class Machine {
   origin::MachineParams params_;
   metrics::Sink* sink_ = nullptr;
 
-  // Per-run state (valid while run() is active).
+  // Per-run state (valid while run() is active).  Slots grow monotonically
+  // and are never destroyed mid-run, so a PE may park on its slot at any
+  // point of the run.
   std::unique_ptr<BarrierState> barrier_;
+  std::vector<std::unique_ptr<WaitSlot>> slots_;
   int run_nprocs_ = 0;
   std::atomic<bool> aborted_{false};
   std::mutex error_mu_;
   std::exception_ptr first_error_;
 
   void record_error(std::exception_ptr e);
+  void wake_slot(int rank);
+  void wake_all_slots();
 };
+
+template <class Pred>
+void Pe::park_until(Pred&& pred) {
+  Machine::WaitSlot& slot = *machine_->slots_[static_cast<std::size_t>(rank_)];
+  for (;;) {
+    const std::uint64_t e = slot.epoch.load(std::memory_order_seq_cst);
+    if (pred()) return;
+    throw_if_aborted();
+    std::unique_lock lk(slot.mu);
+    slot.parked.store(1, std::memory_order_seq_cst);
+    if (slot.epoch.load(std::memory_order_seq_cst) == e) {
+#ifdef O2K_BOUNDED_WAITS
+      // Debug fallback: bounded sleep instead of an open-ended park, so a
+      // missing-wake bug degrades to slow polling instead of a hang.
+      slot.cv.wait_for(lk, std::chrono::seconds(1));
+#else
+      slot.cv.wait(lk, [&] { return slot.epoch.load(std::memory_order_relaxed) != e; });
+#endif
+    }
+    slot.parked.store(0, std::memory_order_relaxed);
+  }
+}
 
 }  // namespace o2k::rt

@@ -1,0 +1,52 @@
+#include "rt/phase.hpp"
+
+#include <array>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/check.hpp"
+
+namespace o2k::rt {
+
+/// Fixed-capacity backing store: slots are constructed once under the mutex
+/// and never move, so `name(id)` can hand out references without locking.
+struct NameRegistry::Impl {
+  static constexpr std::size_t kMax = 1024;
+  std::mutex mu;
+  std::array<std::string, kMax> names;
+  std::unordered_map<std::string_view, std::uint32_t> index;  // views into `names`
+};
+
+NameRegistry::NameRegistry() : impl_(new Impl) {}
+NameRegistry::~NameRegistry() { delete impl_; }
+
+std::uint32_t NameRegistry::intern(std::string_view name) {
+  std::scoped_lock lk(impl_->mu);
+  if (auto it = impl_->index.find(name); it != impl_->index.end()) return it->second;
+  const std::uint32_t id = count_.load(std::memory_order_relaxed);
+  O2K_REQUIRE(id < Impl::kMax, "rt: phase/counter name registry exhausted");
+  impl_->names[id] = std::string(name);
+  impl_->index.emplace(impl_->names[id], id);
+  // Release after the slot is fully constructed: readers that acquire a
+  // count > id may read names[id] without the mutex.
+  count_.store(id + 1, std::memory_order_release);
+  return id;
+}
+
+const std::string& NameRegistry::name(std::uint32_t id) const {
+  O2K_CHECK(id < count_.load(std::memory_order_acquire),
+            "rt: unknown phase/counter id");
+  return impl_->names[id];
+}
+
+NameRegistry& NameRegistry::phases() {
+  static NameRegistry r;
+  return r;
+}
+
+NameRegistry& NameRegistry::counters() {
+  static NameRegistry r;
+  return r;
+}
+
+}  // namespace o2k::rt

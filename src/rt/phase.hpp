@@ -8,20 +8,92 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace o2k::rt {
 
-/// Raw per-PE accumulation.
-struct PhaseStats {
-  std::map<std::string, double> phase_ns;          ///< simulated ns per phase
-  std::map<std::string, std::uint64_t> counters;   ///< event counts (bytes sent, msgs, ...)
+/// Process-wide string interner for phase and counter names.  Interning is
+/// mutex-protected (cold: names are registered once, usually from string
+/// literals at first use); `name(id)` is lock-free and returns a stable
+/// reference, so the hot accumulation paths never hash, compare or allocate
+/// strings.  Ids are dense and start at 0 — per-PE stats are plain vectors
+/// indexed by id.
+class NameRegistry {
+ public:
+  /// Return the id for `name`, registering it on first use.
+  std::uint32_t intern(std::string_view name);
+  /// The interned spelling (valid for the registry's lifetime).
+  [[nodiscard]] const std::string& name(std::uint32_t id) const;
+  [[nodiscard]] std::uint32_t size() const {
+    return count_.load(std::memory_order_acquire);
+  }
 
-  void add_phase(const std::string& name, double ns) { phase_ns[name] += ns; }
-  void add_counter(const std::string& name, std::uint64_t v) { counters[name] += v; }
+  /// The two global registries (process-wide, so ids stay valid across
+  /// Machines and runs — intentional: phase names are program identity).
+  static NameRegistry& phases();
+  static NameRegistry& counters();
+
+ private:
+  struct Impl;
+  NameRegistry();
+  ~NameRegistry();
+  Impl* impl_;
+  std::atomic<std::uint32_t> count_{0};
+};
+
+/// Interned phase name; constructing from a string interns it (cold).
+struct PhaseId {
+  std::uint32_t v = 0;
+  PhaseId() = default;
+  PhaseId(std::string_view name) : v(NameRegistry::phases().intern(name)) {}
+  PhaseId(const char* name) : PhaseId(std::string_view(name)) {}
+  PhaseId(const std::string& name) : PhaseId(std::string_view(name)) {}
+  [[nodiscard]] const std::string& str() const { return NameRegistry::phases().name(v); }
+};
+
+/// Interned counter name; cache one per hot call site (model runtimes do
+/// this in their constructors).
+struct CounterId {
+  std::uint32_t v = 0;
+  CounterId() = default;
+  CounterId(std::string_view name) : v(NameRegistry::counters().intern(name)) {}
+  CounterId(const char* name) : CounterId(std::string_view(name)) {}
+  CounterId(const std::string& name) : CounterId(std::string_view(name)) {}
+  [[nodiscard]] const std::string& str() const { return NameRegistry::counters().name(v); }
+};
+
+/// Raw per-PE accumulation, indexed by interned id.  The `seen` flags keep
+/// the distinction between "never recorded" and "recorded zero": a phase
+/// entered for 0 ns or a counter bumped by 0 still aggregates to an
+/// explicit zero entry in RunResult, exactly as the former string-keyed
+/// maps did.
+struct PhaseStats {
+  std::vector<double> phase_ns;
+  std::vector<std::uint8_t> phase_seen;
+  std::vector<std::uint64_t> counters;
+  std::vector<std::uint8_t> counter_seen;
+
+  void add_phase(PhaseId id, double ns) {
+    if (id.v >= phase_ns.size()) {
+      phase_ns.resize(id.v + 1, 0.0);
+      phase_seen.resize(id.v + 1, 0);
+    }
+    phase_ns[id.v] += ns;
+    phase_seen[id.v] = 1;
+  }
+  void add_counter(CounterId id, std::uint64_t v) {
+    if (id.v >= counters.size()) {
+      counters.resize(id.v + 1, 0);
+      counter_seen.resize(id.v + 1, 0);
+    }
+    counters[id.v] += v;
+    counter_seen[id.v] = 1;
+  }
 };
 
 /// Aggregate of one phase across all PEs of a run.

@@ -1,8 +1,8 @@
 #include "sas/sas.hpp"
 
 #include <algorithm>
-#include <chrono>
-#include <map>
+#include <bit>
+#include <limits>
 
 namespace o2k::sas {
 
@@ -86,17 +86,74 @@ Team::Team(World& world, rt::Pe& pe) : world_(world), pe_(pe) {
   num_sets_ = world.params().l2_bytes / static_cast<std::size_t>(world.params().cache_line_bytes);
   tag_.assign(num_sets_, 0);
   cached_version_.assign(num_sets_, 0);
+  line_bytes_ = static_cast<std::size_t>(world.params().cache_line_bytes);
+  page_bytes_ = static_cast<std::size_t>(world.params().page_bytes);
+  sets_mask_ = (num_sets_ & (num_sets_ - 1)) == 0 ? num_sets_ - 1 : 0;
+  const auto is_pow2 = [](std::size_t x) { return x != 0 && (x & (x - 1)) == 0; };
+  geom_shifts_ = is_pow2(line_bytes_) && is_pow2(page_bytes_) && page_bytes_ >= line_bytes_;
+  if (geom_shifts_) {
+    line_shift_ = static_cast<unsigned>(std::countr_zero(line_bytes_));
+    page_line_shift_ =
+        static_cast<unsigned>(std::countr_zero(page_bytes_)) - line_shift_;
+  }
+  ownership_extra_ns_ = world.params().ownership_extra_ns;
+  read_premium_by_pe_.resize(static_cast<std::size_t>(size()));
+  remote_by_pe_.resize(static_cast<std::size_t>(size()));
+  for (int p = 0; p < size(); ++p) {
+    const bool local = is_local(p);
+    remote_by_pe_[static_cast<std::size_t>(p)] = local ? 0 : 1;
+    read_premium_by_pe_[static_cast<std::size_t>(p)] =
+        local ? 0.0 : world.params().remote_read_premium_ns(rank(), p);
+  }
+  trace_lines_by_home_.assign(static_cast<std::size_t>(size()), 0);
   world_.pe_state_[static_cast<std::size_t>(rank())].store(0, std::memory_order_relaxed);
   mirror_clock();
 }
 
 Team::~Team() {
-  world_.pe_state_[static_cast<std::size_t>(rank())].store(2, std::memory_order_relaxed);
-  world_.dispatch_.cv.notify_all();
+  world_.pe_state_[static_cast<std::size_t>(rank())].store(2, std::memory_order_seq_cst);
+  pe_.wake_all();
 }
 
 void Team::mirror_clock() {
-  world_.pe_clock_[static_cast<std::size_t>(rank())].store(pe_.now(), std::memory_order_relaxed);
+  // seq_cst exchange + load pair against a registering waiter's seq_cst
+  // min_wait_clock store + clock loads: one side always observes the other,
+  // so a dispatch waiter cannot miss the moment our clock crosses its entry
+  // time (see Dispatch).
+  const auto me = static_cast<std::size_t>(rank());
+  const double now = pe_.now();
+  const double old = world_.pe_clock_[me].exchange(now, std::memory_order_seq_cst);
+  const double m = world_.dispatch_.min_wait_clock.load(std::memory_order_seq_cst);
+  if (old < m && now >= m) wake_next_waiter();
+}
+
+void Team::wake_next_waiter() {
+  // At most one dispatch waiter can be eligible at any moment: the one with
+  // the smallest (mirrored clock, rank) among PEs in state 1 (may_go's
+  // tie-break).  Waking only that candidate avoids the thundering herd of
+  // a full wake_all — on a loaded host, P-1 spurious wake/re-park context
+  // switches per dispatch event.  If the candidate is still blocked by a
+  // busy PE with a smaller clock, that PE's own crossing (or its dispatcher
+  // entry) re-issues the wake, so liveness is preserved.  Drain and Team
+  // retirement keep wake_all because they make *every* waiter eligible.
+  int best = -1;
+  double best_t = 0.0;
+  {
+    std::scoped_lock lk(world_.dispatch_.mu);
+    for (int p = 0; p < size(); ++p) {
+      if (world_.pe_state_[static_cast<std::size_t>(p)].load(std::memory_order_relaxed) != 1)
+        continue;
+      const double t = world_.pe_clock_[static_cast<std::size_t>(p)].load(std::memory_order_relaxed);
+      if (best < 0 || t < best_t) {
+        best = p;
+        best_t = t;
+      }
+    }
+  }
+  // Wake outside dispatch_.mu: the waiter's predicate takes dispatch_.mu
+  // while parked on its own slot mutex, so waking under dispatch_.mu would
+  // invert the lock order.
+  if (best >= 0) pe_.wake(best);
 }
 
 int Team::page_home_for(std::size_t page) {
@@ -110,82 +167,122 @@ int Team::page_home_for(std::size_t page) {
   return expected;
 }
 
+void Team::emit_remote_traces() {
+  std::sort(trace_homes_.begin(), trace_homes_.end());
+  for (const int home : trace_homes_) {
+    pe_.trace_pull(home, trace_lines_by_home_[static_cast<std::size_t>(home)] * line_bytes_);
+    trace_lines_by_home_[static_cast<std::size_t>(home)] = 0;
+  }
+  trace_homes_.clear();
+}
+
 void Team::touch_read(std::size_t off, std::size_t bytes) {
   O2K_REQUIRE(off + bytes <= world_.arena_bytes_, "sas: touch outside arena");
-  const auto line_bytes = static_cast<std::size_t>(world_.params().cache_line_bytes);
-  const auto page_bytes = static_cast<std::size_t>(world_.params().page_bytes);
-  const std::size_t first = off / line_bytes;
-  const std::size_t last = bytes == 0 ? first : (off + bytes - 1) / line_bytes;
+  std::size_t first, last;
+  if (geom_shifts_) {
+    first = off >> line_shift_;
+    last = bytes == 0 ? first : (off + bytes - 1) >> line_shift_;
+  } else {
+    first = off / line_bytes_;
+    last = bytes == 0 ? first : (off + bytes - 1) / line_bytes_;
+  }
 
   double premium = 0.0;
   std::uint64_t misses = 0;
   std::uint64_t remote = 0;
-  std::map<int, std::uint64_t> remote_lines;  // home PE -> lines (tracing only)
   const bool tracing = pe_.tracing();
+  // Batched walk: the page home is resolved once per page crossed — lazily,
+  // on the first *missing* line of the page, so first-touch placement is
+  // triggered by exactly the same accesses as the per-line implementation.
+  // Premiums still accumulate line by line in walk order, so the resulting
+  // double is bit-identical (FP addition is order-sensitive).
+  std::size_t cur_page = static_cast<std::size_t>(-1);
+  int cur_home = 0;
+  const std::atomic<std::uint32_t>* versions = world_.line_version_.get();
   for (std::size_t line = first; line <= last; ++line) {
-    const std::size_t set = line % num_sets_;
-    const std::uint32_t ver = world_.line_version_[line].load(std::memory_order_relaxed);
+    const std::size_t set = sets_mask_ != 0 ? (line & sets_mask_) : (line % num_sets_);
+    const std::uint32_t ver = versions[line].load(std::memory_order_relaxed);
     if (tag_[set] == line + 1 && cached_version_[set] == ver) continue;  // hit
     ++misses;
-    const int home = page_home_for(line * line_bytes / page_bytes);
-    if (!is_local(home)) {
-      premium += world_.params().remote_read_premium_ns(rank(), home);
+    const std::size_t page =
+        geom_shifts_ ? line >> page_line_shift_ : line * line_bytes_ / page_bytes_;
+    if (page != cur_page) {
+      cur_page = page;
+      cur_home = page_home_for(page);
+    }
+    if (remote_by_pe_[static_cast<std::size_t>(cur_home)] != 0) {
+      premium += read_premium_by_pe_[static_cast<std::size_t>(cur_home)];
       ++remote;
-      if (tracing) ++remote_lines[home];
+      if (tracing) note_remote_line(cur_home);
     }
     tag_[set] = line + 1;
     cached_version_[set] = ver;
   }
   if (premium > 0.0) pe_.advance(premium);
-  pe_.add_counter("sas.read_misses", misses);
-  pe_.add_counter("sas.remote_misses", remote);
-  for (const auto& [home, nlines] : remote_lines) pe_.trace_pull(home, nlines * line_bytes);
+  pe_.add_counter(c_read_misses_, misses);
+  pe_.add_counter(c_remote_misses_, remote);
+  if (tracing) emit_remote_traces();
   mirror_clock();
 }
 
 void Team::touch_write(std::size_t off, std::size_t bytes) {
   O2K_REQUIRE(off + bytes <= world_.arena_bytes_, "sas: touch outside arena");
-  const auto line_bytes = static_cast<std::size_t>(world_.params().cache_line_bytes);
-  const auto page_bytes = static_cast<std::size_t>(world_.params().page_bytes);
-  const std::size_t first = off / line_bytes;
-  const std::size_t last = bytes == 0 ? first : (off + bytes - 1) / line_bytes;
+  std::size_t first, last;
+  if (geom_shifts_) {
+    first = off >> line_shift_;
+    last = bytes == 0 ? first : (off + bytes - 1) >> line_shift_;
+  } else {
+    first = off / line_bytes_;
+    last = bytes == 0 ? first : (off + bytes - 1) / line_bytes_;
+  }
 
   double premium = 0.0;
   std::uint64_t misses = 0;
   std::uint64_t remote = 0;
   std::uint64_t transfers = 0;
-  std::map<int, std::uint64_t> remote_lines;  // home PE -> lines (tracing only)
   const bool tracing = pe_.tracing();
+  // Batched walk: see touch_read for the hoisting and bit-identity notes.
+  // The per-line version bump and writer publication are kept unconditional
+  // and in walk order — other Teams' hit checks observe the same history.
+  std::size_t cur_page = static_cast<std::size_t>(-1);
+  int cur_home = 0;
+  const int me = rank();
+  std::atomic<std::uint32_t>* versions = world_.line_version_.get();
+  std::atomic<int>* writers = world_.line_writer_.get();
   for (std::size_t line = first; line <= last; ++line) {
-    const std::size_t set = line % num_sets_;
-    const std::uint32_t ver = world_.line_version_[line].load(std::memory_order_relaxed);
+    const std::size_t set = sets_mask_ != 0 ? (line & sets_mask_) : (line % num_sets_);
+    const std::uint32_t ver = versions[line].load(std::memory_order_relaxed);
     const bool hit = tag_[set] == line + 1 && cached_version_[set] == ver;
-    const int writer = world_.line_writer_[line].load(std::memory_order_relaxed);
+    const int writer = writers[line].load(std::memory_order_relaxed);
     if (!hit) {
       ++misses;
-      const int home = page_home_for(line * line_bytes / page_bytes);
-      if (!is_local(home)) {
-        premium += world_.params().remote_read_premium_ns(rank(), home);
+      const std::size_t page =
+        geom_shifts_ ? line >> page_line_shift_ : line * line_bytes_ / page_bytes_;
+      if (page != cur_page) {
+        cur_page = page;
+        cur_home = page_home_for(page);
+      }
+      if (remote_by_pe_[static_cast<std::size_t>(cur_home)] != 0) {
+        premium += read_premium_by_pe_[static_cast<std::size_t>(cur_home)];
         ++remote;
-        if (tracing) ++remote_lines[home];
+        if (tracing) note_remote_line(cur_home);
       }
     }
-    if (writer != rank() && writer != -1) {
+    if (writer != me && writer != -1) {
       // Line was last written elsewhere: ownership transfer / invalidation.
-      premium += world_.params().ownership_extra_ns;
+      premium += ownership_extra_ns_;
       ++transfers;
     }
-    const std::uint32_t nv =
-        world_.line_version_[line].fetch_add(1, std::memory_order_relaxed) + 1;
-    world_.line_writer_[line].store(rank(), std::memory_order_relaxed);
+    const std::uint32_t nv = versions[line].fetch_add(1, std::memory_order_relaxed) + 1;
+    writers[line].store(me, std::memory_order_relaxed);
     tag_[set] = line + 1;
     cached_version_[set] = nv;
   }
   if (premium > 0.0) pe_.advance(premium);
-  pe_.add_counter("sas.write_misses", misses);
-  pe_.add_counter("sas.remote_misses", remote);
-  pe_.add_counter("sas.ownership_transfers", transfers);
-  for (const auto& [home, nlines] : remote_lines) pe_.trace_pull(home, nlines * line_bytes);
+  pe_.add_counter(c_write_misses_, misses);
+  pe_.add_counter(c_remote_misses_, remote);
+  pe_.add_counter(c_ownership_, transfers);
+  if (tracing) emit_remote_traces();
   mirror_clock();
 }
 
@@ -200,7 +297,7 @@ void Team::lock(std::size_t id) {
   // Serialise in virtual time behind the previous holder.
   pe_.sync_at_least(cell.last_release_ns);
   pe_.advance(world_.params().sas_lock_ns);
-  pe_.add_counter("sas.locks", 1);
+  pe_.add_counter(c_locks_, 1);
   mirror_clock();
 }
 
@@ -279,15 +376,30 @@ std::pair<std::size_t, std::size_t> Team::dynamic_next(std::size_t chunk) {
   const auto me = static_cast<std::size_t>(rank());
   mirror_clock();
 
-  std::unique_lock lk(d.mu);
-  if (d.next >= d.end) {
-    world_.pe_state_[me].store(2, std::memory_order_relaxed);
-    lk.unlock();
-    d.cv.notify_all();
-    return {0, 0};
+  // Recompute min_wait_clock from all PEs in waiting state (holding d.mu).
+  auto update_min_wait = [&] {
+    double m = std::numeric_limits<double>::infinity();
+    for (int p = 0; p < size(); ++p) {
+      if (world_.pe_state_[static_cast<std::size_t>(p)].load(std::memory_order_relaxed) != 1)
+        continue;
+      m = std::min(m, world_.pe_clock_[static_cast<std::size_t>(p)].load(std::memory_order_relaxed));
+    }
+    d.min_wait_clock.store(m, std::memory_order_seq_cst);
+  };
+
+  double my_t = 0.0;
+  {
+    std::unique_lock lk(d.mu);
+    if (d.next >= d.end) {
+      world_.pe_state_[me].store(2, std::memory_order_seq_cst);
+      lk.unlock();
+      pe_.wake_all();  // our done-state may unblock other waiters
+      return {0, 0};
+    }
+    my_t = pe_.now();
+    world_.pe_state_[me].store(1, std::memory_order_seq_cst);
+    update_min_wait();
   }
-  world_.pe_state_[me].store(1, std::memory_order_relaxed);
-  const double my_t = pe_.now();
 
   // Virtual-time-ordered dispatch: take the next chunk only when no other
   // PE could request it at an earlier virtual time.  Mirrored clocks of
@@ -297,32 +409,45 @@ std::pair<std::size_t, std::size_t> Team::dynamic_next(std::size_t chunk) {
     if (d.next >= d.end) return true;  // drained while we waited
     for (int p = 0; p < size(); ++p) {
       if (p == rank()) continue;
-      const int st = world_.pe_state_[static_cast<std::size_t>(p)].load(std::memory_order_relaxed);
+      const int st = world_.pe_state_[static_cast<std::size_t>(p)].load(std::memory_order_seq_cst);
       if (st == 2) continue;  // done
-      const double t = world_.pe_clock_[static_cast<std::size_t>(p)].load(std::memory_order_relaxed);
+      const double t = world_.pe_clock_[static_cast<std::size_t>(p)].load(std::memory_order_seq_cst);
       if (t < my_t || (t == my_t && st == 1 && p < rank())) return false;
     }
     return true;
   };
-  while (!may_go()) {
-    d.cv.wait_for(lk, std::chrono::microseconds(500));
-    pe_.throw_if_aborted();
-  }
-  if (d.next >= d.end) {
-    world_.pe_state_[me].store(2, std::memory_order_relaxed);
-    lk.unlock();
-    d.cv.notify_all();
+
+  // Park until it is our turn; the predicate claims the chunk (or observes
+  // the drain) under the mutex as its side effect.  Wake sources: another
+  // waiter claiming/draining, a Team retiring, and busy PEs whose mirrored
+  // clock crosses min_wait_clock.
+  std::size_t lo = 0, hi = 0;
+  bool drained = false;
+  pe_.park_until([&] {
+    std::scoped_lock lk(d.mu);
+    if (!may_go()) return false;
+    if (d.next >= d.end) {
+      drained = true;
+      world_.pe_state_[me].store(2, std::memory_order_seq_cst);
+    } else {
+      lo = d.next;
+      hi = std::min(d.end, lo + chunk);
+      d.next = hi;
+      world_.pe_state_[me].store(0, std::memory_order_seq_cst);
+    }
+    update_min_wait();
+    return true;
+  });
+
+  if (drained) {
+    pe_.wake_all();
     return {0, 0};
   }
-  const std::size_t lo = d.next;
-  const std::size_t hi = std::min(d.end, lo + chunk);
-  d.next = hi;
-  world_.pe_state_[me].store(0, std::memory_order_relaxed);
   // Charge the dispatch itself (shared counter = one lock acquire).
   pe_.advance(world_.params().sas_lock_ns);
   mirror_clock();
-  lk.unlock();
-  d.cv.notify_all();
+  // Our claim may have unblocked exactly one waiter (the new minimum).
+  wake_next_waiter();
   return {lo, hi};
 }
 

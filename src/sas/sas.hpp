@@ -27,9 +27,9 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -139,13 +139,18 @@ class World {
   };
   std::vector<RedSlot> red_;
 
-  // Dynamic-loop dispatcher state.
+  // Dynamic-loop dispatcher state.  Waiting PEs park on their Machine wait
+  // slots; `min_wait_clock` is the smallest entry clock among PEs in state
+  // 1 (+inf when none), maintained under `mu`.  A busy PE whose mirrored
+  // clock crosses it (Team::mirror_clock) wakes the team so waiters
+  // re-evaluate the virtual-time dispatch order — the event that the old
+  // implementation discovered by polling.
   struct Dispatch {
     std::mutex mu;
-    std::condition_variable cv;
     std::size_t next = 0;
     std::size_t end = 0;
     std::uint64_t epoch = 0;
+    std::atomic<double> min_wait_clock{std::numeric_limits<double>::infinity()};
   };
   Dispatch dispatch_;
   std::unique_ptr<std::atomic<double>[]> pe_clock_;   ///< mirrored clocks
@@ -234,10 +239,19 @@ class Team {
   }
   int page_home_for(std::size_t page);
 
+  // Tracing scratch for one touch: per-home remote line counts, flushed in
+  // ascending home order (matching the former std::map's iteration order).
+  void note_remote_line(int home) {
+    if (trace_lines_by_home_[static_cast<std::size_t>(home)] == 0) trace_homes_.push_back(home);
+    ++trace_lines_by_home_[static_cast<std::size_t>(home)];
+  }
+  void emit_remote_traces();
+
   void dynamic_begin(std::size_t begin, std::size_t end);
   std::pair<std::size_t, std::size_t> dynamic_next(std::size_t chunk);
   void dynamic_end();
   void mirror_clock();
+  void wake_next_waiter();
 
   World& world_;
   rt::Pe& pe_;
@@ -246,6 +260,34 @@ class Team {
   std::vector<std::uint64_t> tag_;
   std::vector<std::uint32_t> cached_version_;
   std::size_t num_sets_;
+
+  // Cached geometry and per-home cost tables (resolved once per Team so the
+  // touch walk does no params indirection, division by non-constants, or
+  // node_of arithmetic per line).  `read_premium_by_pe_[h]` is the exact
+  // double remote_read_premium_ns(rank, h) would return, so hoisting it
+  // keeps accumulated premiums bit-identical.
+  std::size_t line_bytes_ = 0;
+  std::size_t page_bytes_ = 0;
+  std::size_t sets_mask_ = 0;  ///< num_sets_ - 1 when a power of two, else 0
+  // Shift-based address arithmetic, valid when line and page sizes are
+  // powers of two (the Origin2000 geometry): byte->line is >> line_shift_,
+  // line->page is >> page_line_shift_.
+  bool geom_shifts_ = false;
+  unsigned line_shift_ = 0;
+  unsigned page_line_shift_ = 0;
+  double ownership_extra_ns_ = 0.0;
+  std::vector<double> read_premium_by_pe_;
+  std::vector<std::uint8_t> remote_by_pe_;  ///< 1 when that home is off-node
+  std::vector<std::uint64_t> trace_lines_by_home_;
+  std::vector<int> trace_homes_;
+
+  // Interned counter ids, resolved once per Team so per-touch accounting
+  // never hashes or allocates a name.
+  rt::CounterId c_read_misses_{"sas.read_misses"};
+  rt::CounterId c_remote_misses_{"sas.remote_misses"};
+  rt::CounterId c_write_misses_{"sas.write_misses"};
+  rt::CounterId c_ownership_{"sas.ownership_transfers"};
+  rt::CounterId c_locks_{"sas.locks"};
 };
 
 }  // namespace o2k::sas

@@ -2,8 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
-#include <thread>
 
 namespace o2k::shmem {
 
@@ -44,8 +42,8 @@ std::size_t Ctx::allocate(std::size_t bytes) {
 
 void Ctx::charge_put(std::size_t bytes, int target_pe, bool blocking) {
   const auto& P = world_.params();
-  pe_.add_counter("shmem.puts", 1);
-  pe_.add_counter("shmem.bytes", bytes);
+  pe_.add_counter(c_puts_, 1);
+  pe_.add_counter(c_bytes_, bytes);
   pe_.trace_send(target_pe, bytes);
   if (blocking) {
     pe_.advance(P.shmem_o_ns + static_cast<double>(bytes) / P.shmem_bw_bytes_per_ns);
@@ -58,8 +56,8 @@ void Ctx::charge_put(std::size_t bytes, int target_pe, bool blocking) {
 
 void Ctx::charge_get(std::size_t bytes, int target_pe) {
   const auto& P = world_.params();
-  pe_.add_counter("shmem.gets", 1);
-  pe_.add_counter("shmem.bytes", bytes);
+  pe_.add_counter(c_gets_, 1);
+  pe_.add_counter(c_bytes_, bytes);
   pe_.advance(P.shmem_o_ns + 2.0 * P.wire_ns(rank(), target_pe) +
               static_cast<double>(bytes) / P.shmem_bw_bytes_per_ns);
   pe_.trace_pull(target_pe, bytes);
@@ -79,7 +77,7 @@ std::int64_t Ctx::fetch_add(SymPtr<std::int64_t> target, std::int64_t v, int tar
   rma_check(target, 1, target_pe);
   const auto& P = world_.params();
   pe_.advance(P.shmem_atomic_ns + 2.0 * P.wire_ns(rank(), target_pe));
-  pe_.add_counter("shmem.atomics", 1);
+  pe_.add_counter(c_atomics_, 1);
   pe_.trace_pull(target_pe, sizeof(std::int64_t), /*in_matrix=*/false);
   std::scoped_lock lk(world_.atomic_mu_);
   auto* cell = reinterpret_cast<std::int64_t*>(heap(target_pe) + target.offset);
@@ -93,7 +91,7 @@ std::int64_t Ctx::cswap(SymPtr<std::int64_t> target, std::int64_t expected,
   rma_check(target, 1, target_pe);
   const auto& P = world_.params();
   pe_.advance(P.shmem_atomic_ns + 2.0 * P.wire_ns(rank(), target_pe));
-  pe_.add_counter("shmem.atomics", 1);
+  pe_.add_counter(c_atomics_, 1);
   pe_.trace_pull(target_pe, sizeof(std::int64_t), /*in_matrix=*/false);
   std::scoped_lock lk(world_.atomic_mu_);
   auto* cell = reinterpret_cast<std::int64_t*>(heap(target_pe) + target.offset);
@@ -105,45 +103,51 @@ std::int64_t Ctx::cswap(SymPtr<std::int64_t> target, std::int64_t expected,
 void Ctx::set_lock(SymPtr<std::int64_t> lock) {
   // Global lock convention: the cell lives on PE 0.
   double backoff_ns = 500.0;
+  auto* cell = reinterpret_cast<std::int64_t*>(heap(0) + lock.offset);
   for (;;) {
     if (cswap(lock, 0, 1 + rank(), 0) == 0) return;
     pe_.advance(backoff_ns);  // virtual backoff
     backoff_ns = std::min(backoff_ns * 2.0, 16000.0);
-    std::this_thread::sleep_for(std::chrono::microseconds(200));  // host politeness
-    pe_.throw_if_aborted();
+    // Park until the holder's clear_lock zeroes the cell (and wakes every
+    // PE); the retry cswap above recharges the attempt as before.
+    pe_.park_until([&] {
+      std::scoped_lock lk(world_.atomic_mu_);
+      return *cell == 0;
+    });
   }
 }
 
 void Ctx::clear_lock(SymPtr<std::int64_t> lock) {
   const auto& P = world_.params();
   pe_.advance(P.shmem_atomic_ns + 2.0 * P.wire_ns(rank(), 0));
-  std::scoped_lock lk(world_.atomic_mu_);
-  auto* cell = reinterpret_cast<std::int64_t*>(heap(0) + lock.offset);
-  O2K_CHECK(*cell == 1 + rank(), "shmem: clear_lock by non-owner");
-  *cell = 0;
+  {
+    std::scoped_lock lk(world_.atomic_mu_);
+    auto* cell = reinterpret_cast<std::int64_t*>(heap(0) + lock.offset);
+    O2K_CHECK(*cell == 1 + rank(), "shmem: clear_lock by non-owner");
+    *cell = 0;
+  }
+  pe_.wake_all();  // any PE may be parked in set_lock
 }
 
 void Ctx::signal(SymPtr<Signal> cell, std::int64_t value, int target_pe) {
   rma_check(cell, 1, target_pe);
   const auto& P = world_.params();
   pe_.advance(P.shmem_o_ns);
-  pe_.add_counter("shmem.signals", 1);
+  pe_.add_counter(c_signals_, 1);
   pe_.trace_send(target_pe, sizeof(Signal), /*in_matrix=*/false);
   auto* s = reinterpret_cast<Signal*>(heap(target_pe) + cell.offset);
   // Arrival time first, then the value with release ordering so the
   // waiter's acquire load sees a consistent pair.
   s->arrival_ns = pe_.now() + P.wire_ns(rank(), target_pe);
   std::atomic_ref<std::int64_t>(s->value).store(value, std::memory_order_release);
+  pe_.wake(target_pe);
 }
 
 void Ctx::wait_signal(SymPtr<Signal> cell, std::int64_t expected) {
   auto* s = reinterpret_cast<Signal*>(heap(rank()) + cell.offset);
   std::atomic_ref<std::int64_t> v(s->value);
-  while (v.load(std::memory_order_acquire) != expected) {
-    std::this_thread::sleep_for(std::chrono::microseconds(100));
-    pe_.throw_if_aborted();
-  }
-  // Virtual time: the spin resolves one local re-check after the
+  pe_.park_until([&] { return v.load(std::memory_order_acquire) == expected; });
+  // Virtual time: the wait resolves one local re-check after the
   // invalidation arrives (host wait time is irrelevant — deterministic).
   pe_.advance(60.0);
   pe_.sync_at_least(s->arrival_ns);

@@ -213,6 +213,14 @@ class Ctx {
   double reduce_combine(double v, bool is_max);
   std::int64_t reduce_combine_i(std::int64_t v, bool is_max);
 
+  // Interned counter ids, resolved once per Ctx so per-RMA accounting never
+  // hashes or allocates a name.
+  rt::CounterId c_puts_{"shmem.puts"};
+  rt::CounterId c_gets_{"shmem.gets"};
+  rt::CounterId c_bytes_{"shmem.bytes"};
+  rt::CounterId c_atomics_{"shmem.atomics"};
+  rt::CounterId c_signals_{"shmem.signals"};
+
   World& world_;
   rt::Pe& pe_;
   std::size_t bump_ = 0;           ///< local bump pointer (symmetric by discipline)

@@ -2,7 +2,9 @@
 // cost behaviour, and all collectives.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numeric>
+#include <random>
 
 #include "mp/comm.hpp"
 
@@ -304,6 +306,71 @@ TEST_P(MpCollectives, SimulatedTimeDeterministic) {
 }
 
 INSTANTIATE_TEST_SUITE_P(ProcCounts, MpCollectives, ::testing::Values(1, 2, 3, 4, 7, 8, 16, 32));
+
+// Lost-wakeup stress: every rank sends one message per (destination, tag)
+// pair and receives its incoming set in a rank-seeded shuffled order, with
+// seeded virtual work injected between operations.  The shuffles make
+// receivers routinely park for messages that have not been sent yet while
+// senders race to enqueue-and-wake, so a wake landing between a receiver's
+// predicate check and its park (the classic lost-wakeup window the slot
+// epoch closes) is exercised thousands of times per run.  Payload checks
+// catch misdelivery; identical per-PE clocks across two runs catch any
+// schedule leaking into virtual time.
+class MpWakeupStress : public ::testing::TestWithParam<int> {};
+
+TEST_P(MpWakeupStress, ShuffledManyTagManyRank) {
+  const int p = GetParam();
+  constexpr int kTags = 12;
+  const auto payload = [](int src, int dst, int tag) {
+    return (src * 1000 + dst) * 100 + tag;
+  };
+
+  auto body = [&](World& w) {
+    return [&w, p, payload](rt::Pe& pe) {
+      Comm comm(w, pe);
+      const int me = pe.rank();
+      std::mt19937 rng(0xC0FFEEu + static_cast<unsigned>(me));
+      std::uniform_real_distribution<double> work(10.0, 2000.0);
+
+      std::vector<std::pair<int, int>> sends;  // (dst, tag)
+      std::vector<std::pair<int, int>> recvs;  // (src, tag)
+      for (int other = 0; other < p; ++other) {
+        if (other == me) continue;
+        for (int tag = 0; tag < kTags; ++tag) {
+          sends.emplace_back(other, tag);
+          recvs.emplace_back(other, tag);
+        }
+      }
+      std::shuffle(sends.begin(), sends.end(), rng);
+      std::shuffle(recvs.begin(), recvs.end(), rng);
+
+      // All sends before any receive (the deadlock-free ordering: eager
+      // sends never block, so no cyclic wait can form), but shuffled and
+      // separated by random virtual work.  Ranks drift apart, so fast ranks
+      // reach receives whose matching sends a slow rank has not issued yet
+      // and park — which is the window under test.
+      for (const auto& [dst, tag] : sends) {
+        pe.advance(work(rng));
+        comm.send_value<int>(payload(me, dst, tag), dst, tag);
+      }
+      for (const auto& [src, tag] : recvs) {
+        pe.advance(work(rng));
+        EXPECT_EQ(comm.recv_value<int>(src, tag), payload(src, me, tag));
+      }
+      comm.barrier();
+    };
+  };
+
+  rt::Machine m;
+  World w1(m.params(), p), w2(m.params(), p);
+  const auto r1 = m.run(p, body(w1));
+  const auto r2 = m.run(p, body(w2));
+  // Virtual time must be a pure function of the program, not of which host
+  // thread won which wakeup race.
+  EXPECT_EQ(r1.pe_ns, r2.pe_ns);
+}
+
+INSTANTIATE_TEST_SUITE_P(ProcCounts, MpWakeupStress, ::testing::Values(2, 4, 8, 16, 32));
 
 }  // namespace
 }  // namespace o2k::mp

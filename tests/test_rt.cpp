@@ -2,7 +2,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
 
+#include "apps/mesh_app.hpp"
+#include "apps/nbody_app.hpp"
+#include "metrics/sink.hpp"
 #include "rt/machine.hpp"
 
 namespace o2k::rt {
@@ -165,6 +173,184 @@ TEST_P(MachineP, BarrierCostChargedOnce) {
 }
 
 INSTANTIATE_TEST_SUITE_P(ProcCounts, MachineP, ::testing::Values(1, 2, 3, 4, 8, 16, 32, 64));
+
+// ---------------------------------------------------------------------------
+// Scheduler neutrality: the event-driven wait machinery must not perturb any
+// measured quantity.  Golden fixtures were recorded from the pre-change
+// (bounded-poll) substrate; every app × model smoke config must reproduce
+// them bit-identically — per-PE final clocks, phase stats, counters, and the
+// sink-observed comm-matrix totals — with and without a metrics sink.
+//
+// Regenerate (only when a cost-model change *intends* to move numbers):
+//   O2K_WRITE_GOLDEN=1 ./test_rt --gtest_filter='SubstrateGolden.*'
+// ---------------------------------------------------------------------------
+
+namespace golden {
+
+/// Per-PE tallies of every sink callback plus comm-matrix byte totals.
+/// Strictly per-PE state (see the Sink threading contract); summed at the
+/// end of the run on the aggregating thread.
+class CountingSink final : public metrics::Sink {
+ public:
+  explicit CountingSink(int nprocs) : per_pe_(static_cast<std::size_t>(nprocs)) {}
+
+  void on_phase_begin(int pe, const std::string&, double) override { ++at(pe).phase_events; }
+  void on_phase_end(int pe, const std::string&, double) override { ++at(pe).phase_events; }
+  void on_counter(int pe, const std::string&, std::uint64_t, double) override {
+    ++at(pe).counter_events;
+  }
+  void on_message(int pe, int, int, std::uint64_t bytes, double, bool in_matrix) override {
+    ++at(pe).message_events;
+    if (in_matrix) {
+      ++at(pe).matrix_msgs;
+      at(pe).matrix_bytes += bytes;
+    }
+  }
+  void on_barrier(int pe, double, double) override { ++at(pe).barrier_events; }
+
+  [[nodiscard]] std::string summary() const {
+    std::uint64_t phase = 0, counter = 0, message = 0, barrier = 0, mm = 0, mb = 0;
+    for (const auto& s : per_pe_) {
+      phase += s.phase_events;
+      counter += s.counter_events;
+      message += s.message_events;
+      barrier += s.barrier_events;
+      mm += s.matrix_msgs;
+      mb += s.matrix_bytes;
+    }
+    std::ostringstream os;
+    os << "sink phase=" << phase << " counter=" << counter << " message=" << message
+       << " barrier=" << barrier << " matrix_msgs=" << mm << " matrix_bytes=" << mb << "\n";
+    return os.str();
+  }
+
+ private:
+  struct alignas(64) PerPe {
+    std::uint64_t phase_events = 0;
+    std::uint64_t counter_events = 0;
+    std::uint64_t message_events = 0;
+    std::uint64_t barrier_events = 0;
+    std::uint64_t matrix_msgs = 0;
+    std::uint64_t matrix_bytes = 0;
+  };
+  PerPe& at(int pe) { return per_pe_[static_cast<std::size_t>(pe)]; }
+  std::vector<PerPe> per_pe_;
+};
+
+struct Case {
+  const char* app;
+  apps::Model model;
+  int p;
+};
+
+// CC-SAS runs with P > 1 are excluded: the SAS cache simulator's shared
+// line_version_/line_writer_ state is mutated concurrently by PE threads
+// between barriers, so miss counts (and hence virtual clocks) depend on
+// host interleaving — they are not run-to-run reproducible even on the
+// unmodified seed substrate.  Bit-identity is only a meaningful invariant
+// where the baseline itself is deterministic; CC-SAS is pinned at P = 1
+// and its P > 1 physics/validation values are covered by the apps tests.
+inline std::vector<Case> cases() {
+  std::vector<Case> out;
+  for (const char* app : {"nbody", "mesh"}) {
+    for (auto model : {apps::Model::kMp, apps::Model::kShmem, apps::Model::kSas}) {
+      for (int p : {1, 5, 8}) {
+        if (model == apps::Model::kSas && p > 1) continue;
+        out.push_back({app, model, p});
+      }
+    }
+  }
+  return out;
+}
+
+inline std::string case_key(const Case& c) {
+  return std::string("== ") + c.app + " " + apps::model_slug(c.model) + " p" +
+         std::to_string(c.p);
+}
+
+/// Exact textual form of everything the run measured (hexfloat doubles, so
+/// equality means bit-equality).
+inline std::string canonical(const RunResult& rr) {
+  std::ostringstream os;
+  char buf[96];
+  for (std::size_t r = 0; r < rr.pe_ns.size(); ++r) {
+    std::snprintf(buf, sizeof buf, "clock %zu %a\n", r, rr.pe_ns[r]);
+    os << buf;
+  }
+  for (const auto& [name, agg] : rr.phases) {
+    std::snprintf(buf, sizeof buf, " max=%a min=%a sum=%a pes=%d\n", agg.max_ns, agg.min_ns,
+                  agg.sum_ns, agg.pes);
+    os << "phase " << name << buf;
+  }
+  for (const auto& [name, v] : rr.counters) os << "counter " << name << " " << v << "\n";
+  return os.str();
+}
+
+inline RunResult run_case(const Case& c, metrics::Sink* sink) {
+  Machine machine;
+  machine.set_sink(sink);
+  if (std::string(c.app) == "nbody") {
+    apps::NbodyConfig cfg;
+    cfg.n = 2048;
+    cfg.steps = 2;
+    return apps::run_nbody(c.model, machine, c.p, cfg).run;
+  }
+  apps::MeshConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = 6;
+  cfg.phases = 2;
+  return apps::run_mesh(c.model, machine, c.p, cfg).run;
+}
+
+/// Parse the fixture into per-case sections keyed by their "== ..." header.
+inline std::map<std::string, std::string> load_fixture(const std::string& path) {
+  std::ifstream in(path);
+  std::map<std::string, std::string> out;
+  std::string line, key;
+  while (std::getline(in, line)) {
+    if (line.rfind("== ", 0) == 0) {
+      key = line;
+    } else if (!key.empty()) {
+      out[key] += line + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace golden
+
+TEST(SubstrateGolden, AppRunsMatchPreChangeFixtureAndSinkIsNeutral) {
+  const std::string path = O2K_GOLDEN_FILE;
+  const bool write = std::getenv("O2K_WRITE_GOLDEN") != nullptr;
+  auto fixture = golden::load_fixture(path);
+  std::ostringstream regenerated;
+  regenerated << "# Golden substrate fixture (o2k.substrate_golden.v1).\n"
+              << "# Recorded from the pre-event-driven (bounded-poll) scheduler; every\n"
+              << "# value is virtual-time only and must stay bit-identical across\n"
+              << "# host-side scheduler changes.  Doubles are hexfloats.\n";
+  for (const auto& c : golden::cases()) {
+    const std::string key = golden::case_key(c);
+    SCOPED_TRACE(key);
+
+    const RunResult bare = golden::run_case(c, nullptr);
+    golden::CountingSink sink(c.p);
+    const RunResult with_sink = golden::run_case(c, &sink);
+
+    // Sink neutrality: attaching an observer changes no measured value.
+    EXPECT_EQ(golden::canonical(bare), golden::canonical(with_sink));
+
+    const std::string body = golden::canonical(bare) + sink.summary();
+    regenerated << key << "\n" << body;
+    if (write) continue;
+    ASSERT_TRUE(fixture.count(key)) << "fixture section missing; regenerate with "
+                                       "O2K_WRITE_GOLDEN=1 (see comment above)";
+    EXPECT_EQ(fixture[key], body);
+  }
+  if (write) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << regenerated.str();
+  }
+}
 
 }  // namespace
 }  // namespace o2k::rt
