@@ -19,6 +19,7 @@
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "metrics/metrics.hpp"
+#include "sanitize/sanitize.hpp"
 
 namespace o2k::bench {
 
@@ -58,6 +59,9 @@ inline metrics::RunReport run_point(rt::Machine& machine, int nprocs,
                                     apps::Model model,
                                     const std::function<apps::AppReport(rt::Machine&)>& run) {
   const std::string label = std::string(apps::model_slug(model)) + "_p" + std::to_string(nprocs);
+  // Benches opt into the checkers via O2K_SANITIZE (no per-bench flag);
+  // idempotent, and a no-op when the variable is unset.
+  sanitize::init_from_env();
   metrics::Session session(machine, nprocs, base.with_label(label));
   const auto t0 = std::chrono::steady_clock::now();
   const apps::AppReport rep = run(machine);

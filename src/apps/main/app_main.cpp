@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <functional>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "apps/mesh_app.hpp"
@@ -11,22 +12,67 @@
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "metrics/metrics.hpp"
+#include "sanitize/sanitize.hpp"
 
 namespace o2k::apps::appmain {
 
 namespace {
 
+/// --sanitize[=off|report|abort]; a bare --sanitize means report.  Without
+/// the flag, O2K_SANITIZE decides (so scripted sweeps need no per-app args).
+sanitize::Mode sanitize_mode(const Cli& cli) {
+  if (!cli.has("sanitize")) return sanitize::env_mode();
+  const std::string v = cli.get("sanitize", "report");
+  return v == "true" ? sanitize::Mode::kReport : sanitize::mode_from_string(v);
+}
+
 /// Run under an attached metrics session, print the standard summary.
 int run_and_report(rt::Machine& machine, int nprocs, const std::string& app, Model model,
-                   const metrics::Options& mopts,
+                   const metrics::Options& mopts, sanitize::Mode smode,
                    const std::function<AppReport(rt::Machine&)>& run) {
   metrics::Session session(machine, nprocs, mopts);
+  // Install the sanitizer before `run` constructs any substrate World so the
+  // begin_*_world hooks see it; tear the scope down before finish() so the
+  // report carries the complete finding set (MP finalize checks fire in the
+  // World destructor, inside `run`).
+  std::optional<sanitize::Sanitizer> san;
+  std::optional<sanitize::Scope> san_scope;
+  if (smode != sanitize::Mode::kOff) {
+    san.emplace(smode);
+    san_scope.emplace(&*san);
+  }
   const auto host_start = std::chrono::steady_clock::now();
   const AppReport rep = run(machine);
   const std::chrono::duration<double> host = std::chrono::steady_clock::now() - host_start;
   char host_s[32];
   std::snprintf(host_s, sizeof host_s, "%.3f", host.count());
   session.add_meta("host_seconds", host_s);
+  if (san) {
+    san_scope.reset();
+    metrics::SanitizeReport sr;
+    sr.enabled = true;
+    sr.mode = sanitize::mode_name(san->mode());
+    const sanitize::Stats st = san->stats();
+    sr.sas_accesses = st.sas_accesses;
+    sr.shmem_accesses = st.shmem_accesses;
+    sr.mp_recvs = st.mp_recvs;
+    sr.sync_ops = st.sync_ops;
+    sr.dropped = st.dropped;
+    for (const auto& f : san->findings()) {
+      metrics::SanitizeFinding mf;
+      mf.kind = f.kind;
+      mf.model = f.model;
+      mf.object = f.object;
+      mf.phase = f.phase;
+      mf.pe_a = f.pe_a;
+      mf.pe_b = f.pe_b;
+      mf.t_ns = f.t_ns;
+      mf.count = f.count;
+      mf.detail = f.detail;
+      sr.findings.push_back(std::move(mf));
+    }
+    session.set_sanitize(std::move(sr));
+  }
   const metrics::RunReport report = session.finish(rep.run, app, model_name(model));
 
   TextTable t(app + " / " + model_name(model) + " on " + std::to_string(nprocs) +
@@ -40,6 +86,14 @@ int run_and_report(rt::Machine& machine, int nprocs, const std::string& app, Mod
 
   std::cout << "\ncomm: " << TextTable::bytes(static_cast<double>(report.comm_bytes)) << " in "
             << report.comm_msgs << " transfers\n";
+  if (report.sanitize.enabled) {
+    const auto& sz = report.sanitize;
+    std::cout << "sanitize (" << sz.mode << "): " << sz.findings.size() << " finding(s); checked "
+              << sz.sas_accesses << " sas, " << sz.shmem_accesses << " shmem, " << sz.mp_recvs
+              << " recv ops across " << sz.sync_ops << " sync edges";
+    if (sz.dropped > 0) std::cout << " (" << sz.dropped << " shadow records dropped)";
+    std::cout << '\n';
+  }
   if (report.trace_events > 0) {
     std::cout << "trace: " << report.trace_events << " events recorded, "
               << report.trace_dropped << " dropped by ring bound\n";
@@ -62,6 +116,7 @@ int nbody_main(int argc, char** argv, Model model) {
       {"seed", "RNG seed"},
       {"rebalance-every", "rebalance cadence in steps, 0 = never (default 1)"},
       {"uniform-sphere", "use the less-adaptive uniform initial condition"},
+      {"sanitize", "race/usage checking: off|report|abort (bare flag = report)"},
   };
   metrics::add_cli_flags(flags);
   Cli cli(argc, argv, flags);
@@ -81,9 +136,8 @@ int nbody_main(int argc, char** argv, Model model) {
 
   rt::Machine machine;
   return run_and_report(machine, p, std::string("nbody_") + model_slug(model), model,
-                        metrics::Options::from_cli(cli), [&](rt::Machine& m) {
-                          return run_nbody(model, m, p, cfg);
-                        });
+                        metrics::Options::from_cli(cli), sanitize_mode(cli),
+                        [&](rt::Machine& m) { return run_nbody(model, m, p, cfg); });
 }
 
 int mesh_main(int argc, char** argv, Model model) {
@@ -93,6 +147,7 @@ int mesh_main(int argc, char** argv, Model model) {
       {"phases", "adaptation phases (default 3)"},
       {"solve-ns", "surrogate solver work per element per phase in ns"},
       {"no-plum", "disable the PLUM balance stage (MP/SHMEM)"},
+      {"sanitize", "race/usage checking: off|report|abort (bare flag = report)"},
   };
   metrics::add_cli_flags(flags);
   Cli cli(argc, argv, flags);
@@ -111,9 +166,8 @@ int mesh_main(int argc, char** argv, Model model) {
 
   rt::Machine machine;
   return run_and_report(machine, p, std::string("mesh_") + model_slug(model), model,
-                        metrics::Options::from_cli(cli), [&](rt::Machine& m) {
-                          return run_mesh(model, m, p, cfg);
-                        });
+                        metrics::Options::from_cli(cli), sanitize_mode(cli),
+                        [&](rt::Machine& m) { return run_mesh(model, m, p, cfg); });
 }
 
 }  // namespace o2k::apps::appmain

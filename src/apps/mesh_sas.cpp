@@ -34,11 +34,11 @@ AppReport run_mesh_sas(rt::Machine& machine, int nprocs, const MeshConfig& cfg) 
                                   2 * table_cap * 3 * sizeof(std::uint64_t) + (8u << 20);
   sas::World world(machine.params(), nprocs, arena_bytes);
 
-  auto tets_arr = world.alloc<mesh::Tet>(cap_tets);
-  auto alive_arr = world.alloc<std::uint8_t>(cap_tets);
-  auto masks_arr = world.alloc<std::uint8_t>(cap_tets);
-  auto verts_arr = world.alloc<Vec3>(cap_verts);
-  auto counters = world.alloc<std::int64_t>(4);  // [0]=ntets [1]=nverts [2]=changed
+  auto tets_arr = world.alloc<mesh::Tet>(cap_tets, "tets");
+  auto alive_arr = world.alloc<std::uint8_t>(cap_tets, "alive");
+  auto masks_arr = world.alloc<std::uint8_t>(cap_tets, "masks");
+  auto verts_arr = world.alloc<Vec3>(cap_verts, "verts");
+  auto counters = world.alloc<std::int64_t>(4, "counters");  // [0]=ntets [1]=nverts [2]=changed
   SasEdgeTable table(world, table_cap);
 
   // ---- uncharged setup: the initial mesh, written serially.
@@ -154,7 +154,10 @@ AppReport run_mesh_sas(rt::Machine& machine, int nprocs, const MeshConfig& cfg) 
           if (table.promote_pending(team)) {
             std::atomic_ref<std::int64_t> ch(ctr[2]);
             pe.advance(world.params().sas_lock_ns);
-            team.touch_write_range(counters, 2, 1);
+            // Several PEs may set the convergence flag in the same round;
+            // the store is a host atomic, so annotate it as one.
+            team.touch_write_atomic(counters.offset + 2 * sizeof(std::int64_t),
+                                    sizeof(std::int64_t));
             ch.store(1, std::memory_order_release);
           }
           team.barrier();

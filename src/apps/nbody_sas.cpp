@@ -15,6 +15,7 @@
 // bit-identical to the serial code's, which the integration tests exploit.
 #include <array>
 #include <cmath>
+#include <cstddef>
 #include <mutex>
 #include <optional>
 
@@ -45,10 +46,10 @@ AppReport run_nbody_sas(rt::Machine& machine, int nprocs, const NbodyConfig& cfg
                                                   : sas::Placement::kBlock;
   sas::World world(machine.params(), nprocs, arena_bytes, placement);
 
-  auto bodies_arr = world.alloc<Body>(cfg.n);
-  auto cells_arr = world.alloc<Cell>(cell_cap);
-  auto owner_arr = world.alloc<int>(cfg.n);
-  auto ncells_arr = world.alloc<std::int64_t>(1);
+  auto bodies_arr = world.alloc<Body>(cfg.n, "bodies");
+  auto cells_arr = world.alloc<Cell>(cell_cap, "cells");
+  auto owner_arr = world.alloc<int>(cfg.n, "owner");
+  auto ncells_arr = world.alloc<std::int64_t>(1, "ncells");
 
   // ---- uncharged setup on the shared heap.
   {
@@ -137,7 +138,11 @@ AppReport run_nbody_sas(rt::Machine& machine, int nprocs, const NbodyConfig& cfg
         const std::span<const Cell> cells(world.data(cells_arr), ncells);
         const auto charge_visit = [&](std::int32_t idx, bool is_body) {
           if (is_body) {
-            team.touch_read_range(bodies_arr, static_cast<std::size_t>(idx), 1);
+            // The walk reads only pos/mass of other PEs' bodies; their
+            // owners concurrently write acc/work (SPLASH-2 barnes-style
+            // disjoint-field sharing), so annotate the fields actually read.
+            team.touch_read_fields(bodies_arr, static_cast<std::size_t>(idx), 1, 0,
+                                   offsetof(Body, id));
           } else {
             team.touch_read_range(cells_arr, static_cast<std::size_t>(idx), 1);
           }
@@ -149,7 +154,8 @@ AppReport run_nbody_sas(rt::Machine& machine, int nprocs, const NbodyConfig& cfg
           const std::size_t before = ws.interactions();
           const Vec3 a = nbody::accel_over_cells(cells, b, bodies, cfg.theta, cfg.eps, ws,
                                                  charge_visit);
-          team.touch_write_range(bodies_arr, i, 1);
+          team.touch_write_fields(bodies_arr, i, 1, offsetof(Body, acc),
+                                  sizeof(Body) - offsetof(Body, acc));
           // Write only the fields this phase owns: other PEs may
           // concurrently read this body's (unchanged) pos/mass during
           // their walks, exactly as in SPLASH-2 barnes.

@@ -27,7 +27,7 @@ class SasEdgeTable {
     std::size_t cap = 64;
     while (cap < capacity) cap <<= 1;
     cap_ = cap;
-    slots_ = world.alloc<std::uint64_t>(3 * cap_);
+    slots_ = world.alloc<std::uint64_t>(3 * cap_, "edge_table");
   }
 
   [[nodiscard]] std::size_t capacity() const { return cap_; }
@@ -46,7 +46,7 @@ class SasEdgeTable {
   /// Set the marked flag; returns true if this call newly marked the edge.
   bool mark(sas::Team& team, std::uint64_t key) {
     const std::size_t i = find_slot(team, key, /*insert=*/true);
-    team.touch_write(slot_off(i) + 8, 8);
+    team.touch_write_atomic(slot_off(i) + 8, 8);
     std::atomic_ref<std::uint64_t> m(world_.data(slots_)[3 * i + 1]);
     return (m.fetch_or(kMarked, std::memory_order_acq_rel) & kMarked) == 0;
   }
@@ -63,7 +63,7 @@ class SasEdgeTable {
   /// PE's sweep sees the same frozen mark state).
   void set_pending(sas::Team& team, std::uint64_t key) {
     const std::size_t i = find_slot(team, key, /*insert=*/true);
-    team.touch_write(slot_off(i) + 8, 8);
+    team.touch_write_atomic(slot_off(i) + 8, 8);
     std::atomic_ref<std::uint64_t> m(world_.data(slots_)[3 * i + 1]);
     m.fetch_or(kPending, std::memory_order_acq_rel);
   }
@@ -99,7 +99,9 @@ class SasEdgeTable {
         std::uint64_t expected = 0;
         if (mid.compare_exchange_strong(expected, 1, std::memory_order_acq_rel)) {
           const std::int64_t id = create();
-          team.touch_write(slot_off(i) + 16, 8);
+          // Atomic-annotated publish: the write's release edge carries
+          // create()'s vertex write to whichever loser reads the id.
+          team.touch_write_atomic(slot_off(i) + 16, 8);
           mid.store(static_cast<std::uint64_t>(id) + 2, std::memory_order_release);
           team.pe().wake_all();  // losers park until the mid publishes
           return id;
@@ -111,7 +113,7 @@ class SasEdgeTable {
             [&] { return mid.load(std::memory_order_acquire) != 1; });
         continue;
       }
-      team.touch_read(slot_off(i) + 16, 8);
+      team.touch_read_atomic(slot_off(i) + 16, 8);
       return static_cast<std::int64_t>(v - 2);
     }
   }
@@ -131,7 +133,9 @@ class SasEdgeTable {
     h ^= h >> 29;
     std::size_t i = static_cast<std::size_t>(h) & (cap_ - 1);
     for (std::size_t probes = 0; probes < cap_; ++probes) {
-      team.touch_read(slot_off(i), 24);
+      // Atomic-annotated probe: the slot words are mutated by concurrent
+      // CAS/fetch_or, so a plain-read annotation would be a (false) race.
+      team.touch_read_atomic(slot_off(i), 24);
       std::atomic_ref<std::uint64_t> kref(world_.data(slots_)[3 * i]);
       std::uint64_t k = kref.load(std::memory_order_acquire);
       if (k == key) return i;
@@ -139,7 +143,7 @@ class SasEdgeTable {
         if (!insert) return kNpos;
         team.pe().advance(world_.params().sas_lock_ns);  // LL/SC claim
         if (kref.compare_exchange_strong(k, key, std::memory_order_acq_rel)) {
-          team.touch_write(slot_off(i), 8);
+          team.touch_write_atomic(slot_off(i), 8);
           return i;
         }
         if (k == key) return i;  // lost the race to the same key

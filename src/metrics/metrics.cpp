@@ -54,6 +54,7 @@ RunReport Session::finish(const rt::RunResult& rr, const std::string& app,
                           const std::string& model) {
   RunReport rep = build_report(rr, machine_.params(), app, model, collector_.get());
   for (const auto& [k, v] : meta_) rep.meta[k] = v;
+  rep.sanitize = sanitize_;
   if (collector_ != nullptr) {
     if (!opts_.trace_path.empty()) write_chrome_trace_file(*collector_, opts_.trace_path);
     if (!opts_.comm_path.empty()) collector_->comm_matrix().write_csv_file(opts_.comm_path);

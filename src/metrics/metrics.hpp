@@ -73,6 +73,10 @@ class Session {
   /// simulated results.
   void add_meta(const std::string& key, const std::string& value) { meta_[key] = value; }
 
+  /// Attach sanitizer results; must be called before finish() (finish
+  /// writes the report artifact immediately).
+  void set_sanitize(SanitizeReport sr) { sanitize_ = std::move(sr); }
+
   /// Build the RunReport and write every configured artifact
   /// (trace/report/comm).  Call once, after Machine::run returned.
   RunReport finish(const rt::RunResult& rr, const std::string& app, const std::string& model);
@@ -83,6 +87,7 @@ class Session {
   std::unique_ptr<TraceCollector> collector_;
   Sink* previous_sink_ = nullptr;
   std::map<std::string, std::string> meta_;
+  SanitizeReport sanitize_;
 };
 
 }  // namespace o2k::metrics

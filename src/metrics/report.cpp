@@ -136,6 +136,34 @@ void RunReport::write_json(std::ostream& os) const {
   for (const auto& [k, v] : meta) j.kv(k, v);
   j.end_object();
 
+  if (sanitize.enabled) {
+    j.key("sanitize");
+    j.begin_object();
+    j.kv("mode", sanitize.mode);
+    j.kv("sas_accesses", sanitize.sas_accesses);
+    j.kv("shmem_accesses", sanitize.shmem_accesses);
+    j.kv("mp_recvs", sanitize.mp_recvs);
+    j.kv("sync_ops", sanitize.sync_ops);
+    j.kv("dropped", sanitize.dropped);
+    j.key("findings");
+    j.begin_array();
+    for (const SanitizeFinding& f : sanitize.findings) {
+      j.begin_object();
+      j.kv("kind", f.kind);
+      j.kv("model", f.model);
+      j.kv("object", f.object);
+      j.kv("phase", f.phase);
+      j.kv("pe_a", f.pe_a);
+      j.kv("pe_b", f.pe_b);
+      j.kv("t_ns", f.t_ns);
+      j.kv("count", f.count);
+      j.kv("detail", f.detail);
+      j.end_object();
+    }
+    j.end_array();
+    j.end_object();
+  }
+
   j.end_object();
   os << '\n';
 }

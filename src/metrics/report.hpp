@@ -24,6 +24,34 @@ namespace o2k::metrics {
 
 class TraceCollector;
 
+/// One deduplicated correctness finding from o2k::sanitize, mirrored into
+/// the metrics layer so run reports stay self-contained (metrics does not
+/// link against the sanitizer; app mains convert sanitize::Finding).
+struct SanitizeFinding {
+  std::string kind;
+  std::string model;
+  std::string object;
+  std::string phase;
+  int pe_a = -1;
+  int pe_b = -1;
+  double t_ns = 0.0;
+  std::uint64_t count = 1;
+  std::string detail;
+};
+
+/// The run report's "sanitize" section: absent from the JSON unless the
+/// run was sanitized (`enabled`), so sanitize-off reports are byte-stable.
+struct SanitizeReport {
+  bool enabled = false;
+  std::string mode;  ///< "report" or "abort"
+  std::uint64_t sas_accesses = 0;
+  std::uint64_t shmem_accesses = 0;
+  std::uint64_t mp_recvs = 0;
+  std::uint64_t sync_ops = 0;
+  std::uint64_t dropped = 0;
+  std::vector<SanitizeFinding> findings;
+};
+
 struct RunReport {
   static constexpr const char* kSchema = "o2k.run_report.v1";
 
@@ -60,6 +88,9 @@ struct RunReport {
 
   /// Free-form metadata: build version, workload configuration, ...
   std::map<std::string, std::string> meta;
+
+  /// Correctness-analysis results (serialised only when enabled).
+  SanitizeReport sanitize;
 
   [[nodiscard]] const Phase* phase(const std::string& name) const;
   [[nodiscard]] double phase_max(const std::string& name) const {

@@ -1,8 +1,19 @@
 #include "mp/comm.hpp"
 
 #include <algorithm>
+#include <set>
+
+#include "sanitize/sanitize.hpp"
 
 namespace o2k::mp {
+
+namespace {
+
+std::uint32_t phase_of(const rt::Pe& pe) {
+  return pe.in_phase() ? pe.current_phase().v : UINT32_MAX;
+}
+
+}  // namespace
 
 World::World(const origin::MachineParams& params, int nprocs)
     : params_(params), nprocs_(nprocs) {
@@ -10,6 +21,22 @@ World::World(const origin::MachineParams& params, int nprocs)
   O2K_REQUIRE(nprocs <= params.max_pes, "mp::World larger than the machine");
   boxes_.reserve(static_cast<std::size_t>(nprocs));
   for (int r = 0; r < nprocs; ++r) boxes_.emplace_back(std::make_unique<detail::Mailbox>());
+  if (auto* s = sanitize::active()) s->begin_mp_world(nprocs);
+}
+
+World::~World() {
+  auto* s = sanitize::active();
+  if (s == nullptr) return;
+  // The run's PE threads are gone (Worlds outlive Machine::run), so the
+  // mailboxes are quiescent: anything still queued was never received.
+  for (int r = 0; r < nprocs_; ++r) {
+    auto& box = *boxes_[static_cast<std::size_t>(r)];
+    std::scoped_lock lk(box.mu);
+    for (const detail::Message& m : box.q) {
+      s->mp_unmatched_send(m.src, r, m.tag, m.payload.size(), m.arrival_ns);
+    }
+  }
+  s->end_mp_world();
 }
 
 Comm::Comm(World& world, rt::Pe& pe) : world_(world), pe_(pe) {
@@ -100,12 +127,23 @@ std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
   // The matching predicate consumes the message as its side effect; every
   // sender wakes this rank after enqueueing (see detail::Mailbox).
   detail::Message m;
+  auto* san = sanitize::active();
+  int distinct_tags = 0;
   pe_.park_until([&] {
     std::scoped_lock lk(box.mu);
     auto it = std::find_if(box.q.begin(), box.q.end(), [&](const detail::Message& cand) {
       return cand.src == src && (tag == kAnyTag || cand.tag == tag);
     });
     if (it == box.q.end()) return false;
+    if (san != nullptr && tag == kAnyTag) {
+      // Distinct tags queued from this source at match time (including the
+      // matched one): with >= 2 the wildcard match is a FIFO accident.
+      std::set<int> tags;
+      for (const detail::Message& cand : box.q) {
+        if (cand.src == src) tags.insert(cand.tag);
+      }
+      distinct_tags = static_cast<int>(tags.size());
+    }
     m = std::move(*it);
     box.q.erase(it);
     return true;
@@ -129,7 +167,16 @@ std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
   }
   pe_.add_counter(c_recv_msgs_, 1);
   pe_.trace_recv(m.src, bytes);
+  if (san != nullptr) {
+    san->mp_recv(rank(), m.src, m.tag, tag == kAnyTag, distinct_tags, pe_.now(),
+                 phase_of(pe_));
+  }
   return std::move(m.payload);
+}
+
+std::uint64_t Comm::register_irecv(int src, int tag) {
+  if (auto* s = sanitize::active()) return s->mp_register_irecv(rank(), src, tag);
+  return 0;
 }
 
 void Comm::wait(Request& r) {
@@ -138,6 +185,9 @@ void Comm::wait(Request& r) {
   O2K_REQUIRE(raw.size() == r.out_bytes_, "mp: irecv buffer size mismatch");
   std::memcpy(r.out_, raw.data(), raw.size());
   r.kind_ = Request::Kind::kDone;
+  if (r.sid_ != 0) {
+    if (auto* s = sanitize::active()) s->mp_wait_done(r.sid_);
+  }
 }
 
 void Comm::wait_all(std::span<Request> rs) {

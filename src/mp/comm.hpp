@@ -78,6 +78,11 @@ struct Mailbox {
 class World {
  public:
   World(const origin::MachineParams& params, int nprocs);
+  /// Finalize point: reports messages still queued (never received) to the
+  /// sanitizer when one is installed.
+  ~World();
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
 
   [[nodiscard]] int size() const { return nprocs_; }
   [[nodiscard]] const origin::MachineParams& params() const { return params_; }
@@ -104,6 +109,7 @@ class Request {
   int tag_ = 0;
   std::byte* out_ = nullptr;
   std::size_t out_bytes_ = 0;
+  std::uint64_t sid_ = 0;  ///< sanitizer tracking id (0 = untracked)
 };
 
 /// Per-PE endpoint of the message-passing model.
@@ -171,6 +177,7 @@ class Comm {
     r.tag_ = tag;
     r.out_ = reinterpret_cast<std::byte*>(out.data());
     r.out_bytes_ = out.size_bytes();
+    r.sid_ = register_irecv(src, tag);
     return r;
   }
   void wait(Request& r);
@@ -378,6 +385,8 @@ class Comm {
 
   void bcast_bytes(std::span<std::byte> data, int root, int tag);
   int next_coll_tag() { return kCollTagBase + coll_seq_++; }
+  /// Sanitizer registration for a posted irecv (0 when no sanitizer).
+  std::uint64_t register_irecv(int src, int tag);
 
   // Interned counter ids, resolved once per Comm so per-message accounting
   // never hashes or allocates a name.

@@ -22,6 +22,7 @@ void Pe::throw_if_aborted() const {
 
 void Pe::barrier(double cost_ns) {
   O2K_REQUIRE(cost_ns >= 0.0, "barrier cost must be non-negative");
+  ++barrier_epochs_;
   const double entry_ns = clock_;
   if (nprocs_ == 1) {
     clock_ += cost_ns;

@@ -82,11 +82,17 @@ class Pe {
   /// Holds an interned id, so entering/leaving a phase never allocates.
   class PhaseScope {
    public:
-    PhaseScope(Pe& pe, PhaseId id) : pe_(pe), id_(id), start_(pe.clock_) {
+    PhaseScope(Pe& pe, PhaseId id)
+        : pe_(pe), id_(id), prev_(pe.cur_phase_), prev_active_(pe.cur_phase_active_),
+          start_(pe.clock_) {
+      pe_.cur_phase_ = id;
+      pe_.cur_phase_active_ = true;
       if (pe_.sink_) pe_.sink_->on_phase_begin(pe_.rank_, id_.str(), start_);
     }
     ~PhaseScope() {
       pe_.stats_.add_phase(id_, pe_.clock_ - start_);
+      pe_.cur_phase_ = prev_;
+      pe_.cur_phase_active_ = prev_active_;
       if (pe_.sink_) pe_.sink_->on_phase_end(pe_.rank_, id_.str(), pe_.clock_);
     }
     PhaseScope(const PhaseScope&) = delete;
@@ -95,11 +101,26 @@ class Pe {
    private:
     Pe& pe_;
     PhaseId id_;
+    PhaseId prev_;
+    bool prev_active_;
     double start_;
   };
   /// `PhaseId` converts implicitly from a name (interned on first use), so
   /// `pe.phase("force")` keeps working; hot call sites may cache the id.
   [[nodiscard]] PhaseScope phase(PhaseId id) { return PhaseScope(*this, id); }
+
+  // ---- analysis hooks (observers only; never touch clocks) --------------
+  /// Innermost active PhaseScope's id, or a default id when outside any
+  /// phase.  Lets analysis layers (o2k::sanitize) attribute findings to the
+  /// call-site phase without threading context through every substrate call.
+  [[nodiscard]] PhaseId current_phase() const { return cur_phase_; }
+  [[nodiscard]] bool in_phase() const { return cur_phase_active_; }
+  [[nodiscard]] std::string current_phase_name() const {
+    return cur_phase_active_ ? cur_phase_.str() : std::string("(no phase)");
+  }
+  /// Number of completed barrier() calls on this PE this run — a cheap
+  /// per-PE epoch counter analysis layers can use to order accesses.
+  [[nodiscard]] std::uint64_t barrier_epochs() const { return barrier_epochs_; }
 
   void add_counter(CounterId id, std::uint64_t v) {
     stats_.add_counter(id, v);
@@ -164,6 +185,9 @@ class Pe {
   metrics::Sink* sink_ = nullptr;  ///< optional observer; never affects clocks
   double clock_ = 0.0;
   PhaseStats stats_;
+  PhaseId cur_phase_{};            ///< innermost PhaseScope (analysis hooks)
+  bool cur_phase_active_ = false;
+  std::uint64_t barrier_epochs_ = 0;
 };
 
 /// A simulated Origin2000.  Reusable: call run() any number of times with

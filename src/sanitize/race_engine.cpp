@@ -1,0 +1,158 @@
+#include "sanitize/race_engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "sanitize/sanitize.hpp"
+
+namespace o2k::sanitize::detail {
+
+RaceEngine::RaceEngine(Sanitizer& owner, std::string race_kind, std::string model)
+    : owner_(owner), race_kind_(std::move(race_kind)), model_(std::move(model)) {}
+
+void RaceEngine::reset(int nprocs) {
+  np_ = nprocs;
+  vc_.assign(static_cast<std::size_t>(nprocs), VClock{});
+  for (auto& v : vc_) v.reset(nprocs);
+  // Start every PE at epoch 1 so a zero `clk` can never be mistaken for a
+  // recorded access.
+  for (int r = 0; r < nprocs; ++r) {
+    vc_[static_cast<std::size_t>(r)].c[static_cast<std::size_t>(r)] = 1;
+  }
+  shadow_.clear();
+  sync_.clear();
+  acc_.reset(nprocs);
+  snap_.reset(nprocs);
+  entered_ = 0;
+}
+
+void RaceEngine::access(int rank, std::uint64_t space, std::size_t off, std::size_t bytes,
+                        std::size_t elem, std::size_t foff, std::size_t flen, bool write,
+                        bool atomic, double now, std::uint32_t phase) {
+  if (np_ == 0 || bytes == 0) return;
+  if (elem == 0 || flen >= elem) {
+    access_interval(rank, space, off, off + bytes, write, atomic, now, phase);
+    return;
+  }
+  // Strided field annotation: each element contributes [foff, foff+flen).
+  const std::size_t count = bytes / elem;
+  for (std::size_t e = 0; e < count; ++e) {
+    const std::size_t base = off + e * elem + foff;
+    access_interval(rank, space, base, base + flen, write, atomic, now, phase);
+  }
+}
+
+void RaceEngine::access_interval(int rank, std::uint64_t space, std::size_t lo,
+                                 std::size_t hi, bool write, bool atomic, double now,
+                                 std::uint32_t phase) {
+  if (atomic) atomic_sync(rank, space, lo, hi, write);
+  for (std::size_t g = lo / kGranule; g <= (hi - 1) / kGranule; ++g) {
+    const std::size_t glo = std::max(lo, g * kGranule) - g * kGranule;
+    const std::size_t ghi = std::min(hi, (g + 1) * kGranule) - g * kGranule;
+    check_and_insert(rank, space, g, static_cast<std::uint32_t>(glo),
+                     static_cast<std::uint32_t>(ghi), write, atomic, now, phase);
+  }
+  if (atomic && write) {
+    // Release half of the atomic: everything this PE did so far is ordered
+    // before any later acquire of the same word(s).
+    vc_[static_cast<std::size_t>(rank)].c[static_cast<std::size_t>(rank)]++;
+  }
+}
+
+void RaceEngine::check_and_insert(int rank, std::uint64_t space, std::uint64_t granule,
+                                  std::uint32_t lo, std::uint32_t hi, bool write,
+                                  bool atomic, double now, std::uint32_t phase) {
+  const std::uint64_t key = (space << kSpaceShift) | granule;
+  auto& recs = shadow_[key];
+  const VClock& my = vc_[static_cast<std::size_t>(rank)];
+  const std::uint64_t my_clk = my.c[static_cast<std::size_t>(rank)];
+
+  for (const Rec& r : recs) {
+    if (r.pe == rank) continue;
+    if (r.hi <= lo || hi <= r.lo) continue;        // byte intervals disjoint
+    if (!write && !r.write) continue;              // read-read
+    if (atomic && r.atomic) continue;              // both sync-annotated
+    if (my.c[static_cast<std::size_t>(r.pe)] >= r.clk) continue;  // ordered
+    owner_.report_race(race_kind_, model_, space,
+                       granule * kGranule + std::max(lo, r.lo),
+                       granule * kGranule + std::min(hi, r.hi), r.pe, rank, r.write,
+                       r.atomic, r.phase, write, atomic, phase, now);
+  }
+
+  // Prune records this access supersedes: same-PE covered records, and
+  // covered happens-before records of no greater strength (see header).
+  for (std::size_t i = recs.size(); i-- > 0;) {
+    const Rec& r = recs[i];
+    if (r.lo < lo || r.hi > hi) continue;
+    const bool ordered =
+        r.pe == rank || my.c[static_cast<std::size_t>(r.pe)] >= r.clk;
+    if (!ordered) continue;
+    if (!write && r.write) continue;  // a write record outlives a covering read
+    recs.erase(recs.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+
+  if (recs.size() >= kMaxRecs) {
+    auto victim = std::min_element(recs.begin(), recs.end(),
+                                   [](const Rec& a, const Rec& b) { return a.clk < b.clk; });
+    recs.erase(victim);
+    owner_.note_dropped();
+  }
+  recs.push_back(Rec{lo, hi, rank, my_clk, write, atomic, now, phase});
+}
+
+void RaceEngine::atomic_sync(int rank, std::uint64_t space, std::size_t lo, std::size_t hi,
+                             bool write) {
+  VClock& my = vc_[static_cast<std::size_t>(rank)];
+  for (std::size_t w = lo / 8; w <= (hi - 1) / 8; ++w) {
+    const std::uint64_t key = (space << kSpaceShift) | (w * 8);
+    VClock& cell = sync_[key];
+    if (cell.c.empty()) cell.reset(np_);
+    my.join(cell);            // acquire: see everything published here
+    if (write) cell.join(my); // release: publish our history
+  }
+}
+
+void RaceEngine::barrier_enter(int rank) {
+  if (np_ == 0) return;
+  if (entered_ == 0) acc_.reset(np_);
+  acc_.join(vc_[static_cast<std::size_t>(rank)]);
+  if (++entered_ == np_) {
+    snap_ = acc_;
+    entered_ = 0;
+  }
+}
+
+void RaceEngine::barrier_exit(int rank) {
+  if (np_ == 0) return;
+  VClock& my = vc_[static_cast<std::size_t>(rank)];
+  my.join(snap_);
+  my.c[static_cast<std::size_t>(rank)]++;
+}
+
+void RaceEngine::acquire(int rank, std::uint64_t key) {
+  if (np_ == 0) return;
+  VClock& cell = sync_[key];
+  if (cell.c.empty()) cell.reset(np_);
+  vc_[static_cast<std::size_t>(rank)].join(cell);
+}
+
+void RaceEngine::release(int rank, std::uint64_t key) {
+  if (np_ == 0) return;
+  VClock& cell = sync_[key];
+  if (cell.c.empty()) cell.reset(np_);
+  VClock& my = vc_[static_cast<std::size_t>(rank)];
+  cell.join(my);
+  my.c[static_cast<std::size_t>(rank)]++;
+}
+
+void RaceEngine::rmw(int rank, std::uint64_t key) {
+  if (np_ == 0) return;
+  VClock& cell = sync_[key];
+  if (cell.c.empty()) cell.reset(np_);
+  VClock& my = vc_[static_cast<std::size_t>(rank)];
+  my.join(cell);
+  cell.join(my);
+  my.c[static_cast<std::size_t>(rank)]++;
+}
+
+}  // namespace o2k::sanitize::detail

@@ -1,0 +1,122 @@
+// Vector-clock race engine shared by the CC-SAS and SHMEM checkers.
+//
+// FastTrack-flavoured, adapted to the simulator's observation points:
+// accesses arrive as *byte intervals* (whole touch calls, puts, gets), not
+// single loads, and the happens-before edges come from the model runtimes
+// (barriers, lock cells, atomic words, dispatch claims) rather than from
+// hardware memory orderings.
+//
+// Shadow layout: an open hash map keyed by (space, granule) — `space`
+// partitions address spaces that never alias (0 for the single SAS arena;
+// the target PE's heap index for SHMEM) and `granule` is a fixed 128-byte
+// bucket.  Each bucket holds a bounded list of access records carrying the
+// *exact byte interval* touched, so adjacency within a cache line (false
+// sharing, struct field splits) is never reported as a race: two accesses
+// conflict only if their byte intervals overlap, at least one is a write,
+// and they are not both atomic-annotated.
+//
+// Boundedness: each bucket keeps at most kMaxRecs records; on overflow the
+// oldest-epoch record is evicted (counted in Stats::dropped — a potential
+// false negative, never a false positive).  Records that are fully covered
+// by a later, happens-after access of at-least-equal strength are pruned
+// eagerly, which keeps steady-state buckets small.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace o2k::sanitize {
+
+class Sanitizer;
+
+namespace detail {
+
+/// Plain vector clock over the PEs of one run.
+struct VClock {
+  std::vector<std::uint64_t> c;
+
+  void reset(int nprocs) { c.assign(static_cast<std::size_t>(nprocs), 0); }
+  void join(const VClock& o) {
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      if (o.c[i] > c[i]) c[i] = o.c[i];
+    }
+  }
+};
+
+class RaceEngine {
+ public:
+  /// `race_kind` labels findings ("sas-race" / "shmem-race"); `model` is
+  /// the report's model column.  The owner resolves object names.
+  RaceEngine(Sanitizer& owner, std::string race_kind, std::string model);
+
+  void reset(int nprocs);
+
+  /// Record + check one access.  Contiguous when elem == 0; otherwise
+  /// `bytes/elem` strided elements each touching [foff, foff+flen).
+  /// `space` partitions non-aliasing address spaces.
+  void access(int rank, std::uint64_t space, std::size_t off, std::size_t bytes,
+              std::size_t elem, std::size_t foff, std::size_t flen, bool write,
+              bool atomic, double now, std::uint32_t phase);
+
+  // ---- happens-before edges --------------------------------------------
+  void barrier_enter(int rank);
+  void barrier_exit(int rank);
+  /// Lock-cell / signal-cell edges keyed by an opaque id.
+  void acquire(int rank, std::uint64_t key);
+  void release(int rank, std::uint64_t key);
+  /// Read-modify-write edge: join both directions (TSan atomics model).
+  void rmw(int rank, std::uint64_t key);
+
+  [[nodiscard]] int nprocs() const { return np_; }
+
+ private:
+  struct Rec {
+    std::uint32_t lo;       ///< byte interval within the granule
+    std::uint32_t hi;
+    std::int32_t pe;
+    std::uint64_t clk;      ///< accessor's own epoch at access time
+    bool write;
+    bool atomic;
+    double t_ns;
+    std::uint32_t phase;
+  };
+
+  void access_interval(int rank, std::uint64_t space, std::size_t lo, std::size_t hi,
+                       bool write, bool atomic, double now, std::uint32_t phase);
+  void check_and_insert(int rank, std::uint64_t space, std::uint64_t granule,
+                        std::uint32_t lo, std::uint32_t hi, bool write, bool atomic,
+                        double now, std::uint32_t phase);
+  /// Sync edges for an atomic access: one cell per 8-byte word overlapped.
+  void atomic_sync(int rank, std::uint64_t space, std::size_t lo, std::size_t hi,
+                   bool write);
+
+  static constexpr std::size_t kGranule = 128;
+  static constexpr std::size_t kMaxRecs = 32;
+  static constexpr std::uint64_t kSpaceShift = 44;  ///< 16 TB per space
+
+  Sanitizer& owner_;
+  std::string race_kind_;
+  std::string model_;
+
+  // All state below is guarded by the owner's mutex: the Sanitizer calls
+  // every engine method with it held, which also serialises the VC
+  // operations against the shadow checks.
+  int np_ = 0;
+  std::vector<VClock> vc_;
+  std::unordered_map<std::uint64_t, std::vector<Rec>> shadow_;
+  std::unordered_map<std::uint64_t, VClock> sync_;
+
+  // Barrier rendezvous: enters accumulate into `acc_`; the last enter of a
+  // round publishes `snap_`.  Safe with a single pending snapshot because
+  // round g+1 cannot complete (all PEs re-enter) before every PE exited
+  // round g — the barrier discipline of rt::Pe::barrier.
+  VClock acc_;
+  VClock snap_;
+  int entered_ = 0;
+};
+
+}  // namespace detail
+}  // namespace o2k::sanitize

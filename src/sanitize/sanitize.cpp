@@ -1,0 +1,401 @@
+#include "sanitize/sanitize.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "rt/phase.hpp"
+#include "sanitize/race_engine.hpp"
+
+namespace o2k::sanitize {
+
+namespace {
+
+std::atomic<Sanitizer*> g_active{nullptr};
+
+const char* access_kind(bool write, bool atomic) {
+  if (atomic) return write ? "atomic write" : "atomic read";
+  return write ? "write" : "read";
+}
+
+/// Bound the per-PE unfenced-put set: old entries age out (a put fenced a
+/// long virtual time ago is overwhelmingly likely to be ordered by *some*
+/// path we did not model, and the lint is about tight put/get pairs).
+constexpr std::size_t kMaxUnfenced = 256;
+
+}  // namespace
+
+Mode mode_from_string(const std::string& s) {
+  if (s.empty() || s == "0" || s == "off" || s == "false" || s == "no") return Mode::kOff;
+  if (s == "abort" || s == "fatal") return Mode::kAbort;
+  return Mode::kReport;
+}
+
+const char* mode_name(Mode m) {
+  switch (m) {
+    case Mode::kOff: return "off";
+    case Mode::kReport: return "report";
+    case Mode::kAbort: return "abort";
+  }
+  return "off";
+}
+
+Sanitizer::Sanitizer(Mode mode)
+    : mode_(mode),
+      sas_engine_(std::make_unique<detail::RaceEngine>(*this, "sas-race", "CC-SAS")),
+      shmem_engine_(std::make_unique<detail::RaceEngine>(*this, "shmem-race", "SHMEM")) {}
+
+Sanitizer::~Sanitizer() = default;
+
+// ---- lifecycle ------------------------------------------------------------
+
+void Sanitizer::begin_sas_world(int nprocs) {
+  std::scoped_lock lk(mu_);
+  sas_engine_->reset(nprocs);
+  sas_regions_.clear();
+}
+
+void Sanitizer::sas_region(std::size_t offset, std::size_t bytes, const char* name) {
+  if (name == nullptr || *name == '\0') return;
+  std::scoped_lock lk(mu_);
+  sas_regions_.push_back(Region{offset, bytes, name});
+}
+
+void Sanitizer::begin_mp_world(int nprocs) {
+  (void)nprocs;
+  std::scoped_lock lk(mu_);
+  irecvs_.clear();
+}
+
+void Sanitizer::end_mp_world() {
+  std::scoped_lock lk(mu_);
+  for (const auto& [sid, r] : irecvs_) {
+    if (r.done) continue;
+    Finding f;
+    f.kind = "mp-unwaited-request";
+    f.model = "MP";
+    f.object = "irecv(src=" + std::to_string(r.src) + ", tag=" + std::to_string(r.tag) + ")";
+    f.phase = "(finalize)";
+    f.pe_a = r.rank;
+    f.detail = "Request returned by irecv was never passed to wait(); the receive "
+               "never executed and the message (if sent) is still queued";
+    report_locked(std::move(f));
+  }
+  irecvs_.clear();
+}
+
+void Sanitizer::begin_shmem_world(int nprocs) {
+  std::scoped_lock lk(mu_);
+  shmem_engine_->reset(nprocs);
+  unfenced_.assign(static_cast<std::size_t>(nprocs), {});
+}
+
+// ---- CC-SAS ---------------------------------------------------------------
+
+void Sanitizer::sas_access(int rank, std::size_t off, std::size_t bytes, std::size_t elem,
+                           std::size_t foff, std::size_t flen, bool write, bool atomic,
+                           double now, std::uint32_t phase) {
+  std::scoped_lock lk(mu_);
+  stats_.sas_accesses++;
+  sas_engine_->access(rank, /*space=*/0, off, bytes, elem, foff, flen, write, atomic, now,
+                      phase);
+}
+
+void Sanitizer::sas_barrier_enter(int rank) {
+  std::scoped_lock lk(mu_);
+  stats_.sync_ops++;
+  sas_engine_->barrier_enter(rank);
+}
+
+void Sanitizer::sas_barrier_exit(int rank) {
+  std::scoped_lock lk(mu_);
+  sas_engine_->barrier_exit(rank);
+}
+
+// Disjoint key spaces for the non-address sync cells: lock cells and the
+// dispatch cursor live far above any arena offset's word key.
+namespace {
+constexpr std::uint64_t kLockKeyBase = std::uint64_t{1} << 60;
+constexpr std::uint64_t kDispatchKey = (std::uint64_t{1} << 60) + (std::uint64_t{1} << 59);
+}  // namespace
+
+void Sanitizer::sas_acquire(int rank, std::size_t lock_key) {
+  std::scoped_lock lk(mu_);
+  stats_.sync_ops++;
+  sas_engine_->acquire(rank, kLockKeyBase + lock_key);
+}
+
+void Sanitizer::sas_release(int rank, std::size_t lock_key) {
+  std::scoped_lock lk(mu_);
+  sas_engine_->release(rank, kLockKeyBase + lock_key);
+}
+
+void Sanitizer::sas_dispatch_claim(int rank) {
+  std::scoped_lock lk(mu_);
+  stats_.sync_ops++;
+  sas_engine_->rmw(rank, kDispatchKey);
+}
+
+// ---- MP -------------------------------------------------------------------
+
+std::uint64_t Sanitizer::mp_register_irecv(int rank, int src, int tag) {
+  std::scoped_lock lk(mu_);
+  const std::uint64_t sid = next_sid_++;
+  irecvs_[sid] = Irecv{rank, src, tag, /*done=*/false};
+  return sid;
+}
+
+void Sanitizer::mp_wait_done(std::uint64_t sid) {
+  std::scoped_lock lk(mu_);
+  auto it = irecvs_.find(sid);
+  if (it != irecvs_.end()) it->second.done = true;
+}
+
+void Sanitizer::mp_recv(int rank, int src, int tag, bool any_tag, int distinct_tags_pending,
+                        double now, std::uint32_t phase) {
+  std::scoped_lock lk(mu_);
+  stats_.mp_recvs++;
+  if (!any_tag || distinct_tags_pending < 2) return;
+  Finding f;
+  f.kind = "mp-wildcard-ambiguity";
+  f.model = "MP";
+  f.object = "recv(src=" + std::to_string(src) + ", tag=ANY)";
+  f.phase = phase_name(phase);
+  f.pe_a = std::min(rank, src);
+  f.pe_b = std::max(rank, src);
+  f.t_ns = now;
+  f.detail = "wildcard receive matched tag " + std::to_string(tag) + " with " +
+             std::to_string(distinct_tags_pending) +
+             " distinct tags queued from the source; the match is decided by FIFO "
+             "arrival order, not by the protocol";
+  report_locked(std::move(f));
+}
+
+void Sanitizer::mp_unmatched_send(int src, int dst, int tag, std::size_t bytes,
+                                  double arrival_ns) {
+  std::scoped_lock lk(mu_);
+  Finding f;
+  f.kind = "mp-unmatched-send";
+  f.model = "MP";
+  f.object = "send(tag=" + std::to_string(tag) + ", " + std::to_string(bytes) + " B)";
+  f.phase = "(finalize)";
+  f.pe_a = std::min(src, dst);
+  f.pe_b = std::max(src, dst);
+  f.t_ns = arrival_ns;
+  f.detail = "message from PE " + std::to_string(src) + " to PE " + std::to_string(dst) +
+             " was still queued at finalize: no matching recv was ever posted";
+  report_locked(std::move(f));
+}
+
+// ---- SHMEM ----------------------------------------------------------------
+
+void Sanitizer::shmem_put(int rank, int target, std::size_t off, std::size_t bytes,
+                          double now, std::uint32_t phase) {
+  std::scoped_lock lk(mu_);
+  stats_.shmem_accesses++;
+  shmem_engine_->access(rank, static_cast<std::uint64_t>(target), off, bytes, 0, 0, 0,
+                        /*write=*/true, /*atomic=*/false, now, phase);
+  auto& pend = unfenced_[static_cast<std::size_t>(rank)];
+  pend.push_back(PendingPut{target, off, bytes});
+  if (pend.size() > kMaxUnfenced) {
+    pend.pop_front();
+    stats_.dropped++;
+  }
+}
+
+void Sanitizer::shmem_get(int rank, int target, std::size_t off, std::size_t bytes,
+                          double now, std::uint32_t phase) {
+  std::scoped_lock lk(mu_);
+  stats_.shmem_accesses++;
+  shmem_engine_->access(rank, static_cast<std::uint64_t>(target), off, bytes, 0, 0, 0,
+                        /*write=*/false, /*atomic=*/false, now, phase);
+  for (const PendingPut& p : unfenced_[static_cast<std::size_t>(rank)]) {
+    if (p.target != target) continue;
+    if (p.off + p.bytes <= off || off + bytes <= p.off) continue;
+    Finding f;
+    f.kind = "shmem-unfenced-put-get";
+    f.model = "SHMEM";
+    f.object = "pe" + std::to_string(target) + " heap @ 0x" + [&] {
+      char buf[24];
+      std::snprintf(buf, sizeof buf, "%zx", std::max(p.off, off));
+      return std::string(buf);
+    }();
+    f.phase = phase_name(phase);
+    f.pe_a = std::min(rank, target);
+    f.pe_b = std::max(rank, target);
+    f.t_ns = now;
+    f.detail = "PE " + std::to_string(rank) + " gets a symmetric region it put to "
+               "without an intervening fence/quiet/barrier_all; SHMEM does not order "
+               "the put before the get";
+    report_locked(std::move(f));
+    break;
+  }
+}
+
+void Sanitizer::shmem_fence(int rank) {
+  std::scoped_lock lk(mu_);
+  stats_.sync_ops++;
+  if (static_cast<std::size_t>(rank) < unfenced_.size()) {
+    unfenced_[static_cast<std::size_t>(rank)].clear();
+  }
+}
+
+void Sanitizer::shmem_barrier_enter(int rank) {
+  std::scoped_lock lk(mu_);
+  stats_.sync_ops++;
+  shmem_engine_->barrier_enter(rank);
+}
+
+void Sanitizer::shmem_barrier_exit(int rank) {
+  std::scoped_lock lk(mu_);
+  shmem_engine_->barrier_exit(rank);
+}
+
+namespace {
+/// Sync-cell key for a word on a target PE's heap (matches nothing in the
+/// shadow's space partition — sync cells and shadow are separate maps).
+std::uint64_t shmem_cell_key(int target, std::size_t off) {
+  return (static_cast<std::uint64_t>(target) << 44) | off;
+}
+}  // namespace
+
+void Sanitizer::shmem_atomic(int rank, int target, std::size_t off, double now,
+                             std::uint32_t phase) {
+  std::scoped_lock lk(mu_);
+  stats_.shmem_accesses++;
+  stats_.sync_ops++;
+  shmem_engine_->rmw(rank, shmem_cell_key(target, off));
+  shmem_engine_->access(rank, static_cast<std::uint64_t>(target), off, 8, 0, 0, 0,
+                        /*write=*/true, /*atomic=*/true, now, phase);
+}
+
+void Sanitizer::shmem_release(int rank, int target, std::size_t off, double now,
+                              std::uint32_t phase) {
+  std::scoped_lock lk(mu_);
+  stats_.sync_ops++;
+  shmem_engine_->access(rank, static_cast<std::uint64_t>(target), off, 8, 0, 0, 0,
+                        /*write=*/true, /*atomic=*/true, now, phase);
+  shmem_engine_->release(rank, shmem_cell_key(target, off));
+}
+
+void Sanitizer::shmem_acquire(int rank, int target, std::size_t off) {
+  std::scoped_lock lk(mu_);
+  stats_.sync_ops++;
+  shmem_engine_->acquire(rank, shmem_cell_key(target, off));
+}
+
+// ---- reporting ------------------------------------------------------------
+
+std::string Sanitizer::sas_object_at(std::size_t off) const {
+  for (const Region& r : sas_regions_) {
+    if (off >= r.offset && off < r.offset + r.bytes) return r.name;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "arena @ page %zu", off / 4096);
+  return buf;
+}
+
+std::string Sanitizer::phase_name(std::uint32_t phase) {
+  if (phase == UINT32_MAX) return "(no phase)";
+  return rt::NameRegistry::phases().name(phase);
+}
+
+void Sanitizer::report_race(const std::string& kind, const std::string& model,
+                            std::uint64_t space, std::size_t lo, std::size_t hi, int pe_a,
+                            int pe_b, bool a_write, bool a_atomic, std::uint32_t a_phase,
+                            bool b_write, bool b_atomic, std::uint32_t b_phase, double now) {
+  Finding f;
+  f.kind = kind;
+  f.model = model;
+  if (model == "SHMEM") {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "pe%llu heap @ page %zu",
+                  static_cast<unsigned long long>(space), lo / 4096);
+    f.object = buf;
+  } else {
+    f.object = sas_object_at(lo);
+  }
+  f.phase = phase_name(b_phase);
+  f.pe_a = std::min(pe_a, pe_b);
+  f.pe_b = std::max(pe_a, pe_b);
+  f.t_ns = now;
+  std::ostringstream d;
+  d << access_kind(a_write, a_atomic) << " by PE " << pe_a << " (phase "
+    << phase_name(a_phase) << ") is concurrent with " << access_kind(b_write, b_atomic)
+    << " by PE " << pe_b << " on bytes [0x" << std::hex << lo << ", 0x" << hi << ")";
+  f.detail = d.str();
+  report_locked(std::move(f));
+}
+
+void Sanitizer::report_locked(Finding f) {
+  const std::string key = f.kind + '|' + f.model + '|' + f.object + '|' + f.phase + '|' +
+                          std::to_string(f.pe_a) + ',' + std::to_string(f.pe_b);
+  auto it = findings_.find(key);
+  if (it != findings_.end()) {
+    it->second.count++;
+    return;
+  }
+  std::fprintf(stderr,
+               "o2k-sanitize: [%s] %s: %s (PEs %d/%d, phase %s, t=%.0f ns)\n    %s\n",
+               f.kind.c_str(), f.model.c_str(), f.object.c_str(), f.pe_a, f.pe_b,
+               f.phase.c_str(), f.t_ns, f.detail.c_str());
+  const bool fatal = mode_ == Mode::kAbort;
+  findings_.emplace(key, std::move(f));
+  if (fatal) {
+    std::fprintf(stderr, "o2k-sanitize: aborting on first finding (O2K_SANITIZE=abort)\n");
+    std::abort();
+  }
+}
+
+std::vector<Finding> Sanitizer::findings() const {
+  std::scoped_lock lk(mu_);
+  std::vector<Finding> out;
+  out.reserve(findings_.size());
+  for (const auto& [k, f] : findings_) out.push_back(f);
+  return out;
+}
+
+Stats Sanitizer::stats() const {
+  std::scoped_lock lk(mu_);
+  return stats_;
+}
+
+std::uint64_t Sanitizer::finding_count() const {
+  std::scoped_lock lk(mu_);
+  return static_cast<std::uint64_t>(findings_.size());
+}
+
+void Sanitizer::report(Finding f) {
+  std::scoped_lock lk(mu_);
+  report_locked(std::move(f));
+}
+
+// ---- installation ---------------------------------------------------------
+
+Sanitizer* active() {
+  Sanitizer* s = g_active.load(std::memory_order_acquire);
+  return (s != nullptr && s->mode() != Mode::kOff) ? s : nullptr;
+}
+
+Scope::Scope(Sanitizer* s) : prev_(g_active.load(std::memory_order_acquire)) {
+  g_active.store(s, std::memory_order_release);
+}
+
+Scope::~Scope() { g_active.store(prev_, std::memory_order_release); }
+
+Mode env_mode() {
+  const char* v = std::getenv("O2K_SANITIZE");
+  return mode_from_string(v == nullptr ? "" : v);
+}
+
+void init_from_env() {
+  const Mode m = env_mode();
+  if (m == Mode::kOff) return;
+  if (g_active.load(std::memory_order_acquire) != nullptr) return;
+  static Sanitizer env_sanitizer(m);  // process lifetime, installed once
+  g_active.store(&env_sanitizer, std::memory_order_release);
+}
+
+}  // namespace o2k::sanitize

@@ -4,7 +4,18 @@
 #include <bit>
 #include <limits>
 
+#include "sanitize/sanitize.hpp"
+
 namespace o2k::sas {
+
+namespace {
+
+/// The reporting PE's interned phase id, or the "no phase" sentinel.
+std::uint32_t phase_of(const rt::Pe& pe) {
+  return pe.in_phase() ? pe.current_phase().v : UINT32_MAX;
+}
+
+}  // namespace
 
 World::World(const origin::MachineParams& params, int nprocs, std::size_t arena_bytes,
              Placement default_placement)
@@ -40,9 +51,10 @@ World::World(const origin::MachineParams& params, int nprocs, std::size_t arena_
     pe_clock_[static_cast<std::size_t>(r)].store(0.0, std::memory_order_relaxed);
     pe_state_[static_cast<std::size_t>(r)].store(0, std::memory_order_relaxed);
   }
+  if (auto* s = sanitize::active()) s->begin_sas_world(nprocs);
 }
 
-std::size_t World::allocate(std::size_t bytes, Placement placement) {
+std::size_t World::allocate(std::size_t bytes, Placement placement, const char* name) {
   const auto page = static_cast<std::size_t>(params_.page_bytes);
   // Page-align every allocation so placement policies own whole pages.
   const std::size_t off = (bump_ + page - 1) & ~(page - 1);
@@ -68,6 +80,7 @@ std::size_t World::allocate(std::size_t bytes, Placement placement) {
       }
       break;
   }
+  if (auto* s = sanitize::active()) s->sas_region(off, bytes, name);
   return off;
 }
 
@@ -177,6 +190,15 @@ void Team::emit_remote_traces() {
 }
 
 void Team::touch_read(std::size_t off, std::size_t bytes) {
+  touch_read_ann(off, bytes, 0, 0, 0, /*atomic=*/false);
+}
+
+void Team::touch_write(std::size_t off, std::size_t bytes) {
+  touch_write_ann(off, bytes, 0, 0, 0, /*atomic=*/false);
+}
+
+void Team::touch_read_ann(std::size_t off, std::size_t bytes, std::size_t elem,
+                          std::size_t foff, std::size_t flen, bool atomic) {
   O2K_REQUIRE(off + bytes <= world_.arena_bytes_, "sas: touch outside arena");
   std::size_t first, last;
   if (geom_shifts_) {
@@ -223,9 +245,14 @@ void Team::touch_read(std::size_t off, std::size_t bytes) {
   pe_.add_counter(c_remote_misses_, remote);
   if (tracing) emit_remote_traces();
   mirror_clock();
+  if (auto* s = sanitize::active()) {
+    s->sas_access(rank(), off, bytes, elem, foff, flen, /*write=*/false, atomic, pe_.now(),
+                  phase_of(pe_));
+  }
 }
 
-void Team::touch_write(std::size_t off, std::size_t bytes) {
+void Team::touch_write_ann(std::size_t off, std::size_t bytes, std::size_t elem,
+                           std::size_t foff, std::size_t flen, bool atomic) {
   O2K_REQUIRE(off + bytes <= world_.arena_bytes_, "sas: touch outside arena");
   std::size_t first, last;
   if (geom_shifts_) {
@@ -284,10 +311,16 @@ void Team::touch_write(std::size_t off, std::size_t bytes) {
   pe_.add_counter(c_ownership_, transfers);
   if (tracing) emit_remote_traces();
   mirror_clock();
+  if (auto* s = sanitize::active()) {
+    s->sas_access(rank(), off, bytes, elem, foff, flen, /*write=*/true, atomic, pe_.now(),
+                  phase_of(pe_));
+  }
 }
 
 void Team::barrier() {
+  if (auto* s = sanitize::active()) s->sas_barrier_enter(rank());
   pe_.barrier(origin::MachineParams::tree_barrier_ns(size(), world_.params().sas_barrier_base_ns));
+  if (auto* s = sanitize::active()) s->sas_barrier_exit(rank());
   mirror_clock();
 }
 
@@ -299,10 +332,14 @@ void Team::lock(std::size_t id) {
   pe_.advance(world_.params().sas_lock_ns);
   pe_.add_counter(c_locks_, 1);
   mirror_clock();
+  if (auto* s = sanitize::active())
+    s->sas_acquire(rank(), id % static_cast<std::size_t>(World::kNumLocks));
 }
 
 void Team::unlock(std::size_t id) {
   auto& cell = world_.locks_[id % static_cast<std::size_t>(World::kNumLocks)];
+  if (auto* s = sanitize::active())
+    s->sas_release(rank(), id % static_cast<std::size_t>(World::kNumLocks));
   cell.last_release_ns = pe_.now();
   mirror_clock();
   cell.mu.unlock();
@@ -434,6 +471,10 @@ std::pair<std::size_t, std::size_t> Team::dynamic_next(std::size_t chunk) {
       hi = std::min(d.end, lo + chunk);
       d.next = hi;
       world_.pe_state_[me].store(0, std::memory_order_seq_cst);
+      // Claim order == HB order on the shared cursor: the RMW edge chains
+      // successive claimants (still under d.mu, so it matches d.next's
+      // actual mutation order).
+      if (auto* s = sanitize::active()) s->sas_dispatch_claim(rank());
     }
     update_min_wait();
     return true;

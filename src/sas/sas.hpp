@@ -67,14 +67,15 @@ class World {
   [[nodiscard]] Placement default_placement() const { return placement_; }
 
   /// Allocate a shared array (not thread-safe: call from setup code only).
+  /// `name`, when given, labels the region in sanitizer findings.
   template <typename T>
-  SharedArray<T> alloc(std::size_t count) {
-    return alloc<T>(count, placement_);
+  SharedArray<T> alloc(std::size_t count, const char* name = nullptr) {
+    return alloc<T>(count, placement_, name);
   }
   template <typename T>
-  SharedArray<T> alloc(std::size_t count, Placement placement) {
+  SharedArray<T> alloc(std::size_t count, Placement placement, const char* name = nullptr) {
     static_assert(std::is_trivially_copyable_v<T>);
-    const std::size_t off = allocate(count * sizeof(T), placement);
+    const std::size_t off = allocate(count * sizeof(T), placement, name);
     return SharedArray<T>{off, count};
   }
 
@@ -103,7 +104,7 @@ class World {
 
  private:
   friend class Team;
-  std::size_t allocate(std::size_t bytes, Placement placement);
+  std::size_t allocate(std::size_t bytes, Placement placement, const char* name = nullptr);
 
   struct FreeDeleter {
     void operator()(std::byte* p) const noexcept { std::free(p); }
@@ -197,6 +198,40 @@ class Team {
     touch_write(a.offset + first * sizeof(T), n * sizeof(T));
   }
 
+  /// Field-annotated variants: the virtual-time charge is identical to
+  /// touch_*_range over the same span (bit-identical clocks with or without
+  /// the annotation), but the sanitizer is told that only the bytes
+  /// [foff, foff+flen) of each element are accessed.  SPLASH-style kernels
+  /// read one half of a struct while a concurrent owner writes the other
+  /// half; without the annotation that is an apparent (false) race.
+  template <typename T>
+  void touch_read_fields(const SharedArray<T>& a, std::size_t first, std::size_t n,
+                         std::size_t foff, std::size_t flen) {
+    O2K_REQUIRE(first + n <= a.count, "sas: range out of bounds");
+    O2K_REQUIRE(foff + flen <= sizeof(T), "sas: field annotation outside element");
+    touch_read_ann(a.offset + first * sizeof(T), n * sizeof(T), sizeof(T), foff, flen,
+                   /*atomic=*/false);
+  }
+  template <typename T>
+  void touch_write_fields(const SharedArray<T>& a, std::size_t first, std::size_t n,
+                          std::size_t foff, std::size_t flen) {
+    O2K_REQUIRE(first + n <= a.count, "sas: range out of bounds");
+    O2K_REQUIRE(foff + flen <= sizeof(T), "sas: field annotation outside element");
+    touch_write_ann(a.offset + first * sizeof(T), n * sizeof(T), sizeof(T), foff, flen,
+                    /*atomic=*/false);
+  }
+
+  /// Atomic-annotated (synchronising) accesses: same charge as the plain
+  /// variants; the sanitizer treats them as hardware atomics — no race
+  /// between two atomics, and each overlapped 8-byte word carries an
+  /// acquire/release edge (writer publishes, reader observes).
+  void touch_read_atomic(std::size_t off, std::size_t bytes) {
+    touch_read_ann(off, bytes, 0, 0, 0, /*atomic=*/true);
+  }
+  void touch_write_atomic(std::size_t off, std::size_t bytes) {
+    touch_write_ann(off, bytes, 0, 0, 0, /*atomic=*/true);
+  }
+
   // ---- synchronisation ----------------------------------------------------
   void barrier();
   /// Hash a resource id onto one of World::kNumLocks lock cells.
@@ -246,6 +281,13 @@ class Team {
     ++trace_lines_by_home_[static_cast<std::size_t>(home)];
   }
   void emit_remote_traces();
+
+  // The real touch walks: charge + coherence update, then (only when a
+  // sanitizer is installed) report the access with its annotation.
+  void touch_read_ann(std::size_t off, std::size_t bytes, std::size_t elem,
+                      std::size_t foff, std::size_t flen, bool atomic);
+  void touch_write_ann(std::size_t off, std::size_t bytes, std::size_t elem,
+                       std::size_t foff, std::size_t flen, bool atomic);
 
   void dynamic_begin(std::size_t begin, std::size_t end);
   std::pair<std::size_t, std::size_t> dynamic_next(std::size_t chunk);

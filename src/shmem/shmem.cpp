@@ -3,7 +3,17 @@
 #include <algorithm>
 #include <atomic>
 
+#include "sanitize/sanitize.hpp"
+
 namespace o2k::shmem {
+
+namespace {
+
+std::uint32_t phase_of(const rt::Pe& pe) {
+  return pe.in_phase() ? pe.current_phase().v : UINT32_MAX;
+}
+
+}  // namespace
 
 World::World(const origin::MachineParams& params, int nprocs, std::size_t heap_bytes)
     : params_(params), nprocs_(nprocs), heap_bytes_(heap_bytes) {
@@ -18,6 +28,7 @@ World::World(const origin::MachineParams& params, int nprocs, std::size_t heap_b
     O2K_REQUIRE(p != nullptr, "shmem: symmetric heap allocation failed");
     heaps_.emplace_back(p);
   }
+  if (auto* s = sanitize::active()) s->begin_shmem_world(nprocs);
 }
 
 Ctx::Ctx(World& world, rt::Pe& pe) : world_(world), pe_(pe) {
@@ -40,7 +51,7 @@ std::size_t Ctx::allocate(std::size_t bytes) {
   return off;
 }
 
-void Ctx::charge_put(std::size_t bytes, int target_pe, bool blocking) {
+void Ctx::charge_put(std::size_t offset, std::size_t bytes, int target_pe, bool blocking) {
   const auto& P = world_.params();
   pe_.add_counter(c_puts_, 1);
   pe_.add_counter(c_bytes_, bytes);
@@ -52,25 +63,33 @@ void Ctx::charge_put(std::size_t bytes, int target_pe, bool blocking) {
     pending_bw_ns_ += static_cast<double>(bytes) / P.shmem_bw_bytes_per_ns +
                       P.wire_ns(rank(), target_pe);
   }
+  if (auto* s = sanitize::active()) {
+    s->shmem_put(rank(), target_pe, offset, bytes, pe_.now(), phase_of(pe_));
+  }
 }
 
-void Ctx::charge_get(std::size_t bytes, int target_pe) {
+void Ctx::charge_get(std::size_t offset, std::size_t bytes, int target_pe) {
   const auto& P = world_.params();
   pe_.add_counter(c_gets_, 1);
   pe_.add_counter(c_bytes_, bytes);
   pe_.advance(P.shmem_o_ns + 2.0 * P.wire_ns(rank(), target_pe) +
               static_cast<double>(bytes) / P.shmem_bw_bytes_per_ns);
   pe_.trace_pull(target_pe, bytes);
+  if (auto* s = sanitize::active()) {
+    s->shmem_get(rank(), target_pe, offset, bytes, pe_.now(), phase_of(pe_));
+  }
 }
 
 void Ctx::fence() {
   // Ordering point for the Hub's outgoing queue; small fixed cost.
   pe_.advance(world_.params().shmem_o_ns);
+  if (auto* s = sanitize::active()) s->shmem_fence(rank());
 }
 
 void Ctx::quiet() {
   pe_.advance(world_.params().shmem_o_ns + pending_bw_ns_);
   pending_bw_ns_ = 0.0;
+  if (auto* s = sanitize::active()) s->shmem_fence(rank());
 }
 
 std::int64_t Ctx::fetch_add(SymPtr<std::int64_t> target, std::int64_t v, int target_pe) {
@@ -83,6 +102,11 @@ std::int64_t Ctx::fetch_add(SymPtr<std::int64_t> target, std::int64_t v, int tar
   auto* cell = reinterpret_cast<std::int64_t*>(heap(target_pe) + target.offset);
   const std::int64_t old = *cell;
   *cell = old + v;
+  // Hook under atomic_mu_ so the sanitizer's RMW chain matches the actual
+  // serialisation order of the cell.
+  if (auto* s = sanitize::active()) {
+    s->shmem_atomic(rank(), target_pe, target.offset, pe_.now(), phase_of(pe_));
+  }
   return old;
 }
 
@@ -97,6 +121,9 @@ std::int64_t Ctx::cswap(SymPtr<std::int64_t> target, std::int64_t expected,
   auto* cell = reinterpret_cast<std::int64_t*>(heap(target_pe) + target.offset);
   const std::int64_t old = *cell;
   if (old == expected) *cell = desired;
+  if (auto* s = sanitize::active()) {
+    s->shmem_atomic(rank(), target_pe, target.offset, pe_.now(), phase_of(pe_));
+  }
   return old;
 }
 
@@ -125,6 +152,11 @@ void Ctx::clear_lock(SymPtr<std::int64_t> lock) {
     auto* cell = reinterpret_cast<std::int64_t*>(heap(0) + lock.offset);
     O2K_CHECK(*cell == 1 + rank(), "shmem: clear_lock by non-owner");
     *cell = 0;
+    // Release edge: the next winning cswap (an RMW on the same cell)
+    // acquires everything the critical section published.
+    if (auto* s = sanitize::active()) {
+      s->shmem_release(rank(), 0, lock.offset, pe_.now(), phase_of(pe_));
+    }
   }
   pe_.wake_all();  // any PE may be parked in set_lock
 }
@@ -135,28 +167,36 @@ void Ctx::signal(SymPtr<Signal> cell, std::int64_t value, int target_pe) {
   pe_.advance(P.shmem_o_ns);
   pe_.add_counter(c_signals_, 1);
   pe_.trace_send(target_pe, sizeof(Signal), /*in_matrix=*/false);
-  auto* s = reinterpret_cast<Signal*>(heap(target_pe) + cell.offset);
+  auto* sig = reinterpret_cast<Signal*>(heap(target_pe) + cell.offset);
+  // Release edge before the value store: a waiter that observes the value
+  // is guaranteed to find the published history when it acquires.
+  if (auto* s = sanitize::active()) {
+    s->shmem_release(rank(), target_pe, cell.offset, pe_.now(), phase_of(pe_));
+  }
   // Arrival time first, then the value with release ordering so the
   // waiter's acquire load sees a consistent pair.
-  s->arrival_ns = pe_.now() + P.wire_ns(rank(), target_pe);
-  std::atomic_ref<std::int64_t>(s->value).store(value, std::memory_order_release);
+  sig->arrival_ns = pe_.now() + P.wire_ns(rank(), target_pe);
+  std::atomic_ref<std::int64_t>(sig->value).store(value, std::memory_order_release);
   pe_.wake(target_pe);
 }
 
 void Ctx::wait_signal(SymPtr<Signal> cell, std::int64_t expected) {
-  auto* s = reinterpret_cast<Signal*>(heap(rank()) + cell.offset);
-  std::atomic_ref<std::int64_t> v(s->value);
+  auto* sig = reinterpret_cast<Signal*>(heap(rank()) + cell.offset);
+  std::atomic_ref<std::int64_t> v(sig->value);
   pe_.park_until([&] { return v.load(std::memory_order_acquire) == expected; });
   // Virtual time: the wait resolves one local re-check after the
   // invalidation arrives (host wait time is irrelevant — deterministic).
   pe_.advance(60.0);
-  pe_.sync_at_least(s->arrival_ns);
+  pe_.sync_at_least(sig->arrival_ns);
+  if (auto* s = sanitize::active()) s->shmem_acquire(rank(), rank(), cell.offset);
 }
 
 void Ctx::barrier_all() {
   quiet();  // SHMEM barrier implies completion of outstanding puts
   const auto& P = world_.params();
+  if (auto* s = sanitize::active()) s->shmem_barrier_enter(rank());
   pe_.barrier(origin::MachineParams::tree_barrier_ns(size(), P.shmem_barrier_base_ns));
+  if (auto* s = sanitize::active()) s->shmem_barrier_exit(rank());
 }
 
 double Ctx::reduce_combine(double v, bool is_max) {

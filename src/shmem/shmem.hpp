@@ -105,7 +105,7 @@ class Ctx {
   template <typename T>
   void put(SymPtr<T> dst, std::span<const T> src, int target_pe) {
     rma_check<T>(dst, src.size(), target_pe);
-    charge_put(src.size_bytes(), target_pe, /*blocking=*/true);
+    charge_put(dst.offset, src.size_bytes(), target_pe, /*blocking=*/true);
     std::memcpy(heap(target_pe) + dst.offset, src.data(), src.size_bytes());
   }
   template <typename T>
@@ -116,13 +116,13 @@ class Ctx {
   template <typename T>
   void put_nbi(SymPtr<T> dst, std::span<const T> src, int target_pe) {
     rma_check<T>(dst, src.size(), target_pe);
-    charge_put(src.size_bytes(), target_pe, /*blocking=*/false);
+    charge_put(dst.offset, src.size_bytes(), target_pe, /*blocking=*/false);
     std::memcpy(heap(target_pe) + dst.offset, src.data(), src.size_bytes());
   }
   template <typename T>
   void get(std::span<T> dst, SymPtr<T> src, int target_pe) {
     rma_check<T>(src, dst.size(), target_pe);
-    charge_get(dst.size_bytes(), target_pe);
+    charge_get(src.offset, dst.size_bytes(), target_pe);
     std::memcpy(dst.data(), heap(target_pe) + src.offset, dst.size_bytes());
   }
   template <typename T>
@@ -208,8 +208,8 @@ class Ctx {
   [[nodiscard]] std::byte* heap(int pe) const {
     return world_.heaps_[static_cast<std::size_t>(pe)].get();
   }
-  void charge_put(std::size_t bytes, int target_pe, bool blocking);
-  void charge_get(std::size_t bytes, int target_pe);
+  void charge_put(std::size_t offset, std::size_t bytes, int target_pe, bool blocking);
+  void charge_get(std::size_t offset, std::size_t bytes, int target_pe);
   double reduce_combine(double v, bool is_max);
   std::int64_t reduce_combine_i(std::int64_t v, bool is_max);
 

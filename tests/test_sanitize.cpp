@@ -1,0 +1,404 @@
+// Tests for o2k::sanitize: the CC-SAS vector-clock race detector, the MP
+// protocol checker and the SHMEM synchronization checker (DESIGN.md §8).
+//
+// The detector decides by happens-before, not by interleaving luck, so a
+// seeded race is flagged *deterministically* — these tests assert exact
+// finding kinds, PE pairs and object names, not "usually fires".
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "apps/mesh_app.hpp"
+#include "apps/nbody_app.hpp"
+#include "mp/comm.hpp"
+#include "sanitize/sanitize.hpp"
+#include "sas/sas.hpp"
+#include "shmem/shmem.hpp"
+
+namespace o2k::sanitize {
+namespace {
+
+rt::Machine& machine() {
+  static rt::Machine m;
+  return m;
+}
+
+constexpr std::size_t kArena = std::size_t{16} << 20;
+
+std::vector<Finding> of_kind(const Sanitizer& san, const std::string& kind) {
+  std::vector<Finding> out;
+  for (const auto& f : san.findings()) {
+    if (f.kind == kind) out.push_back(f);
+  }
+  return out;
+}
+
+// ---- CC-SAS -------------------------------------------------------------
+
+TEST(SanitizeSas, SeededRaceFlaggedWithExactPairAndArray) {
+  Sanitizer san(Mode::kReport);
+  Scope scope(&san);
+  sas::World w(machine().params(), 2, kArena);
+  auto halo = w.alloc<double>(256, "halo");
+  machine().run(2, [&](rt::Pe& pe) {
+    sas::Team team(w, pe);
+    // Overlapping elements [4, 12) vs [0, 8) in the same epoch: a race.
+    if (pe.rank() == 0) {
+      team.touch_write_range(halo, 0, 8);
+    } else {
+      team.touch_read_range(halo, 4, 8);
+    }
+  });
+  const auto races = of_kind(san, "sas-race");
+  ASSERT_EQ(races.size(), 1u);
+  EXPECT_EQ(races[0].model, "CC-SAS");
+  EXPECT_EQ(races[0].object, "halo");
+  EXPECT_EQ(races[0].pe_a, 0);
+  EXPECT_EQ(races[0].pe_b, 1);
+}
+
+TEST(SanitizeSas, FalseSharingWithinALineIsNotARace) {
+  Sanitizer san(Mode::kReport);
+  Scope scope(&san);
+  sas::World w(machine().params(), 2, kArena);
+  auto arr = w.alloc<double>(64, "arr");
+  machine().run(2, [&](rt::Pe& pe) {
+    sas::Team team(w, pe);
+    // Same 128-byte granule, disjoint byte intervals: the cost simulator
+    // charges the ping-pong; the detector must stay silent.
+    if (pe.rank() == 0) {
+      team.touch_write_range(arr, 0, 4);  // bytes [0, 32)
+    } else {
+      team.touch_write_range(arr, 8, 4);  // bytes [64, 96)
+    }
+  });
+  EXPECT_EQ(san.finding_count(), 0u);
+}
+
+TEST(SanitizeSas, BarrierCreatesHappensBefore) {
+  Sanitizer san(Mode::kReport);
+  Scope scope(&san);
+  sas::World w(machine().params(), 2, kArena);
+  auto arr = w.alloc<double>(64, "arr");
+  machine().run(2, [&](rt::Pe& pe) {
+    sas::Team team(w, pe);
+    if (pe.rank() == 0) team.touch_write_range(arr, 0, 64);
+    team.barrier();
+    if (pe.rank() == 1) team.touch_read_range(arr, 0, 64);
+  });
+  EXPECT_EQ(san.finding_count(), 0u);
+}
+
+TEST(SanitizeSas, LockCreatesHappensBefore) {
+  Sanitizer san(Mode::kReport);
+  Scope scope(&san);
+  sas::World w(machine().params(), 2, kArena);
+  auto arr = w.alloc<double>(8, "acc");
+  machine().run(2, [&](rt::Pe& pe) {
+    sas::Team team(w, pe);
+    for (int i = 0; i < 4; ++i) {
+      team.lock(3);
+      team.touch_write_range(arr, 0, 1);
+      team.unlock(3);
+    }
+  });
+  EXPECT_EQ(san.finding_count(), 0u);
+}
+
+TEST(SanitizeSas, FieldAnnotationsSeparateDisjointFields) {
+  Sanitizer san(Mode::kReport);
+  Scope scope(&san);
+  struct Pair {
+    double a;
+    double b;
+  };
+  sas::World w(machine().params(), 2, kArena);
+  auto arr = w.alloc<Pair>(128, "pairs");
+  machine().run(2, [&](rt::Pe& pe) {
+    sas::Team team(w, pe);
+    // Both PEs touch every element, but disjoint fields of it — the
+    // SPLASH-2 barnes pattern.  Not a race.
+    if (pe.rank() == 0) {
+      team.touch_write_fields(arr, 0, 128, offsetof(Pair, a), sizeof(double));
+    } else {
+      team.touch_write_fields(arr, 0, 128, offsetof(Pair, b), sizeof(double));
+    }
+  });
+  EXPECT_EQ(san.finding_count(), 0u);
+}
+
+TEST(SanitizeSas, FieldAnnotationsFlagOverlappingFields) {
+  Sanitizer san(Mode::kReport);
+  Scope scope(&san);
+  struct Pair {
+    double a;
+    double b;
+  };
+  sas::World w(machine().params(), 2, kArena);
+  auto arr = w.alloc<Pair>(128, "pairs");
+  machine().run(2, [&](rt::Pe& pe) {
+    sas::Team team(w, pe);
+    if (pe.rank() == 0) {
+      team.touch_write_fields(arr, 0, 128, 0, sizeof(Pair));  // whole element
+    } else {
+      team.touch_read_fields(arr, 0, 128, offsetof(Pair, b), sizeof(double));
+    }
+  });
+  const auto races = of_kind(san, "sas-race");
+  ASSERT_EQ(races.size(), 1u);
+  EXPECT_EQ(races[0].object, "pairs");
+}
+
+TEST(SanitizeSas, AtomicAnnotatedAccessesDoNotRace) {
+  Sanitizer san(Mode::kReport);
+  Scope scope(&san);
+  sas::World w(machine().params(), 4, kArena);
+  auto flag = w.alloc<std::int64_t>(1, "flag");
+  machine().run(4, [&](rt::Pe& pe) {
+    sas::Team team(w, pe);
+    team.touch_write_atomic(flag.offset, 8);
+  });
+  EXPECT_EQ(san.finding_count(), 0u);
+}
+
+// ---- shipped apps stay race-clean --------------------------------------
+
+TEST(SanitizeApps, NbodySasCleanAtP8) {
+  Sanitizer san(Mode::kReport);
+  Scope scope(&san);
+  apps::NbodyConfig cfg;
+  cfg.n = 512;
+  cfg.steps = 2;
+  (void)apps::run_nbody_sas(machine(), 8, cfg);
+  EXPECT_EQ(san.finding_count(), 0u) << "first: " << san.findings()[0].kind << " on "
+                                     << san.findings()[0].object;
+  EXPECT_GT(san.stats().sas_accesses, 0u);
+}
+
+TEST(SanitizeApps, MeshSasCleanAtP8) {
+  Sanitizer san(Mode::kReport);
+  Scope scope(&san);
+  apps::MeshConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = 8;
+  cfg.phases = 2;
+  (void)apps::run_mesh_sas(machine(), 8, cfg);
+  EXPECT_EQ(san.finding_count(), 0u) << "first: " << san.findings()[0].kind << " on "
+                                     << san.findings()[0].object;
+  EXPECT_GT(san.stats().sas_accesses, 0u);
+}
+
+// ---- MP protocol --------------------------------------------------------
+
+TEST(SanitizeMp, DroppedMessageReportedAtFinalize) {
+  Sanitizer san(Mode::kReport);
+  Scope scope(&san);
+  {
+    mp::World w(machine().params(), 2);
+    machine().run(2, [&](rt::Pe& pe) {
+      mp::Comm comm(w, pe);
+      if (pe.rank() == 0) comm.send_value<std::int64_t>(99, 1, /*tag=*/5);
+      comm.barrier();  // delivery guaranteed; still nobody receives it
+    });
+    EXPECT_EQ(san.finding_count(), 0u);  // only reported at finalize
+  }
+  const auto drops = of_kind(san, "mp-unmatched-send");
+  ASSERT_EQ(drops.size(), 1u);
+  EXPECT_EQ(drops[0].pe_a, 0);
+  EXPECT_EQ(drops[0].pe_b, 1);
+  EXPECT_NE(drops[0].object.find("tag=5"), std::string::npos);
+}
+
+TEST(SanitizeMp, UnwaitedIrecvReportedAtFinalize) {
+  Sanitizer san(Mode::kReport);
+  Scope scope(&san);
+  {
+    mp::World w(machine().params(), 2);
+    machine().run(2, [&](rt::Pe& pe) {
+      mp::Comm comm(w, pe);
+      if (pe.rank() == 1) {
+        std::int64_t v = 0;
+        auto r = comm.irecv(std::span<std::int64_t>(&v, 1), 0, /*tag=*/9);
+        (void)r;  // never waited
+      }
+    });
+  }
+  const auto leaks = of_kind(san, "mp-unwaited-request");
+  ASSERT_EQ(leaks.size(), 1u);
+  EXPECT_EQ(leaks[0].pe_a, 1);
+}
+
+TEST(SanitizeMp, WaitedIrecvIsClean) {
+  Sanitizer san(Mode::kReport);
+  Scope scope(&san);
+  {
+    mp::World w(machine().params(), 2);
+    machine().run(2, [&](rt::Pe& pe) {
+      mp::Comm comm(w, pe);
+      if (pe.rank() == 0) {
+        comm.send_value<std::int64_t>(7, 1, /*tag=*/9);
+      } else {
+        std::int64_t v = 0;
+        auto r = comm.irecv(std::span<std::int64_t>(&v, 1), 0, /*tag=*/9);
+        comm.wait(r);
+        EXPECT_EQ(v, 7);
+      }
+    });
+  }
+  EXPECT_EQ(san.finding_count(), 0u);
+}
+
+TEST(SanitizeMp, WildcardMatchAmbiguityFlagged) {
+  Sanitizer san(Mode::kReport);
+  Scope scope(&san);
+  {
+    mp::World w(machine().params(), 2);
+    machine().run(2, [&](rt::Pe& pe) {
+      mp::Comm comm(w, pe);
+      if (pe.rank() == 0) {
+        comm.send_value<std::int64_t>(1, 1, /*tag=*/1);
+        comm.send_value<std::int64_t>(2, 1, /*tag=*/2);
+        comm.send_value<std::int64_t>(0, 1, /*tag=*/3);  // marker
+      } else {
+        (void)comm.recv_value<std::int64_t>(0, 3);  // tags 1 and 2 now queued
+        (void)comm.recv_value<std::int64_t>(0, mp::kAnyTag);
+        (void)comm.recv_value<std::int64_t>(0, mp::kAnyTag);  // one tag left: fine
+      }
+    });
+  }
+  EXPECT_EQ(of_kind(san, "mp-wildcard-ambiguity").size(), 1u);
+  EXPECT_EQ(of_kind(san, "mp-unmatched-send").size(), 0u);
+}
+
+// ---- SHMEM --------------------------------------------------------------
+
+TEST(SanitizeShmem, UnfencedPutThenGetFlagged) {
+  Sanitizer san(Mode::kReport);
+  Scope scope(&san);
+  shmem::World w(machine().params(), 2);
+  machine().run(2, [&](rt::Pe& pe) {
+    shmem::Ctx ctx(w, pe);
+    auto sym = ctx.malloc<double>(16);
+    if (pe.rank() == 0) {
+      std::vector<double> buf(16, 1.0);
+      ctx.put(sym, std::span<const double>(buf), 1);
+      // Read back without fence/quiet/barrier: delivery is not ordered.
+      std::vector<double> back(16);
+      ctx.get(std::span<double>(back), sym, 1);
+    }
+    ctx.barrier_all();
+  });
+  EXPECT_EQ(of_kind(san, "shmem-unfenced-put-get").size(), 1u);
+}
+
+TEST(SanitizeShmem, FenceOrdersPutBeforeGet) {
+  Sanitizer san(Mode::kReport);
+  Scope scope(&san);
+  shmem::World w(machine().params(), 2);
+  machine().run(2, [&](rt::Pe& pe) {
+    shmem::Ctx ctx(w, pe);
+    auto sym = ctx.malloc<double>(16);
+    if (pe.rank() == 0) {
+      std::vector<double> buf(16, 1.0);
+      ctx.put(sym, std::span<const double>(buf), 1);
+      ctx.quiet();
+      std::vector<double> back(16);
+      ctx.get(std::span<double>(back), sym, 1);
+    }
+    ctx.barrier_all();
+  });
+  EXPECT_EQ(san.finding_count(), 0u);
+}
+
+TEST(SanitizeShmem, ConcurrentPutAndGetRace) {
+  Sanitizer san(Mode::kReport);
+  Scope scope(&san);
+  shmem::World w(machine().params(), 2);
+  machine().run(2, [&](rt::Pe& pe) {
+    shmem::Ctx ctx(w, pe);
+    auto sym = ctx.malloc<double>(16);
+    if (pe.rank() == 0) {
+      std::vector<double> buf(16, 1.0);
+      ctx.put(sym, std::span<const double>(buf), 1);  // write PE 1's heap
+    } else {
+      std::vector<double> back(16);
+      ctx.get(std::span<double>(back), sym, 1);  // read own heap, unordered
+    }
+    ctx.barrier_all();
+  });
+  const auto races = of_kind(san, "shmem-race");
+  ASSERT_EQ(races.size(), 1u);
+  EXPECT_EQ(races[0].pe_a, 0);
+  EXPECT_EQ(races[0].pe_b, 1);
+}
+
+TEST(SanitizeShmem, BarrierAllOrdersRma) {
+  Sanitizer san(Mode::kReport);
+  Scope scope(&san);
+  shmem::World w(machine().params(), 2);
+  machine().run(2, [&](rt::Pe& pe) {
+    shmem::Ctx ctx(w, pe);
+    auto sym = ctx.malloc<double>(16);
+    if (pe.rank() == 0) {
+      std::vector<double> buf(16, 1.0);
+      ctx.put(sym, std::span<const double>(buf), 1);
+    }
+    ctx.barrier_all();
+    if (pe.rank() == 1) {
+      std::vector<double> back(16);
+      ctx.get(std::span<double>(back), sym, 1);
+    }
+    ctx.barrier_all();
+  });
+  EXPECT_EQ(san.finding_count(), 0u);
+}
+
+// ---- abort mode ----------------------------------------------------------
+
+TEST(SanitizeAbort, AbortsOnFirstFinding) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Sanitizer san(Mode::kAbort);
+        Scope scope(&san);
+        sas::World w(machine().params(), 2, kArena);
+        auto arr = w.alloc<double>(64, "boom");
+        machine().run(2, [&](rt::Pe& pe) {
+          sas::Team team(w, pe);
+          if (pe.rank() == 0) {
+            team.touch_write_range(arr, 0, 8);
+          } else {
+            team.touch_write_range(arr, 0, 8);
+          }
+        });
+      },
+      "sas-race");
+}
+
+// ---- mode plumbing --------------------------------------------------------
+
+TEST(SanitizeMode, Parsing) {
+  EXPECT_EQ(mode_from_string(""), Mode::kOff);
+  EXPECT_EQ(mode_from_string("off"), Mode::kOff);
+  EXPECT_EQ(mode_from_string("report"), Mode::kReport);
+  EXPECT_EQ(mode_from_string("abort"), Mode::kAbort);
+  EXPECT_EQ(mode_from_string("bogus"), Mode::kReport);  // fail loud, not off
+}
+
+TEST(SanitizeMode, ScopeRestoresPrevious) {
+  EXPECT_EQ(active(), nullptr);
+  Sanitizer outer(Mode::kReport);
+  Scope s1(&outer);
+  EXPECT_EQ(active(), &outer);
+  {
+    Sanitizer inner(Mode::kReport);
+    Scope s2(&inner);
+    EXPECT_EQ(active(), &inner);
+  }
+  EXPECT_EQ(active(), &outer);
+}
+
+}  // namespace
+}  // namespace o2k::sanitize
