@@ -3,16 +3,28 @@
 // exist so regressions in the simulation machinery itself are visible.
 //
 // A second mode, `--wall`, sweeps the fig1/fig3 smoke workloads over all
-// three models and P = {1..64} and records host wall-clock seconds per
-// point as line-oriented JSON (schema o2k.bench_sched.v1).  Pass
-// `--before=<prior.json>` to join a previous run of the same sweep and emit
-// per-point and total speedups — this is how BENCH_sched.json at the repo
-// root was produced.
+// three models and P = {1..256} (a scaled Origin2000 beyond the paper's 64
+// processors; identical per-hop costs, see MachineParams::origin2000_scaled)
+// and records host wall-clock seconds per point as line-oriented JSON
+// (schema o2k.bench_sched.v2).  Every point runs under both execution
+// backends — fibers twice (reproducibility check) and threads once — and
+// emits per-backend wall columns plus their ratio.  The three makespans of
+// a point must agree bit-exactly; a mismatch aborts the run with exit 1
+// unless the row is mesh/CC-SAS at P>1, whose lock-free remesher makes data
+// placement (and so cache charges) legitimately interleaving-dependent —
+// those rows are tagged `makespan_drift` with the measured relative spread.
 //
-//   ./bench_micro_runtime --wall --out=before.json          # old substrate
-//   ./bench_micro_runtime --wall --before=before.json --out=BENCH_sched.json
+//   ./bench_micro_runtime --wall --out=BENCH_sched.json
+//
+// A third mode, `--gate=<BENCH_sched.json>`, is the CI perf-smoke gate: it
+// re-runs a pinned subset of the sweep on the fibers backend and fails
+// (exit 1) if any point's wall time regressed more than 25% against the
+// committed file, or if any non-exempt point's makespan drifted from it.
+//
+//   ./bench_micro_runtime --gate=BENCH_sched.json
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -109,12 +121,25 @@ struct WallPoint {
   std::string app;
   std::string model;
   int p = 0;
-  double wall_s = 0.0;
-  double makespan_ns = 0.0;
+  double wall_fibers_s = 0.0;   ///< best of two fiber-backend runs
+  double wall_threads_s = 0.0;  ///< one thread-per-PE run
+  double makespan_ns = 0.0;     ///< virtual time (first fiber run)
+  bool drift = false;           ///< makespans disagreed (mesh/sas only)
+  double drift_rel = 0.0;       ///< (max-min)/max over the three makespans
 };
 
 std::string point_key(const WallPoint& pt) {
   return pt.app + "|" + pt.model + "|" + std::to_string(pt.p);
+}
+
+/// mesh/CC-SAS at P>1 is the one pair whose makespan may legitimately vary
+/// run-to-run: the remesher allocates vertex/tet ids with unordered
+/// fetch_adds and claims edge-table slots with CAS, so which pages and
+/// lines each PE touches depends on host interleaving (an application
+/// property — the charge path itself commits deterministically at
+/// barriers; see src/sas/sas.hpp and DESIGN.md §5).
+bool drift_exempt(const std::string& app, const std::string& model, int p) {
+  return app == "mesh" && model == "sas" && p > 1;
 }
 
 /// Pull `"field":<number>` / `"field":"string"` out of one JSON line.  The
@@ -139,64 +164,106 @@ bool json_field(const std::string& line, const std::string& field, std::string& 
 std::vector<WallPoint> load_wall_points(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
-    std::cerr << "bench_micro_runtime: cannot read --before file " << path << "\n";
+    std::cerr << "bench_micro_runtime: cannot read " << path << "\n";
     std::exit(2);
   }
   std::vector<WallPoint> out;
   std::string line;
   while (std::getline(in, line)) {
     WallPoint pt;
-    std::string p, wall, mk;
+    std::string p, wf, wt, mk;
     if (!json_field(line, "app", pt.app) || !json_field(line, "model", pt.model) ||
-        !json_field(line, "P", p) || !json_field(line, "wall_s", wall)) {
+        !json_field(line, "P", p) || !json_field(line, "wall_fibers_s", wf)) {
       continue;  // header / totals / blank lines
     }
     pt.p = std::stoi(p);
-    pt.wall_s = std::stod(wall);
+    pt.wall_fibers_s = std::stod(wf);
+    if (json_field(line, "wall_threads_s", wt)) pt.wall_threads_s = std::stod(wt);
     if (json_field(line, "makespan_ns", mk)) pt.makespan_ns = std::stod(mk);
     out.push_back(pt);
   }
   return out;
 }
 
-int run_wall_mode(const std::string& out_path, const std::string& before_path) {
-  const std::vector<int> procs{1, 2, 4, 8, 16, 32, 64};
+apps::Model model_from_slug(const std::string& s) {
+  if (s == "mp") return apps::Model::kMp;
+  if (s == "shmem") return apps::Model::kShmem;
+  if (s == "sas") return apps::Model::kSas;
+  std::cerr << "bench_micro_runtime: unknown model slug " << s << "\n";
+  std::exit(2);
+}
+
+/// One timed execution of a sweep workload; returns (wall_s, makespan_ns).
+std::pair<double, double> timed_run(rt::Machine& machine, const std::string& app,
+                                    apps::Model model, int p) {
+  const auto t0 = std::chrono::steady_clock::now();
+  double makespan = 0.0;
+  if (app == "nbody") {
+    apps::NbodyConfig cfg;  // fig1 smoke scale
+    cfg.n = 8192;
+    cfg.steps = 2;
+    makespan = apps::run_nbody(model, machine, p, cfg).run.makespan_ns;
+  } else {
+    apps::MeshConfig cfg;  // fig3 smoke scale
+    cfg.nx = cfg.ny = cfg.nz = 10;
+    cfg.phases = 3;
+    makespan = apps::run_mesh(model, machine, p, cfg).run.makespan_ns;
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return {wall, makespan};
+}
+
+/// Measure one sweep point under both backends.  Returns false (and prints)
+/// if the makespans disagree on a point that is not drift-exempt.
+bool measure_point(rt::Machine& machine, WallPoint& pt) {
+  machine.set_exec_backend(rt::ExecBackend::kFibers);
+  const auto [wf1, mk1] = timed_run(machine, pt.app, model_from_slug(pt.model), pt.p);
+  const auto [wf2, mk2] = timed_run(machine, pt.app, model_from_slug(pt.model), pt.p);
+  machine.set_exec_backend(rt::ExecBackend::kThreads);
+  const auto [wt, mk3] = timed_run(machine, pt.app, model_from_slug(pt.model), pt.p);
+  machine.set_exec_backend(std::nullopt);
+  pt.wall_fibers_s = std::min(wf1, wf2);
+  pt.wall_threads_s = wt;
+  pt.makespan_ns = mk1;
+  const double hi = std::max({mk1, mk2, mk3});
+  const double lo = std::min({mk1, mk2, mk3});
+  if (hi != lo) {
+    pt.drift = true;
+    pt.drift_rel = hi > 0 ? (hi - lo) / hi : 0.0;
+    if (!drift_exempt(pt.app, pt.model, pt.p)) {
+      std::fprintf(stderr,
+                   "ERROR: makespan drift at %s (fibers %.17g / %.17g, threads %.17g) — "
+                   "the substrate leaked host scheduling into virtual time\n",
+                   point_key(pt).c_str(), mk1, mk2, mk3);
+      return false;
+    }
+  }
+  return true;
+}
+
+int run_wall_mode(const std::string& out_path, int pmax) {
+  std::vector<int> procs;
+  for (int p : {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024})
+    if (p <= pmax) procs.push_back(p);
+
   const apps::Model models[] = {apps::Model::kMp, apps::Model::kShmem, apps::Model::kSas};
 
-  std::vector<WallPoint> before;
-  if (!before_path.empty()) before = load_wall_points(before_path);
-  auto find_before = [&](const WallPoint& pt) -> const WallPoint* {
-    for (const auto& b : before)
-      if (point_key(b) == point_key(pt)) return &b;
-    return nullptr;
-  };
-
-  rt::Machine machine;
+  rt::Machine machine(origin::MachineParams::origin2000_scaled(std::max(pmax, 256)));
   std::vector<WallPoint> points;
+  bool ok = true;
   for (const char* app : {"nbody", "mesh"}) {
     for (auto model : models) {
       for (int p : procs) {
         WallPoint pt;
         pt.app = app;
-        pt.model = apps::model_name(model);
+        pt.model = apps::model_slug(model);
         pt.p = p;
-        const auto t0 = std::chrono::steady_clock::now();
-        if (std::string(app) == "nbody") {
-          apps::NbodyConfig cfg;  // fig1 smoke scale
-          cfg.n = 8192;
-          cfg.steps = 2;
-          pt.makespan_ns = apps::run_nbody(model, machine, p, cfg).run.makespan_ns;
-        } else {
-          apps::MeshConfig cfg;  // fig3 smoke scale
-          cfg.nx = cfg.ny = cfg.nz = 10;
-          cfg.phases = 3;
-          pt.makespan_ns = apps::run_mesh(model, machine, p, cfg).run.makespan_ns;
-        }
-        pt.wall_s =
-            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+        ok = measure_point(machine, pt) && ok;
         points.push_back(pt);
-        std::fprintf(stderr, "  %-5s %-6s P=%-2d  %.3fs\n", pt.app.c_str(), pt.model.c_str(),
-                     pt.p, pt.wall_s);
+        std::fprintf(stderr, "  %-5s %-6s P=%-3d  fibers %.3fs  threads %.3fs%s\n",
+                     pt.app.c_str(), pt.model.c_str(), pt.p, pt.wall_fibers_s,
+                     pt.wall_threads_s, pt.drift ? "  (drift)" : "");
       }
     }
   }
@@ -206,44 +273,90 @@ int run_wall_mode(const std::string& out_path, const std::string& before_path) {
     std::cerr << "bench_micro_runtime: cannot write " << out_path << "\n";
     return 2;
   }
-  out << "{\"schema\":\"o2k.bench_sched.v1\",\"points\":[\n";
-  double total_after = 0.0, total_before = 0.0;
-  bool all_joined = !before.empty();
+  out << "{\"schema\":\"o2k.bench_sched.v2\",\"points\":[\n";
+  double total_fibers = 0.0, total_threads = 0.0;
   for (std::size_t i = 0; i < points.size(); ++i) {
     const WallPoint& pt = points[i];
-    total_after += pt.wall_s;
+    total_fibers += pt.wall_fibers_s;
+    total_threads += pt.wall_threads_s;
     char buf[512];
     std::snprintf(buf, sizeof buf,
-                  "{\"app\":\"%s\",\"model\":\"%s\",\"P\":%d,\"wall_s\":%.6f,"
-                  "\"makespan_ns\":%.17g",
-                  pt.app.c_str(), pt.model.c_str(), pt.p, pt.wall_s, pt.makespan_ns);
+                  "{\"app\":\"%s\",\"model\":\"%s\",\"P\":%d,\"wall_fibers_s\":%.6f,"
+                  "\"wall_threads_s\":%.6f,\"speedup\":%.2f,\"makespan_ns\":%.17g",
+                  pt.app.c_str(), pt.model.c_str(), pt.p, pt.wall_fibers_s, pt.wall_threads_s,
+                  pt.wall_fibers_s > 0 ? pt.wall_threads_s / pt.wall_fibers_s : 0.0,
+                  pt.makespan_ns);
     out << buf;
-    if (const WallPoint* b = find_before(pt)) {
-      total_before += b->wall_s;
-      std::snprintf(buf, sizeof buf, ",\"before_wall_s\":%.6f,\"speedup\":%.2f", b->wall_s,
-                    pt.wall_s > 0 ? b->wall_s / pt.wall_s : 0.0);
+    if (pt.drift) {
+      std::snprintf(buf, sizeof buf, ",\"makespan_drift\":true,\"drift_rel\":%.3g",
+                    pt.drift_rel);
       out << buf;
-      // The sweep is virtual-time deterministic: a makespan drift between the
-      // two runs means the substrate change was *not* scheduling-neutral.
-      if (b->makespan_ns != 0.0 && b->makespan_ns != pt.makespan_ns) {
-        out << ",\"makespan_drift\":true";
-        std::fprintf(stderr, "WARNING: makespan drift at %s\n", point_key(pt).c_str());
-      }
-    } else {
-      all_joined = false;
     }
     out << "}" << (i + 1 < points.size() ? "," : "") << "\n";
   }
-  out << "]";
-  if (all_joined && total_after > 0) {
-    char buf[256];
-    std::snprintf(buf, sizeof buf,
-                  ",\"total\":{\"before_wall_s\":%.6f,\"after_wall_s\":%.6f,\"speedup\":%.2f}",
-                  total_before, total_after, total_before / total_after);
-    out << buf;
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "],\"total\":{\"fibers_wall_s\":%.6f,\"threads_wall_s\":%.6f,\"speedup\":%.2f}}",
+                total_fibers, total_threads,
+                total_fibers > 0 ? total_threads / total_fibers : 0.0);
+  out << buf << "\n";
+  std::fprintf(stderr, "wrote %s (fibers %.3fs, threads %.3fs)\n", out_path.c_str(),
+               total_fibers, total_threads);
+  if (!ok) {
+    std::fprintf(stderr, "FAILED: unexpected makespan drift (see above)\n");
+    return 1;
   }
-  out << "}\n";
-  std::fprintf(stderr, "wrote %s (total %.3fs)\n", out_path.c_str(), total_after);
+  return 0;
+}
+
+/// CI perf-smoke gate: pinned subset, fibers backend, 25% wall budget.
+int run_gate_mode(const std::string& baseline_path) {
+  const auto baseline = load_wall_points(baseline_path);
+  auto find = [&](const std::string& app, const std::string& model, int p) -> const WallPoint* {
+    for (const auto& b : baseline)
+      if (b.app == app && b.model == model && b.p == p) return &b;
+    return nullptr;
+  };
+
+  struct GatePoint {
+    const char* app;
+    const char* model;
+    int p;
+  };
+  const GatePoint pinned[] = {
+      {"nbody", "mp", 64}, {"nbody", "sas", 64}, {"mesh", "mp", 64}, {"mesh", "sas", 64}};
+  constexpr double kBudget = 1.25;  // fail when wall regresses >25%
+
+  rt::Machine machine(origin::MachineParams::origin2000_scaled(256));
+  machine.set_exec_backend(rt::ExecBackend::kFibers);
+  bool ok = true;
+  for (const auto& g : pinned) {
+    const WallPoint* base = find(g.app, g.model, g.p);
+    if (base == nullptr) {
+      std::fprintf(stderr, "GATE ERROR: %s|%s|%d missing from %s\n", g.app, g.model, g.p,
+                   baseline_path.c_str());
+      ok = false;
+      continue;
+    }
+    const auto model = model_from_slug(g.model);
+    const auto [w1, mk1] = timed_run(machine, g.app, model, g.p);
+    const auto [w2, mk2] = timed_run(machine, g.app, model, g.p);
+    const double wall = std::min(w1, w2);
+    const bool slow = wall > base->wall_fibers_s * kBudget;
+    // Virtual time is host-independent, so the gate also pins makespans —
+    // bit-exactly against the committed file for deterministic pairs.
+    const bool drifted =
+        !drift_exempt(g.app, g.model, g.p) && (mk1 != mk2 || mk1 != base->makespan_ns);
+    std::fprintf(stderr, "  gate %-5s %-6s P=%-3d  wall %.3fs (budget %.3fs)%s%s\n", g.app,
+                 g.model, g.p, wall, base->wall_fibers_s * kBudget,
+                 slow ? "  WALL REGRESSION" : "", drifted ? "  MAKESPAN DRIFT" : "");
+    ok = ok && !slow && !drifted;
+  }
+  if (!ok) {
+    std::fprintf(stderr, "FAILED: perf-smoke gate (baseline %s)\n", baseline_path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "perf-smoke gate passed (baseline %s)\n", baseline_path.c_str());
   return 0;
 }
 
@@ -251,7 +364,8 @@ int run_wall_mode(const std::string& out_path, const std::string& before_path) {
 
 int main(int argc, char** argv) {
   bool wall = false;
-  std::string out_path = "bench_sched.json", before_path;
+  int pmax = 256;  // default sweep ceiling; --pmax=1024 for the R-X1 runs
+  std::string out_path = "bench_sched.json", gate_path;
   std::vector<char*> pass{argv[0]};
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -259,13 +373,16 @@ int main(int argc, char** argv) {
       wall = true;
     } else if (a.rfind("--out=", 0) == 0) {
       out_path = a.substr(6);
-    } else if (a.rfind("--before=", 0) == 0) {
-      before_path = a.substr(9);
+    } else if (a.rfind("--gate=", 0) == 0) {
+      gate_path = a.substr(7);
+    } else if (a.rfind("--pmax=", 0) == 0) {
+      pmax = std::stoi(a.substr(7));
     } else {
       pass.push_back(argv[i]);
     }
   }
-  if (wall) return run_wall_mode(out_path, before_path);
+  if (!gate_path.empty()) return run_gate_mode(gate_path);
+  if (wall) return run_wall_mode(out_path, pmax);
   int pargc = static_cast<int>(pass.size());
   benchmark::Initialize(&pargc, pass.data());
   if (benchmark::ReportUnrecognizedArguments(pargc, pass.data())) return 1;

@@ -1,0 +1,195 @@
+#include "exec/engine.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace o2k::exec {
+
+namespace {
+
+std::size_t stack_bytes_from_env() {
+  if (const char* s = std::getenv("O2K_EXEC_STACK_KB")) {
+    const long kb = std::strtol(s, nullptr, 10);
+    if (kb > 0) return static_cast<std::size_t>(kb) * 1024;
+  }
+  return std::size_t{1} << 20;  // 1 MiB
+}
+
+int workers_from_env(int nprocs) {
+  if (const char* s = std::getenv("O2K_EXEC_WORKERS")) {
+    const long w = std::strtol(s, nullptr, 10);
+    if (w > 0) return static_cast<int>(w) < nprocs ? static_cast<int>(w) : nprocs;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int m = hw == 0 ? 1 : static_cast<int>(hw);
+  return m < nprocs ? m : nprocs;
+}
+
+}  // namespace
+
+FiberEngine::FiberEngine(std::size_t stack_bytes)
+    : stack_bytes_(stack_bytes != 0 ? stack_bytes : stack_bytes_from_env()) {
+  if (!fibers_supported()) {
+    throw std::runtime_error(
+        "o2k::exec: fiber backend unsupported in this build (TSan or unknown "
+        "architecture); use the threads backend");
+  }
+}
+
+FiberEngine::~FiberEngine() = default;
+
+void FiberEngine::ensure_capacity(int nprocs) {
+  while (fibers_.size() < static_cast<std::size_t>(nprocs)) {
+    auto f = std::make_unique<Fiber>();
+    f->stack = std::make_unique<FiberStack>(stack_bytes_);
+    f->eng = this;
+    f->rank = static_cast<int>(fibers_.size());
+    fibers_.push_back(std::move(f));
+  }
+}
+
+void FiberEngine::fiber_main(void* arg) {
+  auto* f = static_cast<Fiber*>(arg);
+  ctx_note_arrival(f->ctx);
+  // The body is rt::Machine's per-PE wrapper, which catches everything the
+  // simulated program throws (including abort unwinds).  The catch here is
+  // a backstop so a throwing body cannot unwind off the fiber stack.
+  try {
+    (*f->eng->body_)(f->rank);
+  } catch (...) {
+    std::lock_guard<std::mutex> lk(f->eng->mu_);
+    if (!f->eng->first_error_) f->eng->first_error_ = std::current_exception();
+  }
+  f->reason = Fiber::kDone;
+  ctx_swap_to(f->ctx, *f->home, nullptr, nullptr, /*from_dying=*/true);
+  std::abort();  // a finished fiber must never be resumed
+}
+
+void FiberEngine::run(int nprocs, const std::function<void(int)>& body) {
+  ensure_capacity(nprocs);
+  live_ = nprocs;
+  done_ = 0;
+  body_ = &body;
+  first_error_ = nullptr;
+  runq_.clear();
+  for (int r = 0; r < nprocs; ++r) {
+    Fiber* f = fibers_[static_cast<std::size_t>(r)].get();
+    f->epoch.store(0, std::memory_order_relaxed);
+    f->status.store(Fiber::kActive, std::memory_order_relaxed);
+    f->reason = Fiber::kPark;
+    make_context(f->ctx, *f->stack, &FiberEngine::fiber_main);
+    runq_.push_back(f);
+  }
+
+  const int m = workers_from_env(nprocs);
+  workers_used_ = m;
+  std::vector<Worker> workers(static_cast<std::size_t>(m));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(m - 1));
+  for (int w = 1; w < m; ++w) {
+    threads.emplace_back([this, &workers, w] { worker_loop(workers[static_cast<std::size_t>(w)]); });
+  }
+  worker_loop(workers[0]);
+  for (auto& t : threads) t.join();
+
+  body_ = nullptr;
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void FiberEngine::worker_loop(Worker& w) {
+  ctx_bind_host_stack(w.ctx);
+  for (;;) {
+    Fiber* f = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+#if defined(O2K_BOUNDED_WAITS)
+      // Debug fallback, mirroring the threads backend: never sleep
+      // unboundedly; periodically re-enqueue every parked fiber so a lost
+      // wakeup degrades to polling instead of a hang.
+      while (runq_.empty() && done_ != live_) {
+        if (cv_.wait_for(lk, std::chrono::seconds(1)) == std::cv_status::timeout) {
+          requeue_parked_locked();
+        }
+      }
+#else
+      cv_.wait(lk, [&] { return !runq_.empty() || done_ == live_; });
+#endif
+      if (runq_.empty()) return;  // done_ == live_: run complete
+      f = runq_.front();
+      runq_.pop_front();
+    }
+    for (;;) {
+      f->home = &w.ctx;
+      ctx_swap_to(w.ctx, f->ctx, f, f->stack.get());
+      if (f->reason == Fiber::kDone) {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (++done_ == live_) cv_.notify_all();
+        break;
+      }
+      // The fiber asked to park.  Publish kParked, then re-check its wait
+      // epoch: a waker that ran between the fiber's epoch read and this
+      // store saw status != kParked and did not enqueue, so reclaim the
+      // fiber here.  The CAS arbitrates against concurrent wakers so the
+      // fiber is resumed exactly once.
+      f->status.store(Fiber::kParked, std::memory_order_seq_cst);
+      if (f->epoch.load(std::memory_order_seq_cst) != f->park_epoch) {
+        int expected = Fiber::kParked;
+        if (f->status.compare_exchange_strong(expected, Fiber::kActive,
+                                              std::memory_order_seq_cst)) {
+          continue;  // resume it right here, still hot on this worker
+        }
+      }
+      break;
+    }
+  }
+}
+
+void FiberEngine::park(int rank, std::uint64_t observed_epoch) {
+  Fiber* f = fibers_[static_cast<std::size_t>(rank)].get();
+  f->park_epoch = observed_epoch;
+  f->reason = Fiber::kPark;
+  ctx_swap_to(f->ctx, *f->home, nullptr, nullptr);
+  // Resumed: the caller (Pe::park_until) loops and re-tests its predicate.
+}
+
+void FiberEngine::enqueue(Fiber* f) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    runq_.push_back(f);
+  }
+  cv_.notify_one();
+}
+
+void FiberEngine::wake(int rank) {
+  Fiber* f = fibers_[static_cast<std::size_t>(rank)].get();
+  f->epoch.fetch_add(1, std::memory_order_seq_cst);
+  if (f->status.load(std::memory_order_seq_cst) == Fiber::kParked) {
+    int expected = Fiber::kParked;
+    if (f->status.compare_exchange_strong(expected, Fiber::kActive,
+                                          std::memory_order_seq_cst)) {
+      enqueue(f);
+    }
+  }
+}
+
+void FiberEngine::wake_all() {
+  for (int r = 0; r < live_; ++r) wake(r);
+}
+
+void FiberEngine::requeue_parked_locked() {
+  bool any = false;
+  for (int r = 0; r < live_; ++r) {
+    Fiber* f = fibers_[static_cast<std::size_t>(r)].get();
+    int expected = Fiber::kParked;
+    if (f->status.compare_exchange_strong(expected, Fiber::kActive,
+                                          std::memory_order_seq_cst)) {
+      runq_.push_back(f);
+      any = true;
+    }
+  }
+  if (any) cv_.notify_all();
+}
+
+}  // namespace o2k::exec

@@ -1,0 +1,121 @@
+// o2k::exec::FiberEngine — M:N stackful-fiber scheduler.
+//
+// Runs P logical ranks, each on its own guarded fiber stack, over a fixed
+// pool of M host workers (default min(P, hardware_concurrency), override
+// with O2K_EXEC_WORKERS).  The calling thread doubles as worker 0, so at
+// M=1 a run spawns no threads at all.
+//
+// The engine exposes the same eventcount shape as rt::Machine's per-PE
+// wait slots, but parking suspends the *fiber* (a user-space context
+// switch back to its worker) and waking enqueues the fiber on the runnable
+// queue — no condvar signalling, no kernel involvement on the park/wake
+// hot path.  The lost-wakeup window is closed the same way as in the
+// threads backend, by an epoch re-check after the suspend is published:
+//
+//   parker (fiber):        waker (any fiber/thread):
+//     e = epoch              epoch.fetch_add(1)     [seq_cst]
+//     test predicate         if status == kParked
+//     park(e): switch out      and CAS(kParked -> kActive): enqueue
+//   parker's worker, after the switch:
+//     status.store(kParked)  [seq_cst]
+//     if epoch != e and CAS(kParked -> kActive): resume in place
+//
+// seq_cst totally orders the epoch bump against the kParked store, so a
+// wake concurrent with a park either sees kParked and enqueues, or bumped
+// the epoch early enough that the worker's re-check sees it.  The CAS
+// claim makes the resume exactly-once under concurrent wakers.
+//
+// None of this carries timing information: a wake only means "re-evaluate
+// your predicate".  Virtual time is computed from the cost model alone, so
+// host scheduling (threads or fibers, any M) cannot change simulated
+// results — the golden fixture in tests/test_rt enforces this.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "exec/context.hpp"
+
+namespace o2k::exec {
+
+class FiberEngine {
+ public:
+  /// `stack_bytes == 0` means: honour O2K_EXEC_STACK_KB, else 1 MiB.
+  explicit FiberEngine(std::size_t stack_bytes = 0);
+  ~FiberEngine();
+  FiberEngine(const FiberEngine&) = delete;
+  FiberEngine& operator=(const FiberEngine&) = delete;
+
+  /// Run body(rank) for every rank in [0, nprocs), each on its own fiber,
+  /// and return when all have finished.  The engine is reusable: stacks
+  /// are pooled across runs.  Requires fibers_supported().
+  void run(int nprocs, const std::function<void(int)>& body);
+
+  /// Current wait epoch of `rank` (the eventcount generation).
+  [[nodiscard]] std::uint64_t wait_epoch(int rank) const {
+    return fibers_[static_cast<std::size_t>(rank)]->epoch.load(std::memory_order_seq_cst);
+  }
+
+  /// Suspend the calling fiber (must be `rank`'s own fiber) until a wake
+  /// arrives after the epoch read that returned `observed_epoch`.  Spurious
+  /// resumes are allowed; the caller re-tests its predicate in a loop.
+  void park(int rank, std::uint64_t observed_epoch);
+
+  /// Wake `rank`: bump its epoch and, if its fiber is parked, move it to
+  /// the runnable queue.  Callable from any fiber or host thread.
+  void wake(int rank);
+
+  /// Wake every rank of the current run.
+  void wake_all();
+
+  /// Number of host workers the last/current run uses.
+  [[nodiscard]] int workers() const { return workers_used_; }
+
+ private:
+  struct Fiber {
+    enum Status : int { kActive = 0, kParked = 1 };
+    enum Reason : int { kPark = 0, kDone = 1 };
+
+    RawContext ctx;             ///< fiber state while suspended
+    RawContext* home = nullptr; ///< worker context to switch back to
+    std::unique_ptr<FiberStack> stack;
+    FiberEngine* eng = nullptr;
+    int rank = -1;
+    int reason = kPark;         ///< why the last switch-out happened
+    std::uint64_t park_epoch = 0;
+    std::atomic<std::uint64_t> epoch{0};
+    std::atomic<int> status{kActive};
+  };
+
+  struct Worker {
+    RawContext ctx;
+  };
+
+  static void fiber_main(void* arg);  // ContextEntry
+  void worker_loop(Worker& w);
+  void enqueue(Fiber* f);
+  void requeue_parked_locked();
+  void ensure_capacity(int nprocs);
+
+  std::size_t stack_bytes_;
+  std::vector<std::unique_ptr<Fiber>> fibers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Fiber*> runq_;
+  int live_ = 0;  ///< fibers participating in the current run
+  int done_ = 0;
+  int workers_used_ = 0;
+  const std::function<void(int)>* body_ = nullptr;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace o2k::exec

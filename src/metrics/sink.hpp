@@ -20,7 +20,7 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <string>
+#include <string_view>
 
 namespace o2k::metrics {
 
@@ -28,13 +28,16 @@ class Sink {
  public:
   virtual ~Sink() = default;
 
-  /// Entry into / exit from a named phase bracket (Pe::PhaseScope).
-  virtual void on_phase_begin(int pe, const std::string& name, double t_ns) = 0;
-  virtual void on_phase_end(int pe, const std::string& name, double t_ns) = 0;
+  /// Entry into / exit from a named phase bracket (Pe::PhaseScope).  Names
+  /// arrive as views of interned registry strings, so the runtime never
+  /// allocates on a phase transition; implementations that keep the name
+  /// past the call must copy it.
+  virtual void on_phase_begin(int pe, std::string_view name, double t_ns) = 0;
+  virtual void on_phase_end(int pe, std::string_view name, double t_ns) = 0;
 
   /// A counter increment (Pe::add_counter); `delta` is the increment, not
   /// the running total.
-  virtual void on_counter(int pe, const std::string& name, std::uint64_t delta,
+  virtual void on_counter(int pe, std::string_view name, std::uint64_t delta,
                           double t_ns) = 0;
 
   /// A data transfer `src -> dst` observed by `pe` (always one of the two).

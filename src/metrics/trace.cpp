@@ -43,23 +43,27 @@ void TraceCollector::push(PeCell& c, Event e) {
   c.head = (c.head + 1) % opt_.ring_capacity;
 }
 
-std::uint32_t TraceCollector::intern(PeCell& c, const std::string& name) {
-  auto [it, inserted] = c.intern.try_emplace(name, static_cast<std::uint32_t>(c.names.size()));
-  if (inserted) c.names.push_back(name);
-  return it->second;
+std::uint32_t TraceCollector::intern(PeCell& c, std::string_view name) {
+  // Heterogeneous find first: the steady-state path (name already interned)
+  // must not construct a std::string.
+  if (auto it = c.intern.find(name); it != c.intern.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(c.names.size());
+  c.intern.emplace(std::string(name), id);
+  c.names.emplace_back(name);
+  return id;
 }
 
-void TraceCollector::on_phase_begin(int pe, const std::string& name, double t_ns) {
+void TraceCollector::on_phase_begin(int pe, std::string_view name, double t_ns) {
   auto& c = cell(pe);
   push(c, Event{EventKind::kPhaseBegin, intern(c, name), -1, t_ns, 0.0, 0});
 }
 
-void TraceCollector::on_phase_end(int pe, const std::string& name, double t_ns) {
+void TraceCollector::on_phase_end(int pe, std::string_view name, double t_ns) {
   auto& c = cell(pe);
   push(c, Event{EventKind::kPhaseEnd, intern(c, name), -1, t_ns, 0.0, 0});
 }
 
-void TraceCollector::on_counter(int pe, const std::string& name, std::uint64_t delta,
+void TraceCollector::on_counter(int pe, std::string_view name, std::uint64_t delta,
                                 double t_ns) {
   auto& c = cell(pe);
   push(c, Event{EventKind::kCounter, intern(c, name), -1, t_ns, 0.0, delta});

@@ -63,9 +63,9 @@ class TraceCollector final : public Sink {
   [[nodiscard]] const TraceOptions& options() const { return opt_; }
 
   // ---- Sink (record path; PE-thread only) -------------------------------
-  void on_phase_begin(int pe, const std::string& name, double t_ns) override;
-  void on_phase_end(int pe, const std::string& name, double t_ns) override;
-  void on_counter(int pe, const std::string& name, std::uint64_t delta, double t_ns) override;
+  void on_phase_begin(int pe, std::string_view name, double t_ns) override;
+  void on_phase_end(int pe, std::string_view name, double t_ns) override;
+  void on_counter(int pe, std::string_view name, std::uint64_t delta, double t_ns) override;
   void on_message(int pe, int src, int dst, std::uint64_t bytes, double t_ns,
                   bool in_matrix) override;
   void on_barrier(int pe, double begin_ns, double end_ns) override;
@@ -91,7 +91,9 @@ class TraceCollector final : public Sink {
     std::size_t head = 0;        ///< next write slot (ring is full iff count == capacity)
     std::size_t count = 0;       ///< live events in the ring
     std::uint64_t offered = 0;   ///< total events pushed (>= count)
-    std::map<std::string, std::uint32_t> intern;
+    // less<> enables heterogeneous string_view lookup: the steady-state
+    // intern hit allocates nothing.
+    std::map<std::string, std::uint32_t, std::less<>> intern;
     std::vector<std::string> names;
     // Canonical transfer accumulation, indexed by the other endpoint.
     std::vector<std::uint64_t> out_bytes, out_msgs;  ///< this PE -> peer
@@ -99,7 +101,7 @@ class TraceCollector final : public Sink {
   };
 
   void push(PeCell& c, Event e);
-  std::uint32_t intern(PeCell& c, const std::string& name);
+  std::uint32_t intern(PeCell& c, std::string_view name);
   [[nodiscard]] PeCell& cell(int pe);
   [[nodiscard]] const PeCell& cell(int pe) const;
 

@@ -9,6 +9,13 @@ namespace o2k::origin {
 
 MachineParams MachineParams::origin2000() { return MachineParams{}; }
 
+MachineParams MachineParams::origin2000_scaled(int max_pes) {
+  O2K_REQUIRE(max_pes >= 1, "machine needs at least one PE");
+  MachineParams p;
+  p.max_pes = max_pes;
+  return p;
+}
+
 KernelCosts KernelCosts::origin2000() { return KernelCosts{}; }
 
 int MachineParams::hops(int pe_a, int pe_b) const {

@@ -65,6 +65,14 @@ struct MachineParams {
   /// The reference machine: a 64-processor Origin2000.
   static MachineParams origin2000();
 
+  /// The reference machine scaled up to host `max_pes` processors — the
+  /// same node, hub, router and memory parameters, just a larger (deeper)
+  /// bristled hypercube.  Hop counts are the Hamming distance of node ids,
+  /// so for any pair of PEs that fits the 64-PE machine the costs are
+  /// identical to `origin2000()`: sweeps beyond the paper's P=64 extend the
+  /// curve without perturbing the points on it.
+  static MachineParams origin2000_scaled(int max_pes);
+
   // ---- derived cost formulas ---------------------------------------------
 
   /// Node index hosting a PE.

@@ -1,6 +1,9 @@
 #include "rt/machine.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
 #include <thread>
 
 #include "common/check.hpp"
@@ -25,6 +28,7 @@ void Pe::barrier(double cost_ns) {
   ++barrier_epochs_;
   const double entry_ns = clock_;
   if (nprocs_ == 1) {
+    machine_->run_barrier_hooks();
     clock_ += cost_ns;
     if (sink_) sink_->on_barrier(rank_, entry_ns, clock_);
     return;
@@ -40,6 +44,9 @@ void Pe::barrier(double cost_ns) {
     b.waiting = 0;
     b.max_clock = 0.0;
     b.max_cost = 0.0;
+    // Every other PE has arrived (its pre-barrier writes are published via
+    // b.mu); commit hooks run here, before any waiter can resume.
+    machine_->run_barrier_hooks();
     // Publishes release_time: waiters acquire-load the bumped generation.
     b.generation.store(my_gen + 1, std::memory_order_release);
     lk.unlock();
@@ -57,6 +64,8 @@ void Pe::barrier(double cost_ns) {
   if (sink_) sink_->on_barrier(rank_, entry_ns, clock_);
 }
 
+void Pe::add_barrier_hook(BarrierHookFn fn, void* ctx) { machine_->add_barrier_hook(fn, ctx); }
+
 void Pe::wake(int rank) { machine_->wake_slot(rank); }
 
 void Pe::wake_all() { machine_->wake_all_slots(); }
@@ -64,6 +73,42 @@ void Pe::wake_all() { machine_->wake_all_slots(); }
 Machine::Machine(origin::MachineParams params) : params_(params) {
   O2K_REQUIRE(params_.max_pes >= 1, "machine needs at least one PE");
   O2K_REQUIRE(params_.pes_per_node >= 1, "node needs at least one PE");
+}
+
+ExecBackend Machine::exec_backend() const {
+  ExecBackend requested;
+  if (backend_override_) {
+    requested = *backend_override_;
+  } else {
+    static const ExecBackend env_backend = [] {
+      const char* s = std::getenv("O2K_EXEC");
+      if (s != nullptr && *s != '\0') {
+        const std::string_view v{s};
+        if (v == "threads") return ExecBackend::kThreads;
+        if (v != "fibers") {
+          std::fprintf(stderr, "o2k: unknown O2K_EXEC=%s (want fibers|threads), using fibers\n",
+                       s);
+        }
+      }
+      return ExecBackend::kFibers;
+    }();
+    requested = env_backend;
+  }
+  if (requested == ExecBackend::kFibers && !exec::fibers_supported())
+    return ExecBackend::kThreads;
+  return requested;
+}
+
+void Machine::add_barrier_hook(BarrierHookFn fn, void* ctx) {
+  std::scoped_lock lk(hooks_mu_);
+  for (const auto& [f, c] : barrier_hooks_)
+    if (f == fn && c == ctx) return;
+  barrier_hooks_.emplace_back(fn, ctx);
+}
+
+void Machine::run_barrier_hooks() {
+  std::scoped_lock lk(hooks_mu_);
+  for (const auto& [fn, ctx] : barrier_hooks_) fn(ctx);
 }
 
 void Machine::record_error(std::exception_ptr e) {
@@ -79,6 +124,10 @@ void Machine::record_error(std::exception_ptr e) {
 }
 
 void Machine::wake_slot(int rank) {
+  if (engine_ != nullptr) {
+    engine_->wake(rank);
+    return;
+  }
   WaitSlot& s = *slots_[static_cast<std::size_t>(rank)];
   s.epoch.fetch_add(1, std::memory_order_seq_cst);
   if (s.parked.load(std::memory_order_seq_cst) != 0) {
@@ -88,6 +137,10 @@ void Machine::wake_slot(int rank) {
 }
 
 void Machine::wake_all_slots() {
+  if (engine_ != nullptr) {
+    engine_->wake_all();
+    return;
+  }
   for (int r = 0; r < run_nprocs_; ++r) wake_slot(r);
 }
 
@@ -102,6 +155,10 @@ RunResult Machine::run(int nprocs, const std::function<void(Pe&)>& body) {
     slots_.push_back(std::make_unique<WaitSlot>());
   aborted_.store(false, std::memory_order_relaxed);
   first_error_ = nullptr;
+  {
+    std::scoped_lock lk(hooks_mu_);
+    barrier_hooks_.clear();
+  }
 
   std::vector<std::unique_ptr<Pe>> pes;
   pes.reserve(static_cast<std::size_t>(nprocs));
@@ -111,12 +168,27 @@ RunResult Machine::run(int nprocs, const std::function<void(Pe&)>& body) {
   }
 
   if (nprocs == 1) {
-    // Fast path: run inline, no thread spawn.
+    // Fast path: run inline, no thread spawn and no fiber switch.
     try {
       body(*pes[0]);
     } catch (...) {
       record_error(std::current_exception());
     }
+  } else if (exec_backend() == ExecBackend::kFibers) {
+    // M:N fibers: P PE fibers over min(P, hardware_concurrency) workers.
+    // The engine (and its mmap'd stacks) is pooled across runs.
+    if (!engine_storage_) engine_storage_ = std::make_unique<exec::FiberEngine>();
+    engine_ = engine_storage_.get();
+    engine_->run(nprocs, [this, &body, &pes](int r) {
+      try {
+        body(*pes[static_cast<std::size_t>(r)]);
+      } catch (const AbortError&) {
+        // Secondary failure caused by another PE's abort; ignore.
+      } catch (...) {
+        record_error(std::current_exception());
+      }
+    });
+    engine_ = nullptr;
   } else {
     std::vector<std::thread> threads;
     threads.reserve(static_cast<std::size_t>(nprocs));

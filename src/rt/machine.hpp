@@ -1,11 +1,15 @@
 // The virtual-time execution substrate.
 //
-// A Machine hosts P simulated processors (PEs).  Each PE runs as an OS
-// thread, but *all timing is virtual*: computation and communication charge
-// simulated nanoseconds to per-PE clocks according to the Origin2000 cost
-// model.  Wall-clock behaviour of the host (which may have a single core)
-// is therefore irrelevant to measured results; speedup curves emerge from
-// the machine model, exactly as DESIGN.md §2 prescribes.
+// A Machine hosts P simulated processors (PEs).  Each PE runs as a stackful
+// fiber multiplexed over a fixed host worker pool (o2k::exec::FiberEngine;
+// `O2K_EXEC=threads` selects the legacy thread-per-PE backend), but *all
+// timing is virtual*: computation and communication charge simulated
+// nanoseconds to per-PE clocks according to the Origin2000 cost model.
+// Wall-clock behaviour of the host (which may have a single core) is
+// therefore irrelevant to measured results; speedup curves emerge from the
+// machine model, exactly as DESIGN.md §2 prescribes — and the two execution
+// backends produce bit-identical virtual times, because wakeups carry no
+// timing information (DESIGN.md §2.2).
 //
 // Synchronisation primitives keep virtual clocks causally consistent:
 //   * barrier(cost): every PE's clock becomes max(all clocks) + cost;
@@ -35,10 +39,12 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "exec/engine.hpp"
 #include "metrics/sink.hpp"
 #include "origin/params.hpp"
 #include "rt/phase.hpp"
@@ -47,10 +53,20 @@ namespace o2k::rt {
 
 class Machine;
 
+/// How Machine::run schedules PEs on the host.  Virtual-time results are
+/// identical either way; only host wall time differs.
+enum class ExecBackend {
+  kFibers,   ///< M:N stackful fibers on a fixed worker pool (default)
+  kThreads,  ///< one OS thread per PE (debugging, TSan)
+};
+
 /// Thrown inside PEs whose run was aborted by another PE's exception.
 struct AbortError : std::runtime_error {
   AbortError() : std::runtime_error("o2k::rt run aborted by another PE") {}
 };
+
+/// A barrier-commit callback (see Machine::add_barrier_hook).
+using BarrierHookFn = void (*)(void*);
 
 /// Execution context of one simulated processor.  Created by Machine::run;
 /// never construct directly.  Not copyable; lives for the duration of one run.
@@ -173,6 +189,10 @@ class Pe {
   [[nodiscard]] bool aborted() const;
   void throw_if_aborted() const;
 
+  /// Forwarded to Machine::add_barrier_hook (model runtimes register their
+  /// epoch-commit callbacks through their Pe handle).
+  void add_barrier_hook(BarrierHookFn fn, void* ctx);
+
  private:
   friend class Machine;
   Pe(int rank, int nprocs, const origin::MachineParams* params, Machine* m)
@@ -210,6 +230,21 @@ class Machine {
   void set_sink(metrics::Sink* sink) { sink_ = sink; }
   [[nodiscard]] metrics::Sink* sink() const { return sink_; }
 
+  /// Force an execution backend for subsequent runs (tests, benches), or
+  /// std::nullopt to return to the O2K_EXEC environment default.  A fibers
+  /// request silently degrades to threads in builds where fibers are
+  /// unsupported (TSan, exotic architectures).
+  void set_exec_backend(std::optional<ExecBackend> b) { backend_override_ = b; }
+  /// The backend the next run() will use, after env/support resolution.
+  [[nodiscard]] ExecBackend exec_backend() const;
+
+  /// Register `fn(ctx)` to run exactly once per barrier round, on the PE
+  /// that releases the barrier, *before* any waiter resumes (model runtimes
+  /// use this to commit epoch-local state deterministically — see
+  /// sas::World).  Hooks are cleared at the start of every run; duplicate
+  /// (fn, ctx) registrations collapse to one.  Thread-safe.
+  void add_barrier_hook(BarrierHookFn fn, void* ctx);
+
  private:
   friend class Pe;
 
@@ -243,6 +278,7 @@ class Machine {
 
   origin::MachineParams params_;
   metrics::Sink* sink_ = nullptr;
+  std::optional<ExecBackend> backend_override_;
 
   // Per-run state (valid while run() is active).  Slots grow monotonically
   // and are never destroyed mid-run, so a PE may park on its slot at any
@@ -254,6 +290,17 @@ class Machine {
   std::mutex error_mu_;
   std::exception_ptr first_error_;
 
+  // Fiber backend: the engine is pooled across runs (stacks are mmap'd
+  // once); `engine_` is non-null exactly while a fiber-backed multi-PE run
+  // is active, and routes park_until/wake through the fiber scheduler
+  // instead of the condvar wait slots.
+  std::unique_ptr<exec::FiberEngine> engine_storage_;
+  exec::FiberEngine* engine_ = nullptr;
+
+  std::mutex hooks_mu_;
+  std::vector<std::pair<BarrierHookFn, void*>> barrier_hooks_;
+  void run_barrier_hooks();
+
   void record_error(std::exception_ptr e);
   void wake_slot(int rank);
   void wake_all_slots();
@@ -261,6 +308,17 @@ class Machine {
 
 template <class Pred>
 void Pe::park_until(Pred&& pred) {
+  // Fiber backend: parking is a user-space context switch back to the
+  // worker; a wake re-enqueues this PE's fiber.  Same eventcount protocol
+  // as the slot path below, no syscalls on the park/wake hot path.
+  if (exec::FiberEngine* eng = machine_->engine_) {
+    for (;;) {
+      const std::uint64_t e = eng->wait_epoch(rank_);
+      if (pred()) return;
+      throw_if_aborted();
+      eng->park(rank_, e);
+    }
+  }
   Machine::WaitSlot& slot = *machine_->slots_[static_cast<std::size_t>(rank_)];
   for (;;) {
     const std::uint64_t e = slot.epoch.load(std::memory_order_seq_cst);

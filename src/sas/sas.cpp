@@ -35,14 +35,19 @@ World::World(const origin::MachineParams& params, int nprocs, std::size_t arena_
   page_home_.reset(new std::atomic<int>[num_pages_]);
   for (std::size_t p = 0; p < num_pages_; ++p) page_home_[p].store(-1, std::memory_order_relaxed);
 
+  page_claim_.reset(new std::atomic<int>[num_pages_]);
+  for (std::size_t p = 0; p < num_pages_; ++p) page_claim_[p].store(-1, std::memory_order_relaxed);
+
   num_lines_ = (arena_bytes + static_cast<std::size_t>(params.cache_line_bytes) - 1) /
                static_cast<std::size_t>(params.cache_line_bytes);
-  line_version_.reset(new std::atomic<std::uint32_t>[num_lines_]);
-  line_writer_.reset(new std::atomic<int>[num_lines_]);
+  line_commit_ver_.reset(new std::uint32_t[num_lines_]());
+  line_commit_writer_.reset(new int[num_lines_]);
+  line_epoch_writer_.reset(new std::atomic<int>[num_lines_]);
   for (std::size_t l = 0; l < num_lines_; ++l) {
-    line_version_[l].store(0, std::memory_order_relaxed);
-    line_writer_[l].store(-1, std::memory_order_relaxed);
+    line_commit_writer_[l] = -1;
+    line_epoch_writer_[l].store(-1, std::memory_order_relaxed);
   }
+  epoch_log_.resize(static_cast<std::size_t>(nprocs));
 
   red_.resize(static_cast<std::size_t>(nprocs));
   pe_clock_.reset(new std::atomic<double>[static_cast<std::size_t>(nprocs)]);
@@ -90,8 +95,38 @@ void World::reset_homes_bytes(std::size_t offset, std::size_t bytes) {
   const std::size_t last = (offset + bytes + page - 1) / page;
   for (std::size_t p = first; p < last && p < num_pages_; ++p) {
     page_home_[p].store(-1, std::memory_order_relaxed);
+    page_claim_[p].store(-1, std::memory_order_relaxed);
   }
 }
+
+void World::commit_epoch() {
+  // Runs on the barrier-releasing PE while every other PE is parked inside
+  // the barrier (their epoch writes happened-before via the barrier mutex;
+  // post-barrier reads happen-after via the generation release/acquire), so
+  // plain accesses to the committed arrays are race-free.  Each dirty line
+  // and claimed page appears in exactly one PE's log; iteration order does
+  // not matter because the committed value of each entry is already fixed.
+  for (auto& log : epoch_log_) {
+    for (const std::size_t line : log.lines) {
+      const int w = line_epoch_writer_[line].load(std::memory_order_relaxed);
+      // Sole writer: +1, its predicted cached version survives.  Multiple
+      // writers: +2, every cached copy (including theirs) goes stale.
+      line_commit_ver_[line] += w == -2 ? 2U : 1U;
+      line_commit_writer_[line] = w;
+      line_epoch_writer_[line].store(-1, std::memory_order_relaxed);
+    }
+    log.lines.clear();
+    for (const std::size_t page : log.pages) {
+      // Minimum claiming rank won; claim order never influenced a charge.
+      page_home_[page].store(page_claim_[page].load(std::memory_order_relaxed),
+                             std::memory_order_relaxed);
+      page_claim_[page].store(-1, std::memory_order_relaxed);
+    }
+    log.pages.clear();
+  }
+}
+
+void World::commit_epoch_hook(void* world) { static_cast<World*>(world)->commit_epoch(); }
 
 Team::Team(World& world, rt::Pe& pe) : world_(world), pe_(pe) {
   O2K_REQUIRE(world.size() == pe.size(),
@@ -119,6 +154,10 @@ Team::Team(World& world, rt::Pe& pe) : world_(world), pe_(pe) {
         local ? 0.0 : world.params().remote_read_premium_ns(rank(), p);
   }
   trace_lines_by_home_.assign(static_cast<std::size_t>(size()), 0);
+  wrote_line_.reset(
+      static_cast<std::uint32_t*>(std::calloc(world.num_lines_, sizeof(std::uint32_t))));
+  O2K_REQUIRE(wrote_line_ != nullptr, "sas: wrote-line table allocation failed");
+  pe.add_barrier_hook(&World::commit_epoch_hook, &world);
   world_.pe_state_[static_cast<std::size_t>(rank())].store(0, std::memory_order_relaxed);
   mirror_clock();
 }
@@ -170,14 +209,23 @@ void Team::wake_next_waiter() {
 }
 
 int Team::page_home_for(std::size_t page) {
-  auto& cell = world_.page_home_[page];
-  int home = cell.load(std::memory_order_relaxed);
+  const int home = world_.page_home_[page].load(std::memory_order_relaxed);
   if (home >= 0) return home;
-  int expected = -1;
-  if (cell.compare_exchange_strong(expected, rank(), std::memory_order_relaxed)) {
-    return rank();  // we first-touched the page
+  // Unhomed page: record a first-touch claim for this epoch.  The minimum
+  // claiming rank wins at the barrier commit; until then every claimant
+  // treats the page as its own (local, no premium), so no charge of the
+  // claiming epoch depends on which claim landed first on the host.
+  auto& claim = world_.page_claim_[page];
+  int cur = claim.load(std::memory_order_relaxed);
+  while (cur == -1 || cur > rank()) {
+    if (claim.compare_exchange_weak(cur, rank(), std::memory_order_relaxed)) {
+      // The -1 -> r winner (exactly one PE) logs the page for commit.
+      if (cur == -1)
+        world_.epoch_log_[static_cast<std::size_t>(rank())].pages.push_back(page);
+      break;
+    }
   }
-  return expected;
+  return rank();
 }
 
 void Team::emit_remote_traces() {
@@ -218,13 +266,24 @@ void Team::touch_read_ann(std::size_t off, std::size_t bytes, std::size_t elem,
   // triggered by exactly the same accesses as the per-line implementation.
   // Premiums still accumulate line by line in walk order, so the resulting
   // double is bit-identical (FP addition is order-sensitive).
+  //
+  // Every input of the hit test is epoch-stable: committed versions only
+  // change at barriers, and the wrote-line stamp is this PE's own — so the
+  // walk reads no concurrently-mutated state and its outcome cannot depend
+  // on host scheduling.
   std::size_t cur_page = static_cast<std::size_t>(-1);
   int cur_home = 0;
-  const std::atomic<std::uint32_t>* versions = world_.line_version_.get();
+  const std::uint32_t* cver = world_.line_commit_ver_.get();
+  const std::uint32_t* wrote = wrote_line_.get();
+  const auto gen_tag = static_cast<std::uint32_t>(pe_.barrier_epochs() + 1);
   for (std::size_t line = first; line <= last; ++line) {
     const std::size_t set = sets_mask_ != 0 ? (line & sets_mask_) : (line % num_sets_);
-    const std::uint32_t ver = versions[line].load(std::memory_order_relaxed);
-    if (tag_[set] == line + 1 && cached_version_[set] == ver) continue;  // hit
+    const std::uint32_t ver = cver[line];
+    // My own dirty copy of this epoch is valid even though the committed
+    // version has not moved yet (release consistency: my writes become
+    // visible to *others* at the barrier, but stay in *my* cache now).
+    const bool mine = wrote[line] == gen_tag;
+    if (tag_[set] == line + 1 && (cached_version_[set] == ver || mine)) continue;  // hit
     ++misses;
     const std::size_t page =
         geom_shifts_ ? line >> page_line_shift_ : line * line_bytes_ / page_bytes_;
@@ -238,7 +297,11 @@ void Team::touch_read_ann(std::size_t off, std::size_t bytes, std::size_t elem,
       if (tracing) note_remote_line(cur_home);
     }
     tag_[set] = line + 1;
-    cached_version_[set] = ver;
+    // Refill one version ahead for a line this PE dirtied: that is the
+    // version commit installs if it stays the sole writer, so its reloaded
+    // copy survives the barrier (matching the eager model at P=1); with
+    // multiple writers commit adds 2 and the copy goes stale either way.
+    cached_version_[set] = mine ? ver + 1 : ver;
   }
   if (premium > 0.0) pe_.advance(premium);
   pe_.add_counter(c_read_misses_, misses);
@@ -268,19 +331,25 @@ void Team::touch_write_ann(std::size_t off, std::size_t bytes, std::size_t elem,
   std::uint64_t remote = 0;
   std::uint64_t transfers = 0;
   const bool tracing = pe_.tracing();
-  // Batched walk: see touch_read for the hoisting and bit-identity notes.
-  // The per-line version bump and writer publication are kept unconditional
-  // and in walk order — other Teams' hit checks observe the same history.
+  // Batched walk: see touch_read for the hoisting, bit-identity and
+  // epoch-stability notes.  Every charge below is a function of committed
+  // (barrier-separated) state plus this PE's own history; the epoch-writer
+  // cell is written but never read into a charge, and its final per-epoch
+  // value (sole writer r, or -2 for several) is order-independent.
   std::size_t cur_page = static_cast<std::size_t>(-1);
   int cur_home = 0;
   const int me = rank();
-  std::atomic<std::uint32_t>* versions = world_.line_version_.get();
-  std::atomic<int>* writers = world_.line_writer_.get();
+  const std::uint32_t* cver = world_.line_commit_ver_.get();
+  const int* cwriter = world_.line_commit_writer_.get();
+  std::atomic<int>* ew_arr = world_.line_epoch_writer_.get();
+  std::uint32_t* wrote = wrote_line_.get();
+  const auto gen_tag = static_cast<std::uint32_t>(pe_.barrier_epochs() + 1);
+  auto& my_lines = world_.epoch_log_[static_cast<std::size_t>(me)].lines;
   for (std::size_t line = first; line <= last; ++line) {
     const std::size_t set = sets_mask_ != 0 ? (line & sets_mask_) : (line % num_sets_);
-    const std::uint32_t ver = versions[line].load(std::memory_order_relaxed);
-    const bool hit = tag_[set] == line + 1 && cached_version_[set] == ver;
-    const int writer = writers[line].load(std::memory_order_relaxed);
+    const std::uint32_t ver = cver[line];
+    const bool mine = wrote[line] == gen_tag;
+    const bool hit = tag_[set] == line + 1 && (cached_version_[set] == ver || mine);
     if (!hit) {
       ++misses;
       const std::size_t page =
@@ -295,15 +364,26 @@ void Team::touch_write_ann(std::size_t off, std::size_t bytes, std::size_t elem,
         if (tracing) note_remote_line(cur_home);
       }
     }
-    if (writer != me && writer != -1) {
-      // Line was last written elsewhere: ownership transfer / invalidation.
-      premium += ownership_extra_ns_;
-      ++transfers;
+    if (!mine) {
+      // First write to this line in this epoch by this PE.
+      const int cw = cwriter[line];
+      if (cw != me && cw != -1) {
+        // Committed last writer is elsewhere (-2 = shared-dirty): ownership
+        // transfer / invalidation premium, charged once per epoch.
+        premium += ownership_extra_ns_;
+        ++transfers;
+      }
+      wrote[line] = gen_tag;
+      int ew = ew_arr[line].load(std::memory_order_relaxed);
+      if (ew == -1 &&
+          ew_arr[line].compare_exchange_strong(ew, me, std::memory_order_relaxed)) {
+        my_lines.push_back(line);  // the -1 -> me claimant owns the commit entry
+      } else if (ew != -2 && ew != me) {
+        ew_arr[line].store(-2, std::memory_order_relaxed);
+      }
     }
-    const std::uint32_t nv = versions[line].fetch_add(1, std::memory_order_relaxed) + 1;
-    writers[line].store(me, std::memory_order_relaxed);
     tag_[set] = line + 1;
-    cached_version_[set] = nv;
+    cached_version_[set] = ver + 1;  // valid after commit iff we stay sole writer
   }
   if (premium > 0.0) pe_.advance(premium);
   pe_.add_counter(c_write_misses_, misses);

@@ -9,11 +9,27 @@
 //   * a per-PE direct-mapped L2 tag/version cache (4 MB, 128 B lines);
 //   * page-granularity homes (first-touch, round-robin or block placement)
 //     — a miss on a remotely-homed page pays the NUMA round trip;
-//   * an invalidation-based coherence approximation: every line has a
-//     global version; a cached copy whose version is stale counts as a
-//     miss (another PE wrote it), and writing a line last written by a
+//   * an invalidation-based coherence approximation with *delayed commit*:
+//     every line has a committed version and committed last-writer, both
+//     updated only at barriers.  Within an epoch (the code between two
+//     barriers) writers record themselves in an order-independent per-line
+//     epoch-writer cell (sole writer r, or "multiple"); the barrier commit
+//     — run by the releasing PE before any waiter resumes — bumps the
+//     committed version (+1 sole, +2 multiple, so a sole writer's cached
+//     copy survives the epoch and everyone else's goes stale) and installs
+//     the committed writer.  A cached copy whose committed version is stale
+//     counts as a miss, and writing a line whose committed writer is a
 //     different PE pays an ownership-transfer premium.  False sharing
-//     therefore emerges naturally.
+//     therefore emerges naturally, and — unlike an eagerly-published
+//     version counter — every charge is a function of barrier-separated
+//     state, so CC-SAS virtual times are bit-identical across runs and
+//     execution backends regardless of host scheduling.  First-touch page
+//     homes commit the same way (minimum claiming rank wins; claimants
+//     treat the page as local during the claiming epoch).  The one
+//     remaining host-order-dependent primitive is Team::lock, whose
+//     virtual-time serialisation follows host lock order (none of the
+//     shipped SAS apps use it between barriers with timing-visible
+//     effects; see DESIGN.md §4).
 //
 // Only the *premium* over a local miss is charged: the average local memory
 // behaviour is already folded into the kernel work constants, so MP, SHMEM
@@ -107,7 +123,7 @@ class World {
   std::size_t allocate(std::size_t bytes, Placement placement, const char* name = nullptr);
 
   struct FreeDeleter {
-    void operator()(std::byte* p) const noexcept { std::free(p); }
+    void operator()(void* p) const noexcept { std::free(p); }
   };
   const origin::MachineParams& params_;
   int nprocs_;
@@ -116,15 +132,37 @@ class World {
   std::size_t bump_ = 0;
   std::unique_ptr<std::byte[], FreeDeleter> arena_;
 
-  // Page table: home PE per page (-1 = untouched).
+  // Page table: committed home PE per page (-1 = untouched).  Mutated only
+  // in serial context (allocate, reset_homes) or at barrier commit;
+  // `page_claim_` collects first-touch claims within an epoch (minimum
+  // rank wins deterministically at commit).
   std::unique_ptr<std::atomic<int>[]> page_home_;
+  std::unique_ptr<std::atomic<int>[]> page_claim_;
   std::size_t num_pages_ = 0;
   int rr_next_ = 0;  ///< round-robin placement cursor
 
-  // Per-line coherence metadata.
-  std::unique_ptr<std::atomic<std::uint32_t>[]> line_version_;
-  std::unique_ptr<std::atomic<int>[]> line_writer_;
+  // Per-line coherence metadata (delayed commit — see header comment).
+  // The committed arrays are plain: they are read freely during an epoch
+  // and mutated only inside the barrier (happens-before via the barrier).
+  // `line_epoch_writer_` is the only concurrently-mutated cell: -1 none,
+  // rank r sole writer, -2 multiple writers; its final per-epoch value is
+  // order-independent.
+  std::unique_ptr<std::uint32_t[]> line_commit_ver_;
+  std::unique_ptr<int[]> line_commit_writer_;
+  std::unique_ptr<std::atomic<int>[]> line_epoch_writer_;
   std::size_t num_lines_ = 0;
+
+  // Per-PE epoch logs: which lines/pages this PE must commit at the next
+  // barrier.  Exactly one PE logs each dirty line (the -1 -> r claimant)
+  // and each claimed page (the -1 -> r CAS winner), so commit visits each
+  // exactly once.
+  struct alignas(128) EpochLog {
+    std::vector<std::size_t> lines;
+    std::vector<std::size_t> pages;
+  };
+  std::vector<EpochLog> epoch_log_;
+  void commit_epoch();
+  static void commit_epoch_hook(void* world);
 
   // Locks: virtual-time serialisation state per lock id.
   struct LockCell {
@@ -298,10 +336,18 @@ class Team {
   World& world_;
   rt::Pe& pe_;
 
-  // Direct-mapped cache: tag + cached version per set.
+  // Direct-mapped cache: tag + cached (committed) version per set.
   std::vector<std::uint64_t> tag_;
   std::vector<std::uint32_t> cached_version_;
   std::size_t num_sets_;
+
+  // Lines this PE wrote in the current epoch, stamped with the PE's
+  // barrier count + 1 so a barrier invalidates all stamps at once.
+  // calloc-backed: pages commit lazily, so footprint tracks the lines this
+  // PE actually writes, not the arena size.  Drives the "my dirty copy is
+  // still valid" hit rule and the once-per-epoch writer claim — both
+  // functions of this PE's own program only, never of host interleaving.
+  std::unique_ptr<std::uint32_t[], World::FreeDeleter> wrote_line_;
 
   // Cached geometry and per-home cost tables (resolved once per Team so the
   // touch walk does no params indirection, division by non-constants, or

@@ -318,59 +318,143 @@ INSTANTIATE_TEST_SUITE_P(ProcCounts, MpCollectives, ::testing::Values(1, 2, 3, 4
 // schedule leaking into virtual time.
 class MpWakeupStress : public ::testing::TestWithParam<int> {};
 
-TEST_P(MpWakeupStress, ShuffledManyTagManyRank) {
-  const int p = GetParam();
+/// The shuffled send/recv stress body shared by the wakeup-stress suites.
+std::function<void(rt::Pe&)> shuffled_stress_body(World& w, int p) {
   constexpr int kTags = 12;
   const auto payload = [](int src, int dst, int tag) {
     return (src * 1000 + dst) * 100 + tag;
   };
+  return [&w, p, payload](rt::Pe& pe) {
+    Comm comm(w, pe);
+    const int me = pe.rank();
+    std::mt19937 rng(0xC0FFEEu + static_cast<unsigned>(me));
+    std::uniform_real_distribution<double> work(10.0, 2000.0);
 
-  auto body = [&](World& w) {
-    return [&w, p, payload](rt::Pe& pe) {
-      Comm comm(w, pe);
-      const int me = pe.rank();
-      std::mt19937 rng(0xC0FFEEu + static_cast<unsigned>(me));
-      std::uniform_real_distribution<double> work(10.0, 2000.0);
+    std::vector<std::pair<int, int>> sends;  // (dst, tag)
+    std::vector<std::pair<int, int>> recvs;  // (src, tag)
+    for (int other = 0; other < p; ++other) {
+      if (other == me) continue;
+      for (int tag = 0; tag < kTags; ++tag) {
+        sends.emplace_back(other, tag);
+        recvs.emplace_back(other, tag);
+      }
+    }
+    std::shuffle(sends.begin(), sends.end(), rng);
+    std::shuffle(recvs.begin(), recvs.end(), rng);
 
-      std::vector<std::pair<int, int>> sends;  // (dst, tag)
-      std::vector<std::pair<int, int>> recvs;  // (src, tag)
-      for (int other = 0; other < p; ++other) {
-        if (other == me) continue;
-        for (int tag = 0; tag < kTags; ++tag) {
-          sends.emplace_back(other, tag);
-          recvs.emplace_back(other, tag);
-        }
-      }
-      std::shuffle(sends.begin(), sends.end(), rng);
-      std::shuffle(recvs.begin(), recvs.end(), rng);
-
-      // All sends before any receive (the deadlock-free ordering: eager
-      // sends never block, so no cyclic wait can form), but shuffled and
-      // separated by random virtual work.  Ranks drift apart, so fast ranks
-      // reach receives whose matching sends a slow rank has not issued yet
-      // and park — which is the window under test.
-      for (const auto& [dst, tag] : sends) {
-        pe.advance(work(rng));
-        comm.send_value<int>(payload(me, dst, tag), dst, tag);
-      }
-      for (const auto& [src, tag] : recvs) {
-        pe.advance(work(rng));
-        EXPECT_EQ(comm.recv_value<int>(src, tag), payload(src, me, tag));
-      }
-      comm.barrier();
-    };
+    for (const auto& [dst, tag] : sends) {
+      pe.advance(work(rng));
+      comm.send_value<int>(payload(me, dst, tag), dst, tag);
+    }
+    for (const auto& [src, tag] : recvs) {
+      pe.advance(work(rng));
+      EXPECT_EQ(comm.recv_value<int>(src, tag), payload(src, me, tag));
+    }
+    comm.barrier();
   };
+}
 
+// All sends happen before any receive (the deadlock-free ordering: eager
+// sends never block, so no cyclic wait can form), but shuffled and
+// separated by random virtual work.  Ranks drift apart, so fast ranks
+// reach receives whose matching sends a slow rank has not issued yet and
+// park — which is the window under test.
+TEST_P(MpWakeupStress, ShuffledManyTagManyRank) {
+  const int p = GetParam();
   rt::Machine m;
   World w1(m.params(), p), w2(m.params(), p);
-  const auto r1 = m.run(p, body(w1));
-  const auto r2 = m.run(p, body(w2));
+  const auto r1 = m.run(p, shuffled_stress_body(w1, p));
+  const auto r2 = m.run(p, shuffled_stress_body(w2, p));
   // Virtual time must be a pure function of the program, not of which host
   // thread won which wakeup race.
   EXPECT_EQ(r1.pe_ns, r2.pe_ns);
 }
 
+// Backend equivalence under wakeup races: the fiber engine and thread-per-PE
+// must produce identical virtual clocks for the same stress program, and the
+// fiber engine must be reproducible against itself.
+TEST_P(MpWakeupStress, FibersMatchThreadsAndRepeatedRuns) {
+  const int p = GetParam();
+  rt::Machine m;
+  World wf1(m.params(), p), wf2(m.params(), p), wt(m.params(), p);
+  m.set_exec_backend(rt::ExecBackend::kFibers);
+  const auto f1 = m.run(p, shuffled_stress_body(wf1, p));
+  const auto f2 = m.run(p, shuffled_stress_body(wf2, p));
+  m.set_exec_backend(rt::ExecBackend::kThreads);
+  const auto t = m.run(p, shuffled_stress_body(wt, p));
+  m.set_exec_backend(std::nullopt);
+  EXPECT_EQ(f1.pe_ns, f2.pe_ns);
+  EXPECT_EQ(f1.pe_ns, t.pe_ns);
+}
+
+// Wake-during-reschedule: zero-work ping-pong makes every recv park and
+// every send wake a fiber that is right now being switched away from, so
+// the engine's missed-wake window (between a fiber's park decision and the
+// worker publishing its parked status) is hit continuously.  Forcing
+// several workers makes host threads race those wakes even on small hosts.
+TEST_P(MpWakeupStress, FibersWakeDuringReschedule) {
+  const int p = GetParam();
+  if (p % 2 != 0) GTEST_SKIP() << "ping-pong needs paired ranks";
+  constexpr int kRounds = 200;
+  auto body = [p](World& w) {
+    return [&w, p](rt::Pe& pe) {
+      Comm comm(w, pe);
+      const int me = pe.rank();
+      const int buddy = me ^ 1;
+      for (int i = 0; i < kRounds; ++i) {
+        if ((me & 1) == 0) {
+          comm.send_value<int>(i, buddy, /*tag=*/7);
+          ASSERT_EQ(comm.recv_value<int>(buddy, 7), i + 1);
+        } else {
+          ASSERT_EQ(comm.recv_value<int>(buddy, 7), i);
+          comm.send_value<int>(i + 1, buddy, /*tag=*/7);
+        }
+      }
+      comm.barrier();
+    };
+  };
+  ASSERT_EQ(setenv("O2K_EXEC_WORKERS", "4", /*overwrite=*/1), 0);
+  rt::Machine m;
+  m.set_exec_backend(rt::ExecBackend::kFibers);
+  World w1(m.params(), p), w2(m.params(), p);
+  const auto r1 = m.run(p, body(w1));
+  const auto r2 = m.run(p, body(w2));
+  unsetenv("O2K_EXEC_WORKERS");
+  EXPECT_EQ(r1.pe_ns, r2.pe_ns);
+}
+
 INSTANTIATE_TEST_SUITE_P(ProcCounts, MpWakeupStress, ::testing::Values(2, 4, 8, 16, 32));
+
+// Abort-unwind across fibers: one PE throws while the other 63 are parked
+// in receives that can never complete.  The abort must wake every parked
+// fiber, unwind each fiber stack (AbortError), propagate the original
+// exception out of run(), and leave the pooled engine reusable.
+TEST(MpFiberAbort, AbortUnwindsAcrossParkedFibers) {
+  constexpr int kP = 64;
+  rt::Machine m;
+  m.set_exec_backend(rt::ExecBackend::kFibers);
+  World w(m.params(), kP);
+  EXPECT_THROW(m.run(kP,
+                     [&w](rt::Pe& pe) {
+                       Comm comm(w, pe);
+                       if (pe.rank() == 17) {
+                         pe.advance(50.0);
+                         throw std::runtime_error("boom on fiber 17");
+                       }
+                       // Tag 99 is never sent: parks until the abort wake.
+                       (void)comm.recv_value<int>(17, /*tag=*/99);
+                     }),
+               std::runtime_error);
+  // The engine (stacks, fibers, queues) must come back clean.
+  World w2(m.params(), kP);
+  const auto rr = m.run(kP, [&w2](rt::Pe& pe) {
+    Comm comm(w2, pe);
+    (void)comm.allreduce_sum(1);
+    comm.barrier();
+  });
+  EXPECT_EQ(rr.nprocs, kP);
+  m.set_exec_backend(std::nullopt);
+}
 
 }  // namespace
 }  // namespace o2k::mp

@@ -194,9 +194,9 @@ class CountingSink final : public metrics::Sink {
  public:
   explicit CountingSink(int nprocs) : per_pe_(static_cast<std::size_t>(nprocs)) {}
 
-  void on_phase_begin(int pe, const std::string&, double) override { ++at(pe).phase_events; }
-  void on_phase_end(int pe, const std::string&, double) override { ++at(pe).phase_events; }
-  void on_counter(int pe, const std::string&, std::uint64_t, double) override {
+  void on_phase_begin(int pe, std::string_view, double) override { ++at(pe).phase_events; }
+  void on_phase_end(int pe, std::string_view, double) override { ++at(pe).phase_events; }
+  void on_counter(int pe, std::string_view, std::uint64_t, double) override {
     ++at(pe).counter_events;
   }
   void on_message(int pe, int, int, std::uint64_t bytes, double, bool in_matrix) override {
@@ -243,19 +243,20 @@ struct Case {
   int p;
 };
 
-// CC-SAS runs with P > 1 are excluded: the SAS cache simulator's shared
-// line_version_/line_writer_ state is mutated concurrently by PE threads
-// between barriers, so miss counts (and hence virtual clocks) depend on
-// host interleaving — they are not run-to-run reproducible even on the
-// unmodified seed substrate.  Bit-identity is only a meaningful invariant
-// where the baseline itself is deterministic; CC-SAS is pinned at P = 1
-// and its P > 1 physics/validation values are covered by the apps tests.
+// mesh/CC-SAS runs with P > 1 are excluded: the remeshing code allocates
+// vertex/tet ids with unordered fetch_adds and claims edge-table slots with
+// CAS, so *which* pages and lines each PE ends up touching depends on host
+// interleaving — an application-level property of the lock-free shared-mesh
+// algorithm, not of the simulator.  The coherence metadata itself commits
+// at barriers (delayed-commit, see src/sas/sas.hpp), which is why
+// nbody/CC-SAS — whose touch pattern is statically partitioned — is
+// bit-reproducible at every P and is covered here.
 inline std::vector<Case> cases() {
   std::vector<Case> out;
   for (const char* app : {"nbody", "mesh"}) {
     for (auto model : {apps::Model::kMp, apps::Model::kShmem, apps::Model::kSas}) {
       for (int p : {1, 5, 8}) {
-        if (model == apps::Model::kSas && p > 1) continue;
+        if (model == apps::Model::kSas && p > 1 && std::string(app) == "mesh") continue;
         out.push_back({app, model, p});
       }
     }
@@ -349,6 +350,40 @@ TEST(SubstrateGolden, AppRunsMatchPreChangeFixtureAndSinkIsNeutral) {
     std::ofstream out(path);
     ASSERT_TRUE(out.good()) << "cannot write " << path;
     out << regenerated.str();
+  }
+}
+
+// P=64 backend determinism: at full machine width, every measured value —
+// clocks, phase aggregates, counters — must be identical across the fiber
+// engine and thread-per-PE, and across repeated fiber runs.  mesh/CC-SAS is
+// exempt by design (see the note above cases()): its lock-free remesher
+// races id allocation, so data placement is interleaving-dependent there.
+TEST(SubstrateGolden, P64BackendDeterminism) {
+  for (const char* app : {"nbody", "mesh"}) {
+    for (auto model : {apps::Model::kMp, apps::Model::kShmem, apps::Model::kSas}) {
+      if (model == apps::Model::kSas && std::string(app) == "mesh") continue;
+      const golden::Case c{app, model, 64};
+      SCOPED_TRACE(golden::case_key(c));
+      auto run_with = [&](std::optional<ExecBackend> b) {
+        Machine machine;
+        machine.set_exec_backend(b);
+        if (std::string(c.app) == "nbody") {
+          apps::NbodyConfig cfg;
+          cfg.n = 2048;
+          cfg.steps = 2;
+          return golden::canonical(apps::run_nbody(c.model, machine, c.p, cfg).run);
+        }
+        apps::MeshConfig cfg;
+        cfg.nx = cfg.ny = cfg.nz = 6;
+        cfg.phases = 2;
+        return golden::canonical(apps::run_mesh(c.model, machine, c.p, cfg).run);
+      };
+      const std::string fibers1 = run_with(ExecBackend::kFibers);
+      const std::string fibers2 = run_with(ExecBackend::kFibers);
+      const std::string threads = run_with(ExecBackend::kThreads);
+      EXPECT_EQ(fibers1, fibers2) << "fiber engine not reproducible";
+      EXPECT_EQ(fibers1, threads) << "backends disagree on virtual time";
+    }
   }
 }
 
