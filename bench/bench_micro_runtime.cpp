@@ -9,17 +9,14 @@
 // (schema o2k.bench_sched.v2).  Every point runs under both execution
 // backends — fibers twice (reproducibility check) and threads once — and
 // emits per-backend wall columns plus their ratio.  The three makespans of
-// a point must agree bit-exactly; a mismatch aborts the run with exit 1
-// unless the row is mesh/CC-SAS at P>1, whose lock-free remesher makes data
-// placement (and so cache charges) legitimately interleaving-dependent —
-// those rows are tagged `makespan_drift` with the measured relative spread.
+// a point must agree bit-exactly; any mismatch aborts the run with exit 1.
 //
 //   ./bench_micro_runtime --wall --out=BENCH_sched.json
 //
 // A third mode, `--gate=<BENCH_sched.json>`, is the CI perf-smoke gate: it
 // re-runs a pinned subset of the sweep on the fibers backend and fails
 // (exit 1) if any point's wall time regressed more than 25% against the
-// committed file, or if any non-exempt point's makespan drifted from it.
+// committed file, or if any point's makespan drifted from it.
 //
 //   ./bench_micro_runtime --gate=BENCH_sched.json
 #include <benchmark/benchmark.h>
@@ -124,22 +121,10 @@ struct WallPoint {
   double wall_fibers_s = 0.0;   ///< best of two fiber-backend runs
   double wall_threads_s = 0.0;  ///< one thread-per-PE run
   double makespan_ns = 0.0;     ///< virtual time (first fiber run)
-  bool drift = false;           ///< makespans disagreed (mesh/sas only)
-  double drift_rel = 0.0;       ///< (max-min)/max over the three makespans
 };
 
 std::string point_key(const WallPoint& pt) {
   return pt.app + "|" + pt.model + "|" + std::to_string(pt.p);
-}
-
-/// mesh/CC-SAS at P>1 is the one pair whose makespan may legitimately vary
-/// run-to-run: the remesher allocates vertex/tet ids with unordered
-/// fetch_adds and claims edge-table slots with CAS, so which pages and
-/// lines each PE touches depends on host interleaving (an application
-/// property — the charge path itself commits deterministically at
-/// barriers; see src/sas/sas.hpp and DESIGN.md §5).
-bool drift_exempt(const std::string& app, const std::string& model, int p) {
-  return app == "mesh" && model == "sas" && p > 1;
 }
 
 /// Pull `"field":<number>` / `"field":"string"` out of one JSON line.  The
@@ -215,7 +200,7 @@ std::pair<double, double> timed_run(rt::Machine& machine, const std::string& app
 }
 
 /// Measure one sweep point under both backends.  Returns false (and prints)
-/// if the makespans disagree on a point that is not drift-exempt.
+/// if the makespans disagree — every point must be bit-reproducible.
 bool measure_point(rt::Machine& machine, WallPoint& pt) {
   machine.set_exec_backend(rt::ExecBackend::kFibers);
   const auto [wf1, mk1] = timed_run(machine, pt.app, model_from_slug(pt.model), pt.p);
@@ -226,18 +211,12 @@ bool measure_point(rt::Machine& machine, WallPoint& pt) {
   pt.wall_fibers_s = std::min(wf1, wf2);
   pt.wall_threads_s = wt;
   pt.makespan_ns = mk1;
-  const double hi = std::max({mk1, mk2, mk3});
-  const double lo = std::min({mk1, mk2, mk3});
-  if (hi != lo) {
-    pt.drift = true;
-    pt.drift_rel = hi > 0 ? (hi - lo) / hi : 0.0;
-    if (!drift_exempt(pt.app, pt.model, pt.p)) {
-      std::fprintf(stderr,
-                   "ERROR: makespan drift at %s (fibers %.17g / %.17g, threads %.17g) — "
-                   "the substrate leaked host scheduling into virtual time\n",
-                   point_key(pt).c_str(), mk1, mk2, mk3);
-      return false;
-    }
+  if (mk1 != mk2 || mk1 != mk3) {
+    std::fprintf(stderr,
+                 "ERROR: makespan drift at %s (fibers %.17g / %.17g, threads %.17g) — "
+                 "the substrate leaked host scheduling into virtual time\n",
+                 point_key(pt).c_str(), mk1, mk2, mk3);
+    return false;
   }
   return true;
 }
@@ -261,9 +240,9 @@ int run_wall_mode(const std::string& out_path, int pmax) {
         pt.p = p;
         ok = measure_point(machine, pt) && ok;
         points.push_back(pt);
-        std::fprintf(stderr, "  %-5s %-6s P=%-3d  fibers %.3fs  threads %.3fs%s\n",
+        std::fprintf(stderr, "  %-5s %-6s P=%-3d  fibers %.3fs  threads %.3fs\n",
                      pt.app.c_str(), pt.model.c_str(), pt.p, pt.wall_fibers_s,
-                     pt.wall_threads_s, pt.drift ? "  (drift)" : "");
+                     pt.wall_threads_s);
       }
     }
   }
@@ -287,11 +266,6 @@ int run_wall_mode(const std::string& out_path, int pmax) {
                   pt.wall_fibers_s > 0 ? pt.wall_threads_s / pt.wall_fibers_s : 0.0,
                   pt.makespan_ns);
     out << buf;
-    if (pt.drift) {
-      std::snprintf(buf, sizeof buf, ",\"makespan_drift\":true,\"drift_rel\":%.3g",
-                    pt.drift_rel);
-      out << buf;
-    }
     out << "}" << (i + 1 < points.size() ? "," : "") << "\n";
   }
   char buf[256];
@@ -344,9 +318,8 @@ int run_gate_mode(const std::string& baseline_path) {
     const double wall = std::min(w1, w2);
     const bool slow = wall > base->wall_fibers_s * kBudget;
     // Virtual time is host-independent, so the gate also pins makespans —
-    // bit-exactly against the committed file for deterministic pairs.
-    const bool drifted =
-        !drift_exempt(g.app, g.model, g.p) && (mk1 != mk2 || mk1 != base->makespan_ns);
+    // bit-exactly against the committed file for every pair.
+    const bool drifted = (mk1 != mk2 || mk1 != base->makespan_ns);
     std::fprintf(stderr, "  gate %-5s %-6s P=%-3d  wall %.3fs (budget %.3fs)%s%s\n", g.app,
                  g.model, g.p, wall, base->wall_fibers_s * kBudget,
                  slow ? "  WALL REGRESSION" : "", drifted ? "  MAKESPAN DRIFT" : "");

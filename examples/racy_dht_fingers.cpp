@@ -1,0 +1,131 @@
+// A deliberately naive CC-SAS finger-table update, as a demo of
+// o2k::sanitize on a realistic service bug.
+//
+// The overlay keeps every node's Chord finger table in one shared array so
+// any PE can route through any node — the CC-SAS idiom the dht_sas binding
+// uses.  After a membership change each PE rewrites the finger rows of the
+// nodes it hosts.  The naive version does this *while other PEs are still
+// routing*: a router's read of node n's finger row races the hosting PE's
+// rewrite of that row, and a lookup can follow a half-updated table through
+// a dead node.  This is the classic stabilize-vs-lookup race of production
+// DHTs, compressed to its shared-memory essence.  Run it:
+//
+//   ./racy_dht_fingers           # sanitizer reports the router/updater PE pairs
+//   ./racy_dht_fingers --fix     # barrier-bracketed update epochs: clean
+//
+// The race is flagged deterministically: the vector-clock detector decides
+// by happens-before, not by which interleaving the host happened to run.
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "dht/chord.hpp"
+#include "rt/machine.hpp"
+#include "sanitize/sanitize.hpp"
+#include "sas/sas.hpp"
+
+int main(int argc, char** argv) {
+  using namespace o2k;
+  Cli cli(argc, argv,
+          {{"p", "simulated processor count (default 4)"},
+           {"nodes-per-pe", "overlay nodes hosted per PE (default 4)"},
+           {"lookups", "lookups per PE per round (default 64)"},
+           {"rounds", "membership-change rounds (default 4)"},
+           {"fix", "bracket finger updates with barriers (race-free)"}});
+  if (cli.has("help")) {
+    std::cout << cli.help();
+    return 0;
+  }
+  const int p = static_cast<int>(cli.get_int("p", 4));
+  const int nodes_per_pe = static_cast<int>(cli.get_int("nodes-per-pe", 4));
+  const int lookups = static_cast<int>(cli.get_int("lookups", 64));
+  const int rounds = static_cast<int>(cli.get_int("rounds", 4));
+  const bool fix = cli.get_bool("fix", false);
+  const int nodes = p * nodes_per_pe;
+  const int min_alive = 3 * nodes / 4;
+
+  sanitize::Sanitizer san(sanitize::Mode::kReport);
+  sanitize::Scope scope(&san);
+
+  rt::Machine machine;
+  sas::World world(machine.params(),  p,
+                   static_cast<std::size_t>(nodes) * 64 * sizeof(std::uint64_t) + (1u << 16));
+  // fingers[n * 64 + i] = finger i of node n, readable by every router.
+  auto fingers = world.alloc<std::uint64_t>(static_cast<std::size_t>(nodes) * 64, "fingers");
+  {
+    const auto ring = dht::Ring::build(std::vector<std::uint8_t>(nodes, 1));
+    auto f = world.span(fingers);
+    for (int n = 0; n < nodes; ++n) {
+      const auto fg = dht::Fingers::build(ring, static_cast<dht::NodeId>(n));
+      for (int i = 0; i < 64; ++i) f[static_cast<std::size_t>(n) * 64 + i] = fg.finger[i];
+    }
+  }
+
+  machine.run(p, [&](rt::Pe& pe) {
+    sas::Team team(world, pe);
+    auto f = world.span(fingers);
+    // Membership is replicated control state: every PE applies the same
+    // deterministic event stream, so only the finger table is shared data.
+    std::vector<std::uint8_t> alive(static_cast<std::size_t>(nodes), 1);
+    std::uint64_t served = 0, hops = 0;
+    for (int r = 0; r < rounds; ++r) {
+      {  // ---- route: greedy Chord walks through the shared finger rows ----
+        auto ph = pe.phase("route");
+        for (int j = 0; j < lookups; ++j) {
+          const std::uint32_t key =
+              static_cast<std::uint32_t>(dht::mix64(static_cast<std::uint64_t>(r) * 1000 +
+                                                    static_cast<std::uint64_t>(j) * p +
+                                                    static_cast<std::uint64_t>(pe.rank())));
+          const std::uint64_t kp = dht::key_point(key);
+          auto cur = static_cast<dht::NodeId>(
+              (pe.rank() * nodes_per_pe) + static_cast<int>(key % nodes_per_pe));
+          for (int hop = 0; hop < 2 * nodes; ++hop) {
+            team.touch_read_range(fingers, static_cast<std::size_t>(cur) * 64, 64);
+            dht::NodeId next = cur;
+            const std::uint64_t cp = dht::node_point(cur);
+            for (int i = 63; i >= 0; --i) {
+              const auto fi =
+                  static_cast<dht::NodeId>(f[static_cast<std::size_t>(cur) * 64 + i]);
+              // Closest preceding finger strictly inside (cur, key] advances.
+              if (fi != cur && (dht::node_point(fi) - cp - 1) < (kp - cp)) {
+                next = fi;
+                break;
+              }
+            }
+            if (next == cur || !alive[next]) break;  // owner, or a stale finger
+            cur = next;
+            ++hops;
+          }
+          ++served;
+        }
+      }
+      {  // ---- update: apply one membership event, rewrite my finger rows ----
+        auto ph = pe.phase("update");
+        if (fix) team.barrier();  // routers drain before anyone rewrites
+        if (const auto ev = dht::churn_event(alive, min_alive, 11, r)) {
+          alive[ev->node] = static_cast<std::uint8_t>(ev->fail ? 0 : 1);
+          const auto ring = dht::Ring::build(alive);
+          for (int n = pe.rank() * nodes_per_pe; n < (pe.rank() + 1) * nodes_per_pe; ++n) {
+            if (!alive[static_cast<std::size_t>(n)]) continue;
+            const auto fg = dht::Fingers::build(ring, static_cast<dht::NodeId>(n));
+            team.touch_write_range(fingers, static_cast<std::size_t>(n) * 64, 64);
+            for (int i = 0; i < 64; ++i) f[static_cast<std::size_t>(n) * 64 + i] = fg.finger[i];
+          }
+        }
+        if (fix) team.barrier();  // the new tables publish before anyone routes
+      }
+    }
+    pe.add_counter("dht.requests", served);
+    pe.add_counter("dht.hops", hops);
+  });
+
+  const auto findings = san.findings();
+  std::cout << (fix ? "fixed" : "racy") << " finger maintenance on " << p
+            << " PEs: " << findings.size() << " finding(s)\n";
+  for (const auto& f : findings) {
+    std::cout << "  [" << f.kind << "] " << f.object << " (PEs " << f.pe_a << "/" << f.pe_b
+              << ", x" << f.count << ")\n";
+  }
+  return 0;
+}

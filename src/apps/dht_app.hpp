@@ -1,0 +1,56 @@
+// The DHT application (Chord-style key-value overlay) under the three
+// programming models.
+//
+// All versions run the same overlay: `nodes_per_pe * P` logical Chord nodes
+// pinned to PEs, a Zipf-skewed stateless client stream (src/dht/traffic.hpp)
+// of `requests` lookups/puts injected closed-loop (at most `window` requests
+// in flight), k-replication, and a deterministic churn schedule that fails /
+// rejoins one node after every `churn_every` served requests (the stream is
+// drained first, so the request→membership mapping is model-independent).
+// Requests move hop by hop in bulk-synchronous rounds; routing decisions are
+// pure functions of (membership, key) shared through src/dht/chord.hpp, so
+// per-request hop counts are identical across models — only the transport
+// differs:
+//
+//  * MP    — request records travel in an alltoallv per round; replica and
+//            churn-repair copies are explicit records; progress counts move
+//            through allreduce.
+//  * SHMEM — the same record flow re-plumbed one-sided: counts/offsets
+//            negotiated through the symmetric heap, payloads put_nbi,
+//            progress via sum_to_all.
+//  * CC-SAS— the store is a shared array indexed by (node, key); a put
+//            updates every replica in place (coherence traffic is the
+//            replication cost), and records move through shared mailboxes
+//            published at barriers.  Repair is reads of surviving replicas.
+//
+// Reported phases: "init", "gen", "serve", "route", "churn", "check".
+// Counters: dht.requests, dht.hops, dht.hot_hits, dht.repair_keys,
+// dht.churn_events.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/report.hpp"
+#include "rt/machine.hpp"
+
+namespace o2k::apps {
+
+struct DhtConfig {
+  int nodes_per_pe = 4;      ///< logical Chord nodes hosted per PE
+  std::uint32_t keys = 16384;
+  std::uint64_t requests = 1'000'000;
+  std::uint64_t window = 4096;  ///< closed-loop: max client requests in flight
+  int replicas = 3;             ///< copies per key (owner + successors)
+  std::uint64_t churn_every = 50'000;  ///< served requests between membership events
+  double zipf_s = 0.9;          ///< key-popularity skew exponent
+  int put_percent = 12;         ///< % of requests that are puts
+  std::uint64_t seed = 20000101;
+};
+
+AppReport run_dht_mp(rt::Machine& machine, int nprocs, const DhtConfig& cfg);
+AppReport run_dht_shmem(rt::Machine& machine, int nprocs, const DhtConfig& cfg);
+AppReport run_dht_sas(rt::Machine& machine, int nprocs, const DhtConfig& cfg);
+
+AppReport run_dht(Model model, rt::Machine& machine, int nprocs, const DhtConfig& cfg);
+
+}  // namespace o2k::apps

@@ -1,0 +1,225 @@
+// MP (message-passing) Chord DHT: distributed stores, explicit record flow.
+//
+// Per round: gen (admit my share of the closed-loop injection window) →
+// serve (route or serve every queued record; puts fan out explicit replica
+// records) → route (alltoallv of forwarded records + allreduce of progress).
+// At every `churn_every` served-requests milestone the stream is drained,
+// one membership event fires, and repair copies move in a dedicated
+// alltoallv.
+#include <array>
+#include <mutex>
+
+#include "apps/dht_detail.hpp"
+#include "mp/comm.hpp"
+#include "origin/params.hpp"
+
+namespace o2k::apps {
+
+using detail::DhtNodeSet;
+using detail::DhtRec;
+
+AppReport run_dht_mp(rt::Machine& machine, int nprocs, const DhtConfig& cfg) {
+  O2K_REQUIRE(cfg.window >= 1 && cfg.churn_every >= 1, "dht: window and churn cadence >= 1");
+  O2K_REQUIRE(cfg.replicas >= 1, "dht: need at least one replica");
+  const auto kc = origin::KernelCosts::origin2000();
+  const int M = detail::dht_nodes(cfg, nprocs);
+  const int min_alive = detail::dht_min_alive(M, cfg.replicas);
+  mp::World world(machine.params(), nprocs);
+  const dht::Traffic traffic(cfg.keys, cfg.zipf_s, cfg.seed, cfg.put_percent);
+  const std::vector<std::uint64_t> expected = traffic.expected_values(cfg.requests);
+
+  std::map<std::string, double> checks;
+  std::mutex checks_mu;
+
+  auto rr = machine.run(nprocs, [&](rt::Pe& pe) {
+    mp::Comm comm(world, pe);
+    const int P = pe.size();
+    const int me = pe.rank();
+
+    std::vector<std::uint8_t> alive(static_cast<std::size_t>(M), 1);
+    dht::Ring ring = dht::Ring::build(alive);
+    DhtNodeSet ns;
+    ns.init(me, P, M, cfg.keys);
+
+    // Replicated control state: every PE tracks the same global counts, so
+    // round structure and churn timing need no extra coordination.
+    std::uint64_t injected = 0, served_global = 0;
+    std::int64_t repl_out_global = 0;
+    std::uint64_t next_churn = std::min(cfg.churn_every, cfg.requests);
+    int churn_seq = 0;
+    std::uint64_t churn_applied = 0;
+
+    std::int64_t served_local = 0, repl_out_local = 0;
+    std::uint64_t hops_local = 0, hot_local = 0, repair_local = 0;
+    std::vector<DhtRec> inbox;
+    std::vector<dht::NodeId> reps;
+
+    {
+      auto ph = pe.phase("init");
+      ns.rebuild_fingers(ring);
+      const std::uint64_t stored = ns.populate(ring, traffic, cfg.replicas);
+      pe.advance(static_cast<double>(ns.ids.size()) * kc.dht_rebuild_node_ns +
+                 static_cast<double>(stored) * kc.dht_store_ns);
+      comm.barrier();
+    }
+
+    while (served_global < cfg.requests || repl_out_global > 0) {
+      // ---- gen: admit new requests up to the window / milestone cap.
+      {
+        auto ph = pe.phase("gen");
+        const std::uint64_t inflight = injected - served_global;
+        const std::uint64_t room = cfg.window > inflight ? cfg.window - inflight : 0;
+        const std::uint64_t n_inject = std::min(room, next_churn - injected);
+        std::uint64_t admitted = 0;
+        for (std::uint64_t j = injected; j < injected + n_inject; ++j) {
+          const dht::NodeId entry = ring.pick_alive(traffic.entry_raw(j));
+          if (dht::pe_of(entry, P) != me) continue;
+          const bool put = traffic.is_put(j);
+          inbox.push_back(DhtRec{put ? traffic.put_delta(j) : 0, traffic.key_of(j), entry,
+                                 put ? detail::kDhtPut : detail::kDhtGet, 0});
+          ++admitted;
+        }
+        injected += n_inject;
+        pe.advance(static_cast<double>(admitted) * (kc.dht_gen_ns + kc.dht_hash_ns));
+      }
+
+      // ---- serve: one routing/serving step for every queued record.
+      std::vector<std::vector<DhtRec>> outbox(static_cast<std::size_t>(P));
+      {
+        auto ph = pe.phase("serve");
+        double ns_acc = 0.0;
+        for (const DhtRec& r : inbox) {
+          if (r.kind == detail::kDhtRepl) {
+            ns.add(r.node, r.key, r.val);
+            --repl_out_local;
+            ns_acc += kc.dht_store_ns;
+            continue;
+          }
+          if (ring.owner(r.key) == r.node) {
+            if (r.kind == detail::kDhtPut) {
+              ring.replicas(r.key, cfg.replicas, reps);
+              for (const dht::NodeId d : reps) {
+                if (d == r.node) {
+                  ns.add(d, r.key, r.val);
+                  ns_acc += kc.dht_store_ns;
+                } else {
+                  outbox[static_cast<std::size_t>(dht::pe_of(d, P))].push_back(
+                      DhtRec{r.val, r.key, d, detail::kDhtRepl, 0});
+                  ++repl_out_local;
+                }
+              }
+            }
+            ns_acc += kc.dht_serve_ns;
+            hops_local += r.hops;
+            if (traffic.is_hot(r.key)) ++hot_local;
+            ++served_local;
+          } else {
+            const auto [next, scanned] = dht::next_hop(ring, ns.fingers_of(r.node), r.key);
+            ns_acc += kc.dht_hash_ns + static_cast<double>(scanned) * kc.dht_finger_scan_ns;
+            O2K_CHECK(r.hops < 255, "dht: routing did not converge");
+            outbox[static_cast<std::size_t>(dht::pe_of(next, P))].push_back(
+                DhtRec{r.val, r.key, next, r.kind, static_cast<std::uint8_t>(r.hops + 1)});
+          }
+        }
+        inbox.clear();
+        pe.advance(ns_acc);
+      }
+
+      // ---- route: move records, agree on global progress.
+      {
+        auto ph = pe.phase("route");
+        const auto recvd = comm.alltoallv<DhtRec>(outbox);
+        for (const auto& blk : recvd) inbox.insert(inbox.end(), blk.begin(), blk.end());
+        std::array<std::int64_t, 2> agg{served_local, repl_out_local};
+        comm.allreduce_sum(std::span<std::int64_t>(agg));
+        served_global = static_cast<std::uint64_t>(agg[0]);
+        repl_out_global = agg[1];
+      }
+
+      // ---- churn: at a drained milestone, one membership event + repair.
+      if (served_global == next_churn && injected == next_churn && repl_out_global == 0 &&
+          next_churn < cfg.requests) {
+        auto ph = pe.phase("churn");
+        const auto ev = dht::churn_event(alive, min_alive, cfg.seed, churn_seq);
+        ++churn_seq;
+        next_churn = std::min(next_churn + cfg.churn_every, cfg.requests);
+        if (ev) {
+          ++churn_applied;
+          const dht::Ring before = ring;
+          if (ev->fail && ns.is_local(ev->node)) ns.clear_node(ev->node);
+          alive[ev->node] = ev->fail ? 0 : 1;
+          ring = dht::Ring::build(alive);
+          ns.rebuild_fingers(ring);
+          double ns_acc = static_cast<double>(ns.ids.size()) * kc.dht_rebuild_node_ns;
+          const auto xfers = dht::plan_repair(before, ring, cfg.keys, cfg.replicas);
+          std::vector<std::vector<DhtRec>> repair(static_cast<std::size_t>(P));
+          for (const dht::RepairXfer& x : xfers) {
+            if (dht::pe_of(x.src, P) != me) continue;
+            repair[static_cast<std::size_t>(dht::pe_of(x.dst, P))].push_back(
+                DhtRec{ns.value_of(x.src, x.key), x.key, x.dst, detail::kDhtRepair, 0});
+            ns_acc += kc.dht_repair_key_ns;
+          }
+          const auto got = comm.alltoallv<DhtRec>(repair);
+          for (const auto& blk : got) {
+            for (const DhtRec& r : blk) {
+              ns.set(r.node, r.key, r.val);
+              ++repair_local;
+              ns_acc += kc.dht_store_ns;
+            }
+          }
+          pe.advance(ns_acc);
+          comm.barrier();
+        }
+      }
+    }
+
+    // ---- check: my share of the final replica sets vs the serial reference.
+    std::array<std::int64_t, 4> fin{};
+    {
+      auto ph = pe.phase("check");
+      const auto [wrong, found] = ns.check_store(ring, cfg.replicas, expected);
+      pe.advance(static_cast<double>(found) * kc.dht_serve_ns);
+      fin = {wrong, found, static_cast<std::int64_t>(hops_local),
+             static_cast<std::int64_t>(hot_local)};
+      comm.allreduce_sum(std::span<std::int64_t>(fin));
+    }
+
+    pe.add_counter("dht.requests", static_cast<std::uint64_t>(served_local));
+    pe.add_counter("dht.hops", hops_local);
+    pe.add_counter("dht.hot_hits", hot_local);
+    pe.add_counter("dht.repair_keys", repair_local);
+    if (me == 0) pe.add_counter("dht.churn_events", churn_applied);
+
+    if (me == 0) {
+      const std::int64_t want =
+          static_cast<std::int64_t>(cfg.keys) * std::min(cfg.replicas, ring.n_alive());
+      std::scoped_lock lk(checks_mu);
+      checks["served"] = static_cast<double>(served_global);
+      checks["hops"] = static_cast<double>(fin[2]);
+      checks["hot_hits"] = static_cast<double>(fin[3]);
+      checks["store_ok"] = fin[0] == 0 ? 1.0 : 0.0;
+      checks["replicas_ok"] = fin[1] == want ? 1.0 : 0.0;
+      checks["alive"] = static_cast<double>(ring.n_alive());
+      checks["churn_events"] = static_cast<double>(churn_applied);
+    }
+  });
+
+  AppReport out;
+  out.run = std::move(rr);
+  out.checks = std::move(checks);
+  return out;
+}
+
+AppReport run_dht(Model model, rt::Machine& machine, int nprocs, const DhtConfig& cfg) {
+  switch (model) {
+    case Model::kMp:
+      return run_dht_mp(machine, nprocs, cfg);
+    case Model::kShmem:
+      return run_dht_shmem(machine, nprocs, cfg);
+    case Model::kSas:
+      return run_dht_sas(machine, nprocs, cfg);
+  }
+  O2K_CHECK(false, "dht: unknown model");
+}
+
+}  // namespace o2k::apps

@@ -7,6 +7,7 @@
 #include <optional>
 #include <string>
 
+#include "apps/dht_app.hpp"
 #include "apps/mesh_app.hpp"
 #include "apps/nbody_app.hpp"
 #include "common/cli.hpp"
@@ -168,6 +169,49 @@ int mesh_main(int argc, char** argv, Model model) {
   return run_and_report(machine, p, std::string("mesh_") + model_slug(model), model,
                         metrics::Options::from_cli(cli), sanitize_mode(cli),
                         [&](rt::Machine& m) { return run_mesh(model, m, p, cfg); });
+}
+
+int dht_main(int argc, char** argv, Model model) {
+  std::map<std::string, std::string> flags{
+      {"p", "simulated processor count (default 8)"},
+      {"nodes-per-pe", "overlay nodes hosted per PE (default 4)"},
+      {"keys", "keyspace size (default 16384)"},
+      {"requests", "client requests to serve (default 1000000)"},
+      {"window", "closed-loop in-flight request cap (default 4096)"},
+      {"replicas", "copies per key (default 3)"},
+      {"churn-every", "served requests between membership events (default 50000)"},
+      {"zipf-s", "key-popularity skew exponent (default 0.9)"},
+      {"put-percent", "share of requests that are puts (default 12)"},
+      {"seed", "RNG seed"},
+      {"sanitize", "race/usage checking: off|report|abort (bare flag = report)"},
+  };
+  metrics::add_cli_flags(flags);
+  Cli cli(argc, argv, flags);
+  if (cli.has("help")) {
+    std::cout << cli.help();
+    return 0;
+  }
+
+  DhtConfig cfg;
+  cfg.nodes_per_pe = static_cast<int>(cli.get_int("nodes-per-pe", cfg.nodes_per_pe));
+  cfg.keys = static_cast<std::uint32_t>(
+      cli.get_int("keys", static_cast<std::int64_t>(cfg.keys)));
+  cfg.requests = static_cast<std::uint64_t>(
+      cli.get_int("requests", static_cast<std::int64_t>(cfg.requests)));
+  cfg.window = static_cast<std::uint64_t>(
+      cli.get_int("window", static_cast<std::int64_t>(cfg.window)));
+  cfg.replicas = static_cast<int>(cli.get_int("replicas", cfg.replicas));
+  cfg.churn_every = static_cast<std::uint64_t>(
+      cli.get_int("churn-every", static_cast<std::int64_t>(cfg.churn_every)));
+  cfg.zipf_s = cli.get_double("zipf-s", cfg.zipf_s);
+  cfg.put_percent = static_cast<int>(cli.get_int("put-percent", cfg.put_percent));
+  cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", static_cast<std::int64_t>(cfg.seed)));
+  const int p = static_cast<int>(cli.get_int("p", 8));
+
+  rt::Machine machine;
+  return run_and_report(machine, p, std::string("dht_") + model_slug(model), model,
+                        metrics::Options::from_cli(cli), sanitize_mode(cli),
+                        [&](rt::Machine& m) { return run_dht(model, m, p, cfg); });
 }
 
 }  // namespace o2k::apps::appmain

@@ -1,6 +1,7 @@
-// Shared implementation behind the six per-model application binaries
+// Shared implementation behind the nine per-model application binaries
 // (`nbody_mp`, `nbody_shmem`, `nbody_sas`, `mesh_mp`, `mesh_shmem`,
-// `mesh_sas`).  Each binary is a two-line main that picks the application
+// `mesh_sas`, `dht_mp`, `dht_shmem`, `dht_sas`).  Each binary is a
+// two-line main that picks the application
 // and the programming model; everything else — CLI (including the
 // metrics `--trace/--report/--comm` flags), the simulated run, the
 // human-readable phase summary and the metrics artifacts — lives here.
@@ -12,5 +13,6 @@ namespace o2k::apps::appmain {
 
 int nbody_main(int argc, char** argv, Model model);
 int mesh_main(int argc, char** argv, Model model);
+int dht_main(int argc, char** argv, Model model);
 
 }  // namespace o2k::apps::appmain

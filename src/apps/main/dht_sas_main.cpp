@@ -1,0 +1,5 @@
+#include "apps/main/app_main.hpp"
+
+int main(int argc, char** argv) {
+  return o2k::apps::appmain::dht_main(argc, argv, o2k::apps::Model::kSas);
+}

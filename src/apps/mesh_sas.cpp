@@ -1,17 +1,27 @@
 // CC-SAS dynamic remeshing: one shared mesh, no load balancer at all.
 //
 // The mesh lives in shared arrays (vertices, tets, alive flags); edge marks
-// and midpoint deduplication go through a shared lock-free hash table
-// (SasEdgeTable).  Marking and closure are parallel sweeps with a shared
-// convergence flag; refinement is a *dynamically scheduled* parallel loop —
-// the shared-memory answer to load imbalance, replacing PLUM entirely.
-// The model's price appears automatically: new elements land on pages homed
-// wherever their creating PE first touched them, so the next phase's sweeps
-// pay remote-miss premiums when the front moves — the effect the paper
-// contrasts with the message-passing codes' explicit remap cost.
+// and midpoint deduplication go through a shared hash table (SasEdgeTable)
+// whose updates are all order-independent RMWs.  Marking and closure are
+// parallel sweeps — closure is Jacobi-style against round-stamped marks,
+// converging through a deterministic reduction.  Refinement is the classic
+// shared-memory count → prefix → fill pattern: a *dynamically scheduled*
+// mask sweep (self-scheduling in virtual-time order — the shared-memory
+// answer to load imbalance, replacing PLUM entirely), then barrier-staged
+// id assignment that gives every PE a deterministic vertex/element id range
+// in place of contended fetch_add allocation.  The model's price appears
+// automatically: new elements land on pages homed wherever their creating
+// PE first touched them, so the next phase's sweeps pay remote-miss
+// premiums when the front moves — the effect the paper contrasts with the
+// message-passing codes' explicit remap cost.
+//
+// Every charge here is a pure function of barrier-separated state (the
+// table charges per *key*, the dispatcher breaks clock ties by rank), so
+// mesh/CC-SAS virtual times are bit-identical across execution backends at
+// every P — the same contract the statically partitioned apps meet.
 #include <array>
-#include <atomic>
 #include <mutex>
+#include <vector>
 
 #include "apps/mesh_app.hpp"
 #include "apps/sas_table.hpp"
@@ -31,14 +41,16 @@ AppReport run_mesh_sas(rt::Machine& machine, int nprocs, const MeshConfig& cfg) 
 
   const std::size_t arena_bytes = cap_tets * (sizeof(mesh::Tet) + 2) +
                                   cap_verts * sizeof(Vec3) +
-                                  2 * table_cap * 3 * sizeof(std::uint64_t) + (8u << 20);
+                                  2 * table_cap * 4 * sizeof(std::uint64_t) + (8u << 20);
   sas::World world(machine.params(), nprocs, arena_bytes);
 
   auto tets_arr = world.alloc<mesh::Tet>(cap_tets, "tets");
   auto alive_arr = world.alloc<std::uint8_t>(cap_tets, "alive");
   auto masks_arr = world.alloc<std::uint8_t>(cap_tets, "masks");
   auto verts_arr = world.alloc<Vec3>(cap_verts, "verts");
-  auto counters = world.alloc<std::int64_t>(4, "counters");  // [0]=ntets [1]=nverts [2]=changed
+  auto counters = world.alloc<std::int64_t>(2, "counters");  // [0]=ntets [1]=nverts
+  auto counts_arr = world.alloc<std::int64_t>(2 * static_cast<std::size_t>(nprocs),
+                                              "refine_counts");  // per-PE [mids][kids]
   SasEdgeTable table(world, table_cap);
 
   // ---- uncharged setup: the initial mesh, written serially.
@@ -61,14 +73,13 @@ AppReport run_mesh_sas(rt::Machine& machine, int nprocs, const MeshConfig& cfg) 
 
   auto rr = machine.run(nprocs, [&](rt::Pe& pe) {
     sas::Team team(world, pe);
-    const std::size_t n_check = 0;
-    (void)n_check;
+    const int P = pe.size();
+    const int me = pe.rank();
 
     auto tets = world.span(tets_arr);
     auto alive = world.span(alive_arr);
     auto masks = world.span(masks_arr);
     auto verts = world.span(verts_arr);
-    auto* ctr = world.data(counters);
 
     auto edge_key_of = [&](mesh::VertId a, mesh::VertId b) {
       return mesh::geo_edge_key(verts[static_cast<std::size_t>(a)],
@@ -79,8 +90,8 @@ AppReport run_mesh_sas(rt::Machine& machine, int nprocs, const MeshConfig& cfg) 
       const mesh::SphereFront front{cfg.front_center(k), cfg.front_radius(),
                                     cfg.front_width()};
       team.barrier();
-      const auto n0 = static_cast<std::size_t>(
-          std::atomic_ref<std::int64_t>(ctr[0]).load(std::memory_order_acquire));
+      const auto n0 = static_cast<std::size_t>(team.read(counters, 0));
+      const auto nv0 = static_cast<std::size_t>(team.read(counters, 1));
       const auto [lo, hi] = team.static_range(0, n0);
 
       // ---- solve (surrogate): pays per *alive* element in my slice.
@@ -94,11 +105,10 @@ AppReport run_mesh_sas(rt::Machine& machine, int nprocs, const MeshConfig& cfg) 
       }
       team.barrier();  // outside the phase scope so solve imbalance is measurable
 
-      // ---- mark
+      // ---- mark: stamp front-cut edges with round 1.
       {
         auto ph = pe.phase("mark");
         table.clear(team);
-        std::size_t marked = 0;
         for (std::size_t t = lo; t < hi; ++t) {
           if (!alive[t]) continue;
           team.touch_read_range(tets_arr, t, 1);
@@ -110,23 +120,27 @@ AppReport run_mesh_sas(rt::Machine& machine, int nprocs, const MeshConfig& cfg) 
             team.touch_read_range(verts_arr, static_cast<std::size_t>(vb), 1);
             if (front.cuts(verts[static_cast<std::size_t>(va)],
                            verts[static_cast<std::size_t>(vb)])) {
-              if (table.mark(team, edge_key_of(va, vb))) ++marked;
+              table.mark(team, edge_key_of(va, vb), 1);
             }
           }
           pe.advance(6.0 * kc.edge_mark_ns);
         }
-        pe.add_counter("mesh.marked", marked);
+        team.barrier();
+        // Distinct marked edges, split by home slot — a per-PE count that is
+        // a function of the key set, not of who marked first.
+        pe.add_counter("mesh.marked", table.count_marked_home(team));
         team.barrier();
       }
 
-      // ---- closure: parallel sweeps against a shared convergence flag.
+      // ---- closure: Jacobi rounds against round-stamped marks.
       {
         auto ph = pe.phase("closure");
-        // Jacobi rounds: sweep against the frozen marked bits, staging
-        // promotions as *pending*; after a barrier, promote pending→marked
-        // and detect convergence through the shared flag ctr[2]
-        // (0 on entry: zeroed at setup, re-zeroed at the end of each round).
-        for (;;) {
+        // Round r sees only stamps <= r (the freeze); promotions it stages
+        // carry stamp r + 1, becoming visible next round.  Convergence is a
+        // deterministic reduction of staged-promotion counts — no shared
+        // flag, no promote pass, nothing order-dependent.
+        for (std::uint64_t round = 1;; ++round) {
+          std::int64_t staged = 0;
           for (std::size_t t = lo; t < hi; ++t) {
             if (!alive[t]) continue;
             const mesh::Tet& e = tets[t];
@@ -137,7 +151,7 @@ AppReport run_mesh_sas(rt::Machine& machine, int nprocs, const MeshConfig& cfg) 
               keys[static_cast<std::size_t>(le)] =
                   edge_key_of(e.v[static_cast<std::size_t>(ve[0])],
                               e.v[static_cast<std::size_t>(ve[1])]);
-              if (table.is_marked(team, keys[static_cast<std::size_t>(le)])) {
+              if (table.is_marked_by(team, keys[static_cast<std::size_t>(le)], round)) {
                 mask |= static_cast<std::uint8_t>(1u << le);
               }
             }
@@ -146,34 +160,28 @@ AppReport run_mesh_sas(rt::Machine& machine, int nprocs, const MeshConfig& cfg) 
             if (want == mask) continue;
             for (int le = 0; le < 6; ++le) {
               if ((want & (1u << le)) != 0 && (mask & (1u << le)) == 0) {
-                table.set_pending(team, keys[static_cast<std::size_t>(le)]);
+                table.mark(team, keys[static_cast<std::size_t>(le)], round + 1);
+                ++staged;
               }
             }
           }
-          team.barrier();
-          if (table.promote_pending(team)) {
-            std::atomic_ref<std::int64_t> ch(ctr[2]);
-            pe.advance(world.params().sas_lock_ns);
-            // Several PEs may set the convergence flag in the same round;
-            // the store is a host atomic, so annotate it as one.
-            team.touch_write_atomic(counters.offset + 2 * sizeof(std::int64_t),
-                                    sizeof(std::int64_t));
-            ch.store(1, std::memory_order_release);
-          }
-          team.barrier();
-          const auto c = static_cast<std::int64_t>(
-              std::atomic_ref<std::int64_t>(ctr[2]).load(std::memory_order_acquire));
-          team.barrier();  // everyone has read the flag...
-          if (pe.rank() == 0) team.write(counters, 2, std::int64_t{0});
-          team.barrier();  // ...and it is reset before the next sweep
-          if (c == 0) break;
+          if (team.reduce_sum(staged) == 0) break;
         }
       }
 
-      // ---- refine: dynamically scheduled over the phase-start elements.
+      // ---- refine: count → prefix → fill, with a self-scheduled mask pass.
       {
         auto ph = pe.phase("refine");
-        std::size_t refined = 0;
+
+        // Stage 1 — masks: dynamically scheduled over the phase-start
+        // elements; each PE records the elements it claimed for the later
+        // stages (the claim order is reproducible, see sas.hpp).
+        struct Claimed {
+          std::size_t t;
+          std::uint8_t mask;
+        };
+        std::vector<Claimed> mine;
+        std::int64_t my_kids = 0;
         team.parallel_for_dynamic(0, n0, 64, [&](std::size_t t) {
           if (!alive[t]) return;
           team.touch_read_range(tets_arr, t, 1);
@@ -189,63 +197,132 @@ AppReport run_mesh_sas(rt::Machine& machine, int nprocs, const MeshConfig& cfg) 
           team.touch_write_range(masks_arr, t, 1);
           masks[t] = mask;
           if (mask == 0) return;
-
           const mesh::Pattern pat = mesh::classify(mask);
           O2K_CHECK(pat != mesh::Pattern::kIllegal, "mesh sas: closure failed");
-          std::vector<mesh::Tet> kids;
+          my_kids += mesh::child_count(pat);
+          mine.push_back({t, mask});
+        });  // implicit barrier
+
+        // Stage 2 — midpoint ownership: every refining element bids for the
+        // marked edges it touches with its element index; the minimum bid
+        // wins, a pure function of the mesh.
+        for (const Claimed& c : mine) {
+          const mesh::Tet& e = tets[c.t];
+          for (int le = 0; le < 6; ++le) {
+            if ((c.mask & (1u << le)) == 0) continue;
+            const auto& ve = mesh::kTetEdges[static_cast<std::size_t>(le)];
+            table.request_mid(team,
+                              edge_key_of(e.v[static_cast<std::size_t>(ve[0])],
+                                          e.v[static_cast<std::size_t>(ve[1])]),
+                              static_cast<std::uint64_t>(c.t));
+          }
+        }
+        team.barrier();
+
+        // Stage 3 — count my owned midpoints, publish per-PE counts, and
+        // prefix-sum them into deterministic id ranges.
+        std::int64_t my_mids = 0;
+        for (const Claimed& c : mine) {
+          const mesh::Tet& e = tets[c.t];
+          for (int le = 0; le < 6; ++le) {
+            if ((c.mask & (1u << le)) == 0) continue;
+            const auto& ve = mesh::kTetEdges[static_cast<std::size_t>(le)];
+            if (table.owns_mid(team,
+                               edge_key_of(e.v[static_cast<std::size_t>(ve[0])],
+                                           e.v[static_cast<std::size_t>(ve[1])]),
+                               static_cast<std::uint64_t>(c.t))) {
+              ++my_mids;
+            }
+          }
+        }
+        team.write(counts_arr, 2 * static_cast<std::size_t>(me), my_mids);
+        team.write(counts_arr, 2 * static_cast<std::size_t>(me) + 1, my_kids);
+        team.barrier();
+        team.touch_read_range(counts_arr, 0, 2 * static_cast<std::size_t>(P));
+        const auto* counts = world.data(counts_arr);
+        std::int64_t vid_base = static_cast<std::int64_t>(nv0);
+        std::int64_t kid_base = static_cast<std::int64_t>(n0);
+        std::int64_t tot_mids = 0, tot_kids = 0;
+        for (int q = 0; q < P; ++q) {
+          if (q < me) {
+            vid_base += counts[2 * q];
+            kid_base += counts[2 * q + 1];
+          }
+          tot_mids += counts[2 * q];
+          tot_kids += counts[2 * q + 1];
+        }
+        O2K_REQUIRE(nv0 + static_cast<std::size_t>(tot_mids) <= cap_verts,
+                    "mesh sas: vertex capacity exceeded");
+        O2K_REQUIRE(n0 + static_cast<std::size_t>(tot_kids) <= cap_tets,
+                    "mesh sas: tet capacity exceeded");
+
+        // Stage 4 — create the midpoints I own at my id range and publish.
+        std::int64_t vid = vid_base;
+        for (const Claimed& c : mine) {
+          const mesh::Tet& e = tets[c.t];
+          for (int le = 0; le < 6; ++le) {
+            if ((c.mask & (1u << le)) == 0) continue;
+            const auto& ve = mesh::kTetEdges[static_cast<std::size_t>(le)];
+            const auto va = e.v[static_cast<std::size_t>(ve[0])];
+            const auto vb = e.v[static_cast<std::size_t>(ve[1])];
+            const std::uint64_t key = edge_key_of(va, vb);
+            if (!table.owns_mid(team, key, static_cast<std::uint64_t>(c.t))) continue;
+            team.touch_write_range(verts_arr, static_cast<std::size_t>(vid), 1);
+            verts[static_cast<std::size_t>(vid)] =
+                (verts[static_cast<std::size_t>(va)] + verts[static_cast<std::size_t>(vb)]) *
+                0.5;
+            pe.advance(kc.vertex_create_ns);
+            table.put_mid(team, key, vid);
+            ++vid;
+          }
+        }
+        team.barrier();
+
+        // Stage 5 — emit children at my precomputed element range.
+        std::size_t kid = static_cast<std::size_t>(kid_base);
+        std::size_t refined = 0;
+        std::vector<mesh::Tet> kids;
+        for (const Claimed& c : mine) {
+          const mesh::Tet e = tets[c.t];
+          kids.clear();
           kids.reserve(8);
           mesh::append_children(
-              e, mask,
+              e, c.mask,
               [&](mesh::EdgeKey ek) {
-                const std::uint64_t key = edge_key_of(ek.a, ek.b);
-                const std::int64_t id = table.get_or_create_mid(team, key, [&] {
-                  std::atomic_ref<std::int64_t> nv(ctr[1]);
-                  pe.advance(world.params().sas_lock_ns);
-                  const std::int64_t vid = nv.fetch_add(1, std::memory_order_acq_rel);
-                  O2K_REQUIRE(static_cast<std::size_t>(vid) < cap_verts,
-                              "mesh sas: vertex capacity exceeded");
-                  team.touch_write_range(verts_arr, static_cast<std::size_t>(vid), 1);
-                  verts[static_cast<std::size_t>(vid)] =
-                      (verts[static_cast<std::size_t>(ek.a)] +
-                       verts[static_cast<std::size_t>(ek.b)]) *
-                      0.5;
-                  pe.advance(kc.vertex_create_ns);
-                  return vid;
-                });
-                return static_cast<mesh::VertId>(id);
+                return static_cast<mesh::VertId>(
+                    table.mid_of(team, edge_key_of(ek.a, ek.b)));
               },
               [&](mesh::VertId v) {
                 team.touch_read_range(verts_arr, static_cast<std::size_t>(v), 1);
                 return verts[static_cast<std::size_t>(v)];
               },
               kids);
-
-          std::atomic_ref<std::int64_t> nt(ctr[0]);
-          pe.advance(world.params().sas_lock_ns);
-          const std::int64_t base = nt.fetch_add(static_cast<std::int64_t>(kids.size()),
-                                                 std::memory_order_acq_rel);
-          O2K_REQUIRE(static_cast<std::size_t>(base) + kids.size() <= cap_tets,
-                      "mesh sas: tet capacity exceeded");
-          for (std::size_t c = 0; c < kids.size(); ++c) {
-            const auto idx = static_cast<std::size_t>(base) + c;
-            team.touch_write_range(tets_arr, idx, 1);
-            tets[idx] = kids[c];
-            team.touch_write_range(alive_arr, idx, 1);
-            alive[idx] = 1;
+          for (const mesh::Tet& child : kids) {
+            team.touch_write_range(tets_arr, kid, 1);
+            tets[kid] = child;
+            team.touch_write_range(alive_arr, kid, 1);
+            alive[kid] = 1;
+            ++kid;
           }
-          team.touch_write_range(alive_arr, t, 1);
-          alive[t] = 0;
+          team.touch_write_range(alive_arr, c.t, 1);
+          alive[c.t] = 0;
           pe.advance(kc.tet_refine_ns);
           ++refined;
-        });
+        }
         pe.add_counter("mesh.refined", refined);
+        team.barrier();
+
+        // Stage 6 — publish the new totals.
+        if (me == 0) {
+          team.write(counters, 0, static_cast<std::int64_t>(n0) + tot_kids);
+          team.write(counters, 1, static_cast<std::int64_t>(nv0) + tot_mids);
+        }
       }
     }
 
     // ---- checks over the final shared mesh.
     team.barrier();
-    const auto n_final = static_cast<std::size_t>(
-        std::atomic_ref<std::int64_t>(ctr[0]).load(std::memory_order_acquire));
+    const auto n_final = static_cast<std::size_t>(team.read(counters, 0));
     const auto [clo, chi] = team.static_range(0, n_final);
     double my_count = 0.0;
     double my_vol = 0.0;

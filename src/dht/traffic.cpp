@@ -1,0 +1,67 @@
+#include "dht/traffic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace o2k::dht {
+
+namespace {
+
+std::uint64_t gcd_u64(std::uint64_t a, std::uint64_t b) {
+  while (b != 0) {
+    const std::uint64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+}  // namespace
+
+Traffic::Traffic(std::uint32_t keys, double zipf_s, std::uint64_t seed, int put_percent)
+    : keys_(keys), seed_(seed), put_percent_(put_percent) {
+  O2K_REQUIRE(keys > 0, "dht: traffic needs at least one key");
+  O2K_REQUIRE(zipf_s >= 0.0 && zipf_s < 4.0, "dht: zipf exponent out of range");
+  O2K_REQUIRE(put_percent >= 0 && put_percent <= 100, "dht: put percent out of range");
+
+  // Zipf CDF over ranks 0..K-1: p(r) ∝ (r+1)^-s.
+  cdf_.resize(keys);
+  double total = 0.0;
+  for (std::uint32_t r = 0; r < keys; ++r) {
+    total += std::pow(static_cast<double>(r) + 1.0, -zipf_s);
+    cdf_[r] = total;
+  }
+  for (std::uint32_t r = 0; r < keys; ++r) cdf_[r] /= total;
+  cdf_[keys - 1] = 1.0;
+
+  // Rank→key bijection: affine permutation with a multiplier coprime to K,
+  // seeded from the run seed so re-seeding reshuffles hot-key placement.
+  perm_a_ = (mix64(seed ^ 0xa0761d6478bd642fULL) % keys) | 1u;
+  while (gcd_u64(perm_a_, keys) != 1) perm_a_ += 2;
+  perm_b_ = mix64(seed ^ 0xe703'7ed1'a0b4'28dbULL) % keys;
+
+  // Hot set: the top 1% of ranks (at least one key), flagged by key id.
+  hot_keys_ = std::max<std::uint32_t>(1, keys / 100);
+  hot_.assign(keys, 0);
+  for (std::uint32_t r = 0; r < hot_keys_; ++r) hot_[permute(r)] = 1;
+}
+
+std::uint32_t Traffic::rank_of(std::uint64_t j) const {
+  const std::uint64_t raw = mix64(seed_ + 0x8b99'7299'f04f'6972ULL * (j + 1));
+  // 53-bit uniform in [0, 1).
+  const double u = static_cast<double>(raw >> 11) * 0x1.0p-53;
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::uint32_t>(it - cdf_.begin());
+}
+
+std::vector<std::uint64_t> Traffic::expected_values(std::uint64_t n) const {
+  std::vector<std::uint64_t> v(keys_);
+  for (std::uint32_t key = 0; key < keys_; ++key) v[key] = initial_value(key);
+  for (std::uint64_t j = 0; j < n; ++j) {
+    if (is_put(j)) v[key_of(j)] += put_delta(j);
+  }
+  return v;
+}
+
+}  // namespace o2k::dht

@@ -139,6 +139,15 @@ struct KernelCosts {
   double partition_vertex_ns = 150.0;  ///< per dual-graph vertex per bisection level
   double remap_per_byte_ns = 0.0;      ///< remap payload is charged via the model runtimes
 
+  // DHT overlay (o2k::dht)
+  double dht_gen_ns = 45.0;          ///< draw + admit one client request
+  double dht_hash_ns = 25.0;         ///< hash a key / node onto the ring
+  double dht_finger_scan_ns = 12.0;  ///< examine one finger-table entry while routing
+  double dht_serve_ns = 160.0;       ///< execute a get at the owner (store probe)
+  double dht_store_ns = 85.0;        ///< apply a put / replica write to the store
+  double dht_repair_key_ns = 90.0;   ///< copy one key during churn repair
+  double dht_rebuild_node_ns = 700.0;  ///< rebuild one node's ring+finger state
+
   static KernelCosts origin2000();
 };
 

@@ -176,7 +176,10 @@ void Team::mirror_clock() {
   const double now = pe_.now();
   const double old = world_.pe_clock_[me].exchange(now, std::memory_order_seq_cst);
   const double m = world_.dispatch_.min_wait_clock.load(std::memory_order_seq_cst);
-  if (old < m && now >= m) wake_next_waiter();
+  // Wake when our clock crosses the waiter minimum, *or* leaves it behind:
+  // a waiter at exactly `m` may be tie-blocked by our lower rank (may_go),
+  // so advancing from old == m past it is also an unblocking event.
+  if (old < now && old <= m && now >= m) wake_next_waiter();
 }
 
 void Team::wake_next_waiter() {
@@ -520,8 +523,11 @@ std::pair<std::size_t, std::size_t> Team::dynamic_next(std::size_t chunk) {
 
   // Virtual-time-ordered dispatch: take the next chunk only when no other
   // PE could request it at an earlier virtual time.  Mirrored clocks of
-  // busy PEs lower-bound their future request times, so this is safe (and
-  // makes the chunk→PE assignment reproducible; see header comment).
+  // busy PEs lower-bound their future request times, so this is safe.  Ties
+  // break by rank — including against *busy* PEs, which may still request
+  // at exactly their mirrored clock (e.g. right after a barrier, when every
+  // clock is equal) — so the chunk→PE map is a pure function of virtual
+  // time and rank, bit-reproducible across execution backends.
   auto may_go = [&] {
     if (d.next >= d.end) return true;  // drained while we waited
     for (int p = 0; p < size(); ++p) {
@@ -529,7 +535,7 @@ std::pair<std::size_t, std::size_t> Team::dynamic_next(std::size_t chunk) {
       const int st = world_.pe_state_[static_cast<std::size_t>(p)].load(std::memory_order_seq_cst);
       if (st == 2) continue;  // done
       const double t = world_.pe_clock_[static_cast<std::size_t>(p)].load(std::memory_order_seq_cst);
-      if (t < my_t || (t == my_t && st == 1 && p < rank())) return false;
+      if (t < my_t || (t == my_t && p < rank())) return false;
     }
     return true;
   };

@@ -38,8 +38,10 @@
 // Team also provides the synchronisation the paper's SAS codes use:
 // barriers, locks (virtual-time serialised), deterministic reductions, and
 // static/dynamic parallel loops.  Dynamic scheduling dispatches chunks in
-// *virtual-time order* (the PE whose clock is least gets the next chunk),
-// which is what real self-scheduling achieves in real time.
+// *virtual-time order* (the PE whose clock is least gets the next chunk,
+// ties broken by rank), which is what real self-scheduling achieves in real
+// time — and because the tie-break is total, the chunk→PE assignment is a
+// pure function of virtual time, bit-reproducible across backends.
 #pragma once
 
 #include <atomic>

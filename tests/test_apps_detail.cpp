@@ -101,8 +101,8 @@ TEST(SasEdgeTableTest, MarkAndLookup) {
     sas::Team team(world, pe);
     table.clear(team);
     if (pe.rank() == 0) {
-      EXPECT_TRUE(table.mark(team, 42));
-      EXPECT_FALSE(table.mark(team, 42));  // already marked
+      table.mark(team, 42, 1);
+      table.mark(team, 42, 1);  // idempotent
     }
     team.barrier();
     EXPECT_TRUE(table.is_marked(team, 42));
@@ -111,48 +111,80 @@ TEST(SasEdgeTableTest, MarkAndLookup) {
   });
 }
 
-TEST(SasEdgeTableTest, PendingInvisibleUntilPromoted) {
+TEST(SasEdgeTableTest, RoundStampGivesJacobiFreeze) {
   sas::World world(machine().params(), 2, std::size_t{8} << 20);
   apps::SasEdgeTable table(world, 256);
   machine().run(2, [&](rt::Pe& pe) {
     sas::Team team(world, pe);
     table.clear(team);
-    if (pe.rank() == 0) table.set_pending(team, 7);
+    // A promotion staged during round 1 carries stamp 2: invisible to the
+    // round-1 view, visible from round 2 on.
+    if (pe.rank() == 0) table.mark(team, 7, 2);
     team.barrier();
-    EXPECT_FALSE(table.is_marked(team, 7));  // Jacobi freeze
-    team.barrier();
-    const bool changed = table.promote_pending(team);
-    team.barrier();
+    EXPECT_FALSE(table.is_marked_by(team, 7, 1));  // frozen round-1 view
+    EXPECT_TRUE(table.is_marked_by(team, 7, 2));
     EXPECT_TRUE(table.is_marked(team, 7));
-    // Exactly one PE's slice contained the slot.
-    (void)changed;
+    team.barrier();
+    // Concurrent re-marks converge on the minimum stamp whatever the order.
+    table.mark(team, 7, static_cast<std::uint64_t>(3 + pe.rank()));
+    if (pe.rank() == 1) table.mark(team, 7, 1);
+    team.barrier();
+    EXPECT_TRUE(table.is_marked_by(team, 7, 1));
     team.barrier();
   });
 }
 
-TEST(SasEdgeTableTest, ConcurrentMidCreationIsUnique) {
+TEST(SasEdgeTableTest, MidOwnershipGoesToMinimumBidder) {
   sas::World world(machine().params(), 8, std::size_t{8} << 20);
   apps::SasEdgeTable table(world, 4096);
-  std::atomic<std::int64_t> next_id{0};
   std::array<std::atomic<std::int64_t>, 64> got{};
   machine().run(8, [&](rt::Pe& pe) {
     sas::Team team(world, pe);
     table.clear(team);
-    // Everyone races to create mids for the same 64 keys.
-    for (std::int64_t k = 1; k <= 64; ++k) {
-      const std::int64_t id = table.get_or_create_mid(
-          team, static_cast<std::uint64_t>(k) * 0x9e3779b97f4a7c15ULL + 1,
-          [&] { return next_id.fetch_add(1); });
+    // Everyone bids for the same 64 keys with its rank as priority.
+    for (std::uint64_t k = 1; k <= 64; ++k) {
+      table.request_mid(team, k * 0x9e3779b97f4a7c15ULL + 1,
+                        static_cast<std::uint64_t>(pe.rank()));
+    }
+    team.barrier();
+    // Rank 0 is the minimum bidder everywhere; it alone creates and
+    // publishes the mids.
+    for (std::uint64_t k = 1; k <= 64; ++k) {
+      const std::uint64_t key = k * 0x9e3779b97f4a7c15ULL + 1;
+      const bool mine = table.owns_mid(team, key, static_cast<std::uint64_t>(pe.rank()));
+      EXPECT_EQ(mine, pe.rank() == 0);
+      if (mine) table.put_mid(team, key, static_cast<std::int64_t>(100 + k));
+    }
+    team.barrier();
+    // All PEs observe the same id per key.
+    for (std::uint64_t k = 1; k <= 64; ++k) {
+      const std::int64_t id = table.mid_of(team, k * 0x9e3779b97f4a7c15ULL + 1);
+      EXPECT_EQ(id, static_cast<std::int64_t>(100 + k));
       auto& slot = got[static_cast<std::size_t>(k - 1)];
-      std::int64_t expect = -0;
-      // All PEs must observe the same id per key.
-      std::int64_t prev = slot.exchange(id + 1);
+      const std::int64_t prev = slot.exchange(id + 1);
       if (prev != 0) EXPECT_EQ(prev, id + 1);
-      (void)expect;
     }
     team.barrier();
   });
-  EXPECT_EQ(next_id.load(), 64);  // exactly one creation per key
+}
+
+TEST(SasEdgeTableTest, HomeSliceCountsSumToDistinctMarks) {
+  sas::World world(machine().params(), 4, std::size_t{8} << 20);
+  apps::SasEdgeTable table(world, 1024);
+  std::array<std::atomic<std::size_t>, 4> counts{};
+  machine().run(4, [&](rt::Pe& pe) {
+    sas::Team team(world, pe);
+    table.clear(team);
+    // Overlapping mark sets: keys 1..40 from every PE, plus a per-rank tail.
+    for (std::uint64_t k = 1; k <= 40; ++k) table.mark(team, k, 1);
+    table.mark(team, 1000 + static_cast<std::uint64_t>(pe.rank()), 1);
+    team.barrier();
+    counts[static_cast<std::size_t>(pe.rank())] = table.count_marked_home(team);
+    team.barrier();
+  });
+  std::size_t total = 0;
+  for (const auto& c : counts) total += c;
+  EXPECT_EQ(total, 44u);  // 40 shared + 4 per-rank, each counted exactly once
 }
 
 TEST(SasEdgeTableTest, FullTableDetected) {
@@ -163,7 +195,7 @@ TEST(SasEdgeTableTest, FullTableDetected) {
     table.clear(team);
     EXPECT_THROW(
         {
-          for (std::uint64_t k = 1; k <= 100; ++k) table.mark(team, k);
+          for (std::uint64_t k = 1; k <= 100; ++k) table.mark(team, k, 1);
         },
         std::logic_error);
   });

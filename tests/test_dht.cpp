@@ -1,0 +1,270 @@
+// Tests for the Chord core (o2k::dht) and the DHT application bindings:
+// ring/routing invariants, deterministic churn and repair planning, traffic
+// determinism, and — across MP, SHMEM and CC-SAS — identical hop counts and
+// a store that matches the serial reference even under churn.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "apps/dht_app.hpp"
+#include "dht/chord.hpp"
+#include "dht/traffic.hpp"
+
+namespace o2k {
+namespace {
+
+rt::Machine& machine() {
+  static rt::Machine m;
+  return m;
+}
+
+std::vector<std::uint8_t> all_alive(int n) {
+  return std::vector<std::uint8_t>(static_cast<std::size_t>(n), 1);
+}
+
+TEST(ChordRing, SuccessorIsFirstAliveAtOrAfterPoint) {
+  auto alive = all_alive(16);
+  alive[3] = 0;
+  alive[11] = 0;
+  const auto ring = dht::Ring::build(alive);
+  EXPECT_EQ(ring.n_alive(), 14);
+  EXPECT_EQ(ring.n_total(), 16);
+  // Brute-force reference: minimal clockwise distance over alive nodes.
+  for (std::uint64_t probe : {0ULL, 1ULL << 20, 1ULL << 40, ~0ULL - 5, 12345678901ULL}) {
+    dht::NodeId best = 0;
+    std::uint64_t best_d = ~0ULL;
+    for (int n = 0; n < 16; ++n) {
+      if (!alive[static_cast<std::size_t>(n)]) continue;
+      const std::uint64_t d = dht::node_point(static_cast<dht::NodeId>(n)) - probe;
+      if (d <= best_d) {
+        // Ties cannot occur (distinct hash points), so strict compare is fine.
+        if (d < best_d) {
+          best_d = d;
+          best = static_cast<dht::NodeId>(n);
+        }
+      }
+    }
+    EXPECT_EQ(ring.successor(probe), best) << "probe=" << probe;
+  }
+}
+
+TEST(ChordRing, ReplicasAreDistinctRingSuccessorsOfOwner) {
+  const auto ring = dht::Ring::build(all_alive(24));
+  std::vector<dht::NodeId> reps;
+  for (std::uint32_t key = 0; key < 64; ++key) {
+    ring.replicas(key, 3, reps);
+    ASSERT_EQ(reps.size(), 3u);
+    EXPECT_EQ(reps[0], ring.owner(key));
+    std::set<dht::NodeId> uniq(reps.begin(), reps.end());
+    EXPECT_EQ(uniq.size(), reps.size()) << "replica set must be distinct";
+  }
+  // With fewer alive nodes than k, the set degrades gracefully.
+  const auto tiny = dht::Ring::build(all_alive(2));
+  tiny.replicas(7, 3, reps);
+  EXPECT_EQ(reps.size(), 2u);
+}
+
+TEST(ChordRouting, GreedyRoutingReachesOwnerInLogHops) {
+  const int nodes = 48;
+  const auto ring = dht::Ring::build(all_alive(nodes));
+  std::vector<dht::Fingers> fg;
+  for (int n = 0; n < nodes; ++n)
+    fg.push_back(dht::Fingers::build(ring, static_cast<dht::NodeId>(n)));
+  for (std::uint32_t key = 0; key < 256; ++key) {
+    dht::NodeId cur = ring.pick_alive(dht::mix64(key));
+    int hops = 0;
+    while (true) {
+      const auto [next, scanned] = dht::next_hop(ring, fg[cur], key);
+      EXPECT_GE(scanned, 1);
+      if (next == cur) break;  // cur owns the key
+      cur = next;
+      ASSERT_LE(++hops, 16) << "routing must terminate in O(log N) hops";
+    }
+    EXPECT_EQ(cur, ring.owner(key));
+  }
+}
+
+TEST(ChordChurn, EventsAreLegalAndDeterministic) {
+  const int nodes = 20, min_alive = 15;
+  auto alive = all_alive(nodes);
+  int n_alive = nodes;
+  for (int e = 0; e < 200; ++e) {
+    const auto ev = dht::churn_event(alive, min_alive, 42, e);
+    ASSERT_TRUE(ev.has_value());
+    const auto again = dht::churn_event(alive, min_alive, 42, e);
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(ev->fail, again->fail);
+    EXPECT_EQ(ev->node, again->node);
+    if (ev->fail) {
+      EXPECT_TRUE(alive[ev->node]);
+      alive[ev->node] = 0;
+      --n_alive;
+    } else {
+      EXPECT_FALSE(alive[ev->node]);
+      alive[ev->node] = 1;
+      ++n_alive;
+    }
+    EXPECT_GE(n_alive, min_alive) << "churn must respect the alive floor";
+  }
+}
+
+TEST(ChordChurn, NoLegalMoveYieldsNullopt) {
+  // All alive but failing would dip below the floor, and nothing is dead to
+  // rejoin: the schedule must say "no event" rather than break an invariant.
+  const auto ev = dht::churn_event(all_alive(4), 4, 7, 0);
+  EXPECT_FALSE(ev.has_value());
+}
+
+TEST(ChordRepair, PlanRestoresFullReplication) {
+  const int nodes = 16, k = 3;
+  const std::uint32_t keys = 128;
+  auto alive = all_alive(nodes);
+  const auto before = dht::Ring::build(alive);
+
+  // Host-side store mirror: which nodes hold which key.
+  std::vector<std::set<dht::NodeId>> holders(keys);
+  std::vector<dht::NodeId> reps;
+  for (std::uint32_t key = 0; key < keys; ++key) {
+    before.replicas(key, k, reps);
+    holders[key].insert(reps.begin(), reps.end());
+  }
+
+  // Fail one node, apply the plan, and check every key is fully replicated
+  // on the new ring with every copy sourced from a surviving holder.
+  const dht::NodeId dead = 5;
+  alive[dead] = 0;
+  const auto after = dht::Ring::build(alive);
+  for (auto& h : holders) h.erase(dead);
+  const auto plan = dht::plan_repair(before, after, keys, k);
+  for (const auto& x : plan) {
+    EXPECT_TRUE(after.is_alive(x.src));
+    EXPECT_TRUE(after.is_alive(x.dst));
+    EXPECT_TRUE(holders[x.key].count(x.src)) << "repair source must already hold the key";
+    holders[x.key].insert(x.dst);
+  }
+  for (std::uint32_t key = 0; key < keys; ++key) {
+    after.replicas(key, k, reps);
+    for (const dht::NodeId d : reps)
+      EXPECT_TRUE(holders[key].count(d)) << "key " << key << " missing on node " << d;
+  }
+}
+
+TEST(DhtTraffic, StreamIsDeterministicAndZipfSkewed) {
+  const dht::Traffic a(1024, 0.9, 77, 10);
+  const dht::Traffic b(1024, 0.9, 77, 10);
+  std::map<std::uint32_t, int> freq;
+  int puts = 0;
+  for (std::uint64_t j = 0; j < 20000; ++j) {
+    EXPECT_EQ(a.key_of(j), b.key_of(j));
+    EXPECT_EQ(a.is_put(j), b.is_put(j));
+    EXPECT_EQ(a.entry_raw(j), b.entry_raw(j));
+    ++freq[a.key_of(j)];
+    puts += a.is_put(j) ? 1 : 0;
+  }
+  // Zipf(0.9): rank 0 dominates any deep rank by a wide margin.
+  EXPECT_GT(freq[a.permute(0)], 8 * std::max(1, freq[a.permute(900)]));
+  // Put fraction lands near the configured 10%.
+  EXPECT_NEAR(static_cast<double>(puts) / 20000.0, 0.10, 0.02);
+}
+
+TEST(DhtTraffic, ExpectedValuesMatchManualReplay) {
+  const dht::Traffic t(64, 0.8, 5, 50);
+  const std::uint64_t n = 5000;
+  std::vector<std::uint64_t> ref(64);
+  for (std::uint32_t key = 0; key < 64; ++key) ref[key] = t.initial_value(key);
+  for (std::uint64_t j = 0; j < n; ++j)
+    if (t.is_put(j)) ref[t.key_of(j)] += t.put_delta(j);
+  EXPECT_EQ(t.expected_values(n), ref);
+}
+
+// ---- the three bindings ----------------------------------------------------
+
+apps::DhtConfig small_cfg() {
+  apps::DhtConfig cfg;
+  cfg.requests = 20000;
+  cfg.keys = 1024;
+  cfg.window = 512;
+  cfg.churn_every = 4000;  // several fail/rejoin events within the run
+  return cfg;
+}
+
+struct Case {
+  apps::Model model;
+  int procs;
+};
+
+class DhtModels : public ::testing::TestWithParam<Case> {};
+
+TEST_P(DhtModels, LookupAndStoreCorrectUnderChurn) {
+  const auto [model, procs] = GetParam();
+  const auto rep = apps::run_dht(model, machine(), procs, small_cfg());
+  EXPECT_DOUBLE_EQ(rep.check("served"), 20000.0);
+  EXPECT_DOUBLE_EQ(rep.check("store_ok"), 1.0);     // values match serial replay
+  EXPECT_DOUBLE_EQ(rep.check("replicas_ok"), 1.0);  // replication restored post-churn
+  EXPECT_GT(rep.run.counter("dht.hops"), rep.run.counter("dht.requests"));
+  EXPECT_GT(rep.run.counter("dht.hot_hits"), 0u);
+  if (procs > 1) {
+    // At P=1 the overlay has only nodes_per_pe nodes, below the churn floor
+    // (dht_min_alive), so no membership event is legal and repair stays 0.
+    EXPECT_GT(rep.check("churn_events"), 0.0);
+    EXPECT_GT(rep.run.counter("dht.repair_keys"), 0u);
+  } else {
+    EXPECT_DOUBLE_EQ(rep.check("churn_events"), 0.0);
+  }
+}
+
+TEST_P(DhtModels, SimulatedTimeReproducible) {
+  const auto [model, procs] = GetParam();
+  const auto r1 = apps::run_dht(model, machine(), procs, small_cfg());
+  const auto r2 = apps::run_dht(model, machine(), procs, small_cfg());
+  EXPECT_DOUBLE_EQ(r1.run.makespan_ns, r2.run.makespan_ns);
+  EXPECT_EQ(r1.checks, r2.checks);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelsAndProcs, DhtModels,
+    ::testing::Values(Case{apps::Model::kMp, 1}, Case{apps::Model::kMp, 8},
+                      Case{apps::Model::kShmem, 1}, Case{apps::Model::kShmem, 8},
+                      Case{apps::Model::kSas, 1}, Case{apps::Model::kSas, 8}),
+    [](const auto& info) {
+      std::string name = apps::model_name(info.param.model);
+      name.erase(std::remove(name.begin(), name.end(), '-'), name.end());
+      return name + "_P" + std::to_string(info.param.procs);
+    });
+
+TEST(DhtCrossModel, HopCountsIdenticalAcrossModelsAtP8) {
+  // Routing decisions are pure functions of (membership, key) shared through
+  // dht::chord, so per-request hop counts — and with them the hot-key hits
+  // and repair volume — must agree bit-for-bit across the three transports.
+  const auto cfg = small_cfg();
+  const auto mp = apps::run_dht(apps::Model::kMp, machine(), 8, cfg);
+  const auto sh = apps::run_dht(apps::Model::kShmem, machine(), 8, cfg);
+  const auto sa = apps::run_dht(apps::Model::kSas, machine(), 8, cfg);
+  EXPECT_DOUBLE_EQ(mp.check("hops"), sh.check("hops"));
+  EXPECT_DOUBLE_EQ(mp.check("hops"), sa.check("hops"));
+  EXPECT_DOUBLE_EQ(mp.check("hot_hits"), sh.check("hot_hits"));
+  EXPECT_DOUBLE_EQ(mp.check("hot_hits"), sa.check("hot_hits"));
+  EXPECT_DOUBLE_EQ(mp.check("served"), sh.check("served"));
+  EXPECT_DOUBLE_EQ(mp.check("served"), sa.check("served"));
+  EXPECT_DOUBLE_EQ(mp.check("alive"), sa.check("alive"));
+  EXPECT_EQ(mp.run.counter("dht.repair_keys"), sh.run.counter("dht.repair_keys"));
+  EXPECT_EQ(mp.run.counter("dht.repair_keys"), sa.run.counter("dht.repair_keys"));
+}
+
+TEST(DhtConfigChecks, RejectsDegenerateInputs) {
+  auto cfg = small_cfg();
+  cfg.replicas = 0;
+  EXPECT_THROW(apps::run_dht(apps::Model::kMp, machine(), 2, cfg), std::invalid_argument);
+  cfg = small_cfg();
+  cfg.keys = 0;
+  EXPECT_THROW(apps::run_dht(apps::Model::kShmem, machine(), 2, cfg), std::invalid_argument);
+  cfg = small_cfg();
+  cfg.window = 0;
+  EXPECT_THROW(apps::run_dht(apps::Model::kSas, machine(), 2, cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace o2k

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <string>
 
+#include "apps/dht_app.hpp"
 #include "apps/mesh_app.hpp"
 #include "apps/nbody_app.hpp"
 #include "metrics/sink.hpp"
@@ -243,20 +244,16 @@ struct Case {
   int p;
 };
 
-// mesh/CC-SAS runs with P > 1 are excluded: the remeshing code allocates
-// vertex/tet ids with unordered fetch_adds and claims edge-table slots with
-// CAS, so *which* pages and lines each PE ends up touching depends on host
-// interleaving — an application-level property of the lock-free shared-mesh
-// algorithm, not of the simulator.  The coherence metadata itself commits
-// at barriers (delayed-commit, see src/sas/sas.hpp), which is why
-// nbody/CC-SAS — whose touch pattern is statically partitioned — is
-// bit-reproducible at every P and is covered here.
+// Every app × model × P is covered, mesh/CC-SAS included: the remesher's
+// cross-PE updates are order-independent RMWs charged at each key's home
+// slot and its vertex/tet ids come from per-PE prefix ranges (see
+// src/apps/sas_table.hpp and src/apps/mesh_sas.cpp), so all measured
+// quantities are pure functions of the input, bit-reproducible at every P.
 inline std::vector<Case> cases() {
   std::vector<Case> out;
-  for (const char* app : {"nbody", "mesh"}) {
+  for (const char* app : {"nbody", "mesh", "dht"}) {
     for (auto model : {apps::Model::kMp, apps::Model::kShmem, apps::Model::kSas}) {
       for (int p : {1, 5, 8}) {
-        if (model == apps::Model::kSas && p > 1 && std::string(app) == "mesh") continue;
         out.push_back({app, model, p});
       }
     }
@@ -287,6 +284,15 @@ inline std::string canonical(const RunResult& rr) {
   return os.str();
 }
 
+inline apps::DhtConfig dht_smoke_config() {
+  apps::DhtConfig cfg;
+  cfg.requests = 6000;
+  cfg.keys = 512;
+  cfg.window = 256;
+  cfg.churn_every = 1500;
+  return cfg;
+}
+
 inline RunResult run_case(const Case& c, metrics::Sink* sink) {
   Machine machine;
   machine.set_sink(sink);
@@ -295,6 +301,9 @@ inline RunResult run_case(const Case& c, metrics::Sink* sink) {
     cfg.n = 2048;
     cfg.steps = 2;
     return apps::run_nbody(c.model, machine, c.p, cfg).run;
+  }
+  if (std::string(c.app) == "dht") {
+    return apps::run_dht(c.model, machine, c.p, dht_smoke_config()).run;
   }
   apps::MeshConfig cfg;
   cfg.nx = cfg.ny = cfg.nz = 6;
@@ -355,13 +364,11 @@ TEST(SubstrateGolden, AppRunsMatchPreChangeFixtureAndSinkIsNeutral) {
 
 // P=64 backend determinism: at full machine width, every measured value —
 // clocks, phase aggregates, counters — must be identical across the fiber
-// engine and thread-per-PE, and across repeated fiber runs.  mesh/CC-SAS is
-// exempt by design (see the note above cases()): its lock-free remesher
-// races id allocation, so data placement is interleaving-dependent there.
+// engine and thread-per-PE, and across repeated fiber runs, for every app
+// and model (mesh/CC-SAS included — see the note above cases()).
 TEST(SubstrateGolden, P64BackendDeterminism) {
-  for (const char* app : {"nbody", "mesh"}) {
+  for (const char* app : {"nbody", "mesh", "dht"}) {
     for (auto model : {apps::Model::kMp, apps::Model::kShmem, apps::Model::kSas}) {
-      if (model == apps::Model::kSas && std::string(app) == "mesh") continue;
       const golden::Case c{app, model, 64};
       SCOPED_TRACE(golden::case_key(c));
       auto run_with = [&](std::optional<ExecBackend> b) {
@@ -372,6 +379,10 @@ TEST(SubstrateGolden, P64BackendDeterminism) {
           cfg.n = 2048;
           cfg.steps = 2;
           return golden::canonical(apps::run_nbody(c.model, machine, c.p, cfg).run);
+        }
+        if (std::string(c.app) == "dht") {
+          return golden::canonical(
+              apps::run_dht(c.model, machine, c.p, golden::dht_smoke_config()).run);
         }
         apps::MeshConfig cfg;
         cfg.nx = cfg.ny = cfg.nz = 6;
