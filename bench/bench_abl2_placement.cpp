@@ -9,7 +9,7 @@
 
 using namespace o2k;
 
-int main(int argc, char** argv) {
+int bench_main(int argc, char** argv) {
   auto flags = bench::common_flags();
   flags["p"] = "processor count (default 32)";
   Cli cli(argc, argv, flags);
@@ -38,3 +38,5 @@ int main(int argc, char** argv) {
                "round-robin pays more while zones are stable.\n";
   return 0;
 }
+
+int main(int argc, char** argv) { return o2k::bench::guard(bench_main, argc, argv); }

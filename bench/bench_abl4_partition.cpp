@@ -8,7 +8,7 @@
 
 using namespace o2k;
 
-int main(int argc, char** argv) {
+int bench_main(int argc, char** argv) {
   auto flags = bench::common_flags();
   flags["p"] = "processor count (default 32)";
   Cli cli(argc, argv, flags);
@@ -49,3 +49,5 @@ int main(int argc, char** argv) {
                "Plummer cluster where static blocks do not.\n";
   return 0;
 }
+
+int main(int argc, char** argv) { return o2k::bench::guard(bench_main, argc, argv); }

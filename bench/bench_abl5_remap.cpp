@@ -9,7 +9,7 @@
 
 using namespace o2k;
 
-int main(int argc, char** argv) {
+int bench_main(int argc, char** argv) {
   auto flags = bench::common_flags();
   flags["p"] = "processor count (default 32)";
   flags["phases"] = "adaptation phases (default 4)";
@@ -46,3 +46,5 @@ int main(int argc, char** argv) {
   out.print();
   return 0;
 }
+
+int main(int argc, char** argv) { return o2k::bench::guard(bench_main, argc, argv); }

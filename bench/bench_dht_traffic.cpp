@@ -19,11 +19,14 @@
 //       (schema o2k.bench_dht.v1).
 //   ./bench_dht_traffic --gate=BENCH_dht.json
 //       CI perf-smoke gate: re-run the pinned P=64 points on the fibers
-//       backend; fail if wall time regressed >25% or any makespan moved.
+//       backend; fail (exit 1) if wall time regressed >25% or any makespan
+//       moved.  Baseline problems exit 2 (missing) / 3 (malformed JSON) /
+//       4 (schema mismatch) — see bench_gate.hpp.
 #include <chrono>
 #include <fstream>
 
 #include "apps/dht_app.hpp"
+#include "bench_gate.hpp"
 #include "bench_util.hpp"
 
 using namespace o2k;
@@ -40,25 +43,6 @@ apps::DhtConfig baseline_cfg() {
   return cfg;
 }
 
-/// Pull `"field":<number>` / `"field":"string"` out of one JSON line.  The
-/// before-file is our own line-oriented output, so this narrow parse is safe.
-bool json_field(const std::string& line, const std::string& field, std::string& out) {
-  const std::string needle = "\"" + field + "\":";
-  const std::size_t at = line.find(needle);
-  if (at == std::string::npos) return false;
-  std::size_t b = at + needle.size();
-  if (b < line.size() && line[b] == '"') {
-    const std::size_t e = line.find('"', b + 1);
-    if (e == std::string::npos) return false;
-    out = line.substr(b + 1, e - b - 1);
-    return true;
-  }
-  std::size_t e = b;
-  while (e < line.size() && line[e] != ',' && line[e] != '}') ++e;
-  out = line.substr(b, e - b);
-  return !out.empty();
-}
-
 struct WallPoint {
   std::string model;
   int p = 0;
@@ -66,30 +50,6 @@ struct WallPoint {
   double wall_threads_s = 0.0;  ///< one thread-per-PE run
   double makespan_ns = 0.0;     ///< virtual time (identical across backends)
 };
-
-std::vector<WallPoint> load_wall_points(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) {
-    std::cerr << "bench_dht_traffic: cannot read " << path << "\n";
-    std::exit(2);
-  }
-  std::vector<WallPoint> out;
-  std::string line;
-  while (std::getline(in, line)) {
-    WallPoint pt;
-    std::string p, wf, wt, mk;
-    if (!json_field(line, "model", pt.model) || !json_field(line, "P", p) ||
-        !json_field(line, "wall_fibers_s", wf)) {
-      continue;  // header / totals / blank lines
-    }
-    pt.p = std::stoi(p);
-    pt.wall_fibers_s = std::stod(wf);
-    if (json_field(line, "wall_threads_s", wt)) pt.wall_threads_s = std::stod(wt);
-    if (json_field(line, "makespan_ns", mk)) pt.makespan_ns = std::stod(mk);
-    out.push_back(pt);
-  }
-  return out;
-}
 
 /// One timed execution of the baseline workload; returns (wall_s, makespan).
 std::pair<double, double> timed_run(rt::Machine& machine, apps::Model model, int p) {
@@ -158,21 +118,22 @@ int run_wall_mode(const std::string& out_path) {
 /// CI perf-smoke gate: pinned P=64 points, fibers backend, 25% wall budget,
 /// makespans pinned bit-exactly against the committed file.
 int run_gate_mode(const std::string& baseline_path) {
-  const auto baseline = load_wall_points(baseline_path);
+  const auto baseline = bench::load_gate_baseline("bench_dht_traffic", baseline_path,
+                                                  "o2k.bench_dht.v1", /*with_app=*/false);
   constexpr double kBudget = 1.25;
   rt::Machine machine;
   machine.set_exec_backend(rt::ExecBackend::kFibers);
   bool ok = true;
   for (const auto model : bench::all_models()) {
     const std::string slug = apps::model_slug(model);
-    const WallPoint* base = nullptr;
+    const bench::GateRecord* base = nullptr;
     for (const auto& b : baseline)
       if (b.model == slug && b.p == 64) base = &b;
     if (base == nullptr) {
-      std::fprintf(stderr, "GATE ERROR: dht|%s|64 missing from %s\n", slug.c_str(),
-                   baseline_path.c_str());
-      ok = false;
-      continue;
+      throw bench::GateBaselineError(bench::kGateSchema,
+                                     "bench_dht_traffic: pinned point dht|" + slug +
+                                         "|64 missing from " + baseline_path +
+                                         " — regenerate with --wall");
     }
     const auto [w1, mk1] = timed_run(machine, model, 64);
     const auto [w2, mk2] = timed_run(machine, model, 64);
@@ -194,7 +155,7 @@ int run_gate_mode(const std::string& baseline_path) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int bench_main(int argc, char** argv) {
   auto flags = bench::common_flags();
   flags["requests"] = "client requests per run (default 120000; --full: 1000000)";
   flags["zipf-s"] = "key-popularity skew exponent for the P sweep (default 0.9)";
@@ -206,7 +167,14 @@ int main(int argc, char** argv) {
     std::cout << cli.help();
     return 0;
   }
-  if (cli.has("gate")) return run_gate_mode(cli.get("gate", "BENCH_dht.json"));
+  if (cli.has("gate")) {
+    try {
+      return run_gate_mode(cli.get("gate", "BENCH_dht.json"));
+    } catch (const bench::GateBaselineError& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return e.exit_code();
+    }
+  }
   if (cli.get_bool("wall", false)) return run_wall_mode(cli.get("out", "BENCH_dht.json"));
 
   apps::DhtConfig cfg = baseline_cfg();
@@ -268,3 +236,5 @@ int main(int argc, char** argv) {
                "popularity concentrates on a few keys.\n";
   return 0;
 }
+
+int main(int argc, char** argv) { return o2k::bench::guard(bench_main, argc, argv); }

@@ -7,7 +7,7 @@
 
 using namespace o2k;
 
-int main(int argc, char** argv) {
+int bench_main(int argc, char** argv) {
   auto flags = bench::common_flags();
   flags["n"] = "bodies (overrides --full sizing)";
   flags["steps"] = "time steps (default 2)";
@@ -43,3 +43,5 @@ int main(int argc, char** argv) {
                "~1.3x of MP; SHMEM >= MPI at large P.\n";
   return 0;
 }
+
+int main(int argc, char** argv) { return o2k::bench::guard(bench_main, argc, argv); }

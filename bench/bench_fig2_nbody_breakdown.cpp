@@ -8,7 +8,7 @@
 
 using namespace o2k;
 
-int main(int argc, char** argv) {
+int bench_main(int argc, char** argv) {
   auto flags = bench::common_flags();
   flags["n"] = "bodies";
   flags["p"] = "processor count for the breakdown (default 32)";
@@ -45,3 +45,5 @@ int main(int argc, char** argv) {
                "CC-SAS tree/force absorb the implicit communication.\n";
   return 0;
 }
+
+int main(int argc, char** argv) { return o2k::bench::guard(bench_main, argc, argv); }

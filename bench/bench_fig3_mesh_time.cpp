@@ -8,7 +8,7 @@
 
 using namespace o2k;
 
-int main(int argc, char** argv) {
+int bench_main(int argc, char** argv) {
   auto flags = bench::common_flags();
   flags["box"] = "initial box resolution per side";
   flags["phases"] = "adaptation phases (default 3)";
@@ -49,3 +49,5 @@ int main(int argc, char** argv) {
                "such phase and leads at moderate P, flattening at high P.\n";
   return 0;
 }
+
+int main(int argc, char** argv) { return o2k::bench::guard(bench_main, argc, argv); }

@@ -7,7 +7,7 @@
 
 using namespace o2k;
 
-int main(int argc, char** argv) {
+int bench_main(int argc, char** argv) {
   auto flags = bench::common_flags();
   flags["box"] = "initial box resolution per side";
   flags["p"] = "processor count for the breakdown (default 32)";
@@ -42,3 +42,5 @@ int main(int argc, char** argv) {
                "inflates instead (remote misses after the workload shifts).\n";
   return 0;
 }
+
+int main(int argc, char** argv) { return o2k::bench::guard(bench_main, argc, argv); }

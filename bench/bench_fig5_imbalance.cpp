@@ -9,7 +9,7 @@
 
 using namespace o2k;
 
-int main(int argc, char** argv) {
+int bench_main(int argc, char** argv) {
   auto flags = bench::common_flags();
   flags["box"] = "initial box resolution per side";
   flags["phases"] = "adaptation phases (default 4 — imbalance needs drift)";
@@ -46,3 +46,5 @@ int main(int argc, char** argv) {
                "and wins on total time once the imbalance cost exceeds the remap.\n";
   return 0;
 }
+
+int main(int argc, char** argv) { return o2k::bench::guard(bench_main, argc, argv); }

@@ -9,7 +9,7 @@
 
 using namespace o2k;
 
-int main(int argc, char** argv) {
+int bench_main(int argc, char** argv) {
   auto flags = bench::common_flags();
   flags["app"] = "nbody | mesh (default nbody)";
   Cli cli(argc, argv, flags);
@@ -56,3 +56,5 @@ int main(int argc, char** argv) {
                "traffic grows faster at high P (shifting zones defeat the caches).\n";
   return 0;
 }
+
+int main(int argc, char** argv) { return o2k::bench::guard(bench_main, argc, argv); }

@@ -16,7 +16,10 @@
 // A third mode, `--gate=<BENCH_sched.json>`, is the CI perf-smoke gate: it
 // re-runs a pinned subset of the sweep on the fibers backend and fails
 // (exit 1) if any point's wall time regressed more than 25% against the
-// committed file, or if any point's makespan drifted from it.
+// committed file, or if any point's makespan drifted from it.  Baseline
+// problems exit with distinct codes (2 missing file, 3 malformed JSON,
+// 4 schema mismatch) so CI can tell a regression from a broken artifact —
+// see bench_gate.hpp.
 //
 //   ./bench_micro_runtime --gate=BENCH_sched.json
 #include <benchmark/benchmark.h>
@@ -32,6 +35,7 @@
 
 #include "apps/mesh_app.hpp"
 #include "apps/nbody_app.hpp"
+#include "bench_gate.hpp"
 #include "mp/comm.hpp"
 #include "sas/sas.hpp"
 #include "shmem/shmem.hpp"
@@ -125,49 +129,6 @@ struct WallPoint {
 
 std::string point_key(const WallPoint& pt) {
   return pt.app + "|" + pt.model + "|" + std::to_string(pt.p);
-}
-
-/// Pull `"field":<number>` / `"field":"string"` out of one JSON line.  The
-/// before-file is our own line-oriented output, so this narrow parse is safe.
-bool json_field(const std::string& line, const std::string& field, std::string& out) {
-  const std::string needle = "\"" + field + "\":";
-  const std::size_t at = line.find(needle);
-  if (at == std::string::npos) return false;
-  std::size_t b = at + needle.size();
-  if (b < line.size() && line[b] == '"') {
-    const std::size_t e = line.find('"', b + 1);
-    if (e == std::string::npos) return false;
-    out = line.substr(b + 1, e - b - 1);
-    return true;
-  }
-  std::size_t e = b;
-  while (e < line.size() && line[e] != ',' && line[e] != '}') ++e;
-  out = line.substr(b, e - b);
-  return !out.empty();
-}
-
-std::vector<WallPoint> load_wall_points(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) {
-    std::cerr << "bench_micro_runtime: cannot read " << path << "\n";
-    std::exit(2);
-  }
-  std::vector<WallPoint> out;
-  std::string line;
-  while (std::getline(in, line)) {
-    WallPoint pt;
-    std::string p, wf, wt, mk;
-    if (!json_field(line, "app", pt.app) || !json_field(line, "model", pt.model) ||
-        !json_field(line, "P", p) || !json_field(line, "wall_fibers_s", wf)) {
-      continue;  // header / totals / blank lines
-    }
-    pt.p = std::stoi(p);
-    pt.wall_fibers_s = std::stod(wf);
-    if (json_field(line, "wall_threads_s", wt)) pt.wall_threads_s = std::stod(wt);
-    if (json_field(line, "makespan_ns", mk)) pt.makespan_ns = std::stod(mk);
-    out.push_back(pt);
-  }
-  return out;
 }
 
 apps::Model model_from_slug(const std::string& s) {
@@ -284,9 +245,12 @@ int run_wall_mode(const std::string& out_path, int pmax) {
 }
 
 /// CI perf-smoke gate: pinned subset, fibers backend, 25% wall budget.
+/// Baseline problems throw bench::GateBaselineError (caught in main).
 int run_gate_mode(const std::string& baseline_path) {
-  const auto baseline = load_wall_points(baseline_path);
-  auto find = [&](const std::string& app, const std::string& model, int p) -> const WallPoint* {
+  const auto baseline = bench::load_gate_baseline("bench_micro_runtime", baseline_path,
+                                                  "o2k.bench_sched.v2", /*with_app=*/true);
+  auto find = [&](const std::string& app, const std::string& model,
+                  int p) -> const bench::GateRecord* {
     for (const auto& b : baseline)
       if (b.app == app && b.model == model && b.p == p) return &b;
     return nullptr;
@@ -305,12 +269,12 @@ int run_gate_mode(const std::string& baseline_path) {
   machine.set_exec_backend(rt::ExecBackend::kFibers);
   bool ok = true;
   for (const auto& g : pinned) {
-    const WallPoint* base = find(g.app, g.model, g.p);
+    const bench::GateRecord* base = find(g.app, g.model, g.p);
     if (base == nullptr) {
-      std::fprintf(stderr, "GATE ERROR: %s|%s|%d missing from %s\n", g.app, g.model, g.p,
-                   baseline_path.c_str());
-      ok = false;
-      continue;
+      throw bench::GateBaselineError(
+          bench::kGateSchema, std::string("bench_micro_runtime: pinned point ") + g.app + "|" +
+                                  g.model + "|" + std::to_string(g.p) + " missing from " +
+                                  baseline_path + " — regenerate with --wall");
     }
     const auto model = model_from_slug(g.model);
     const auto [w1, mk1] = timed_run(machine, g.app, model, g.p);
@@ -349,12 +313,29 @@ int main(int argc, char** argv) {
     } else if (a.rfind("--gate=", 0) == 0) {
       gate_path = a.substr(7);
     } else if (a.rfind("--pmax=", 0) == 0) {
-      pmax = std::stoi(a.substr(7));
+      const std::string tok = a.substr(7);
+      try {
+        std::size_t used = 0;
+        pmax = std::stoi(tok, &used);
+        if (used != tok.size() || pmax < 1) throw std::invalid_argument(tok);
+      } catch (const std::exception&) {
+        std::fprintf(stderr,
+                     "bench_micro_runtime: --pmax expects a positive integer, got '%s'\n",
+                     tok.c_str());
+        return 2;
+      }
     } else {
       pass.push_back(argv[i]);
     }
   }
-  if (!gate_path.empty()) return run_gate_mode(gate_path);
+  if (!gate_path.empty()) {
+    try {
+      return run_gate_mode(gate_path);
+    } catch (const bench::GateBaselineError& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return e.exit_code();
+    }
+  }
   if (wall) return run_wall_mode(out_path, pmax);
   int pargc = static_cast<int>(pass.size());
   benchmark::Initialize(&pargc, pass.data());

@@ -90,7 +90,7 @@ std::string bw(double bytes, double ns) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int bench_main(int argc, char** argv) {
   Cli cli(argc, argv, bench::common_flags());
   if (cli.has("help")) {
     std::cout << cli.help();
@@ -118,3 +118,5 @@ int main(int argc, char** argv) {
                "bandwidths converge for large transfers.\n";
   return 0;
 }
+
+int main(int argc, char** argv) { return o2k::bench::guard(bench_main, argc, argv); }

@@ -63,7 +63,7 @@ std::size_t count_files(const std::filesystem::path& dir,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int bench_main(int argc, char** argv) {
   Cli cli(argc, argv, {{"src", "path to the o2k src/ directory (default: compiled-in)"}});
   if (cli.has("help")) {
     std::cout << cli.help();
@@ -115,3 +115,5 @@ int main(int argc, char** argv) {
                "it is identical for every model, as in the paper's codes.\n";
   return 0;
 }
+
+int main(int argc, char** argv) { return o2k::bench::guard(bench_main, argc, argv); }

@@ -41,6 +41,19 @@ inline std::map<std::string, std::string> common_flags() {
   return flags;
 }
 
+/// Run a bench entry point, turning every CliError (unknown flag, malformed
+/// value, a bad token in --procs=1,,8) into a one-line message plus usage
+/// exit 2 instead of an uncaught-exception abort.  Every bench main wraps
+/// its body with this:  int main(...) { return bench::guard(run, ...); }
+inline int guard(int (*body)(int, char**), int argc, char** argv) {
+  try {
+    return body(argc, argv);
+  } catch (const CliError& e) {
+    std::fprintf(stderr, "%s: %s (try --help)\n", argv[0], e.what());
+    return 2;
+  }
+}
+
 /// Run one (model, P) measurement point under the shared metrics flags and
 /// return its structured report.  When --trace/--report/--comm was passed,
 /// each point fans out into its own artifact tagged `label` (e.g.

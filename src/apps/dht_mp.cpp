@@ -10,6 +10,7 @@
 #include <mutex>
 
 #include "apps/dht_detail.hpp"
+#include "common/overlay.hpp"
 #include "mp/comm.hpp"
 #include "origin/params.hpp"
 
@@ -62,13 +63,19 @@ AppReport run_dht_mp(rt::Machine& machine, int nprocs, const DhtConfig& cfg) {
                  static_cast<double>(stored) * kc.dht_store_ns);
       comm.barrier();
     }
+    // Campaign marker after the (deterministic, shared) init phase; a warm
+    // fork here may re-window the traffic loop.  Only MP can branch on
+    // `window`: the SHMEM/SAS variants size symmetric mailboxes from it at
+    // setup, before this point.
+    pe.checkpoint("setup");
+    const std::uint64_t window = common::overlay_u64("dht.window", cfg.window);
 
     while (served_global < cfg.requests || repl_out_global > 0) {
       // ---- gen: admit new requests up to the window / milestone cap.
       {
         auto ph = pe.phase("gen");
         const std::uint64_t inflight = injected - served_global;
-        const std::uint64_t room = cfg.window > inflight ? cfg.window - inflight : 0;
+        const std::uint64_t room = window > inflight ? window - inflight : 0;
         const std::uint64_t n_inject = std::min(room, next_churn - injected);
         std::uint64_t admitted = 0;
         for (std::uint64_t j = injected; j < injected + n_inject; ++j) {

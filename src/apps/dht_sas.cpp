@@ -105,6 +105,7 @@ AppReport run_dht_sas(rt::Machine& machine, int nprocs, const DhtConfig& cfg) {
                  static_cast<double>(stored) * kc.dht_store_ns);
       team.barrier();
     }
+    pe.checkpoint("setup");  // campaign marker; clock-neutral no-op unless armed
 
     while (served_global < cfg.requests) {
       // ---- gen

@@ -67,6 +67,7 @@ AppReport run_dht_shmem(rt::Machine& machine, int nprocs, const DhtConfig& cfg) 
                  static_cast<double>(stored) * kc.dht_store_ns);
       ctx.barrier_all();
     }
+    pe.checkpoint("setup");  // campaign marker; clock-neutral no-op unless armed
 
     while (served_global < cfg.requests || repl_out_global > 0) {
       // ---- gen

@@ -10,6 +10,7 @@
 #include "apps/dht_app.hpp"
 #include "apps/mesh_app.hpp"
 #include "apps/nbody_app.hpp"
+#include "campaign/snapshot.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "metrics/metrics.hpp"
@@ -18,6 +19,63 @@
 namespace o2k::apps::appmain {
 
 namespace {
+
+/// Snapshot flags shared by every app binary.  `label` is the app's marker
+/// ("step" for nbody, "phase" for mesh, "setup" for dht);
+/// `--checkpoint-at` picks the 1-based marker occurrence.
+struct CheckpointCli {
+  std::string app_slug;
+  std::string write_path;
+  std::string restore_path;
+  std::string label;
+  int occurrence = 1;
+};
+
+void add_checkpoint_flags(std::map<std::string, std::string>& flags, const char* marker) {
+  flags["checkpoint"] =
+      std::string("write a deterministic snapshot at the '") + marker + "' marker to <file>";
+  flags["restore"] = "verified replay against a snapshot file (exit 13 on divergence)";
+  flags["checkpoint-at"] = "1-based marker occurrence for --checkpoint (default 1)";
+}
+
+CheckpointCli checkpoint_cli(const Cli& cli, const char* app_slug, const char* marker) {
+  CheckpointCli cp;
+  cp.app_slug = app_slug;
+  cp.write_path = cli.get("checkpoint", "");
+  cp.restore_path = cli.get("restore", "");
+  cp.label = marker;
+  cp.occurrence = static_cast<int>(cli.get_int("checkpoint-at", 1));
+  if (!cp.write_path.empty() && !cp.restore_path.empty())
+    throw CliError("--checkpoint and --restore are mutually exclusive");
+  if (cp.occurrence < 1) throw CliError("--checkpoint-at expects an occurrence >= 1");
+  return cp;
+}
+
+/// Shared outer driver: CLI/usage errors exit 2 next to the help text,
+/// snapshot IO/config problems exit 12, a diverging verified replay 13.
+template <typename Body>
+int main_guard(int argc, char** argv, const std::map<std::string, std::string>& flags,
+               Body body) {
+  try {
+    Cli cli(argc, argv, flags);
+    if (cli.has("help")) {
+      std::cout << cli.help();
+      return 0;
+    }
+    return body(cli);
+  } catch (const CliError& e) {
+    std::cerr << argv[0] << ": " << e.what() << '\n';
+    const char* const argv0[] = {argv[0]};
+    std::cerr << Cli(1, argv0, flags).help();
+    return campaign::kExitUsage;
+  } catch (const campaign::SnapshotMismatch& e) {
+    std::cerr << argv[0] << ": " << e.what() << '\n';
+    return campaign::kExitSnapshotMismatch;
+  } catch (const campaign::SnapshotError& e) {
+    std::cerr << argv[0] << ": " << e.what() << '\n';
+    return campaign::kExitSnapshotError;
+  }
+}
 
 /// --sanitize[=off|report|abort]; a bare --sanitize means report.  Without
 /// the flag, O2K_SANITIZE decides (so scripted sweeps need no per-app args).
@@ -29,9 +87,27 @@ sanitize::Mode sanitize_mode(const Cli& cli) {
 
 /// Run under an attached metrics session, print the standard summary.
 int run_and_report(rt::Machine& machine, int nprocs, const std::string& app, Model model,
-                   const metrics::Options& mopts, sanitize::Mode smode,
+                   const metrics::Options& mopts, sanitize::Mode smode, const CheckpointCli& cp,
                    const std::function<AppReport(rt::Machine&)>& run) {
   metrics::Session session(machine, nprocs, mopts);
+  // Arm the snapshot marker before the run; finish() after it either
+  // writes the file or proves the replay reached the recorded state.
+  std::optional<campaign::ScopedCheckpoint> scoped;
+  const bool snap_write = !cp.write_path.empty();
+  if (snap_write || !cp.restore_path.empty()) {
+    campaign::SnapshotMeta meta;
+    meta.app = cp.app_slug;
+    meta.model = model_slug(model);
+    meta.nprocs = nprocs;
+    meta.backend =
+        machine.exec_backend() == rt::ExecBackend::kFibers ? "fibers" : "threads";
+    meta.label = cp.label;
+    meta.occurrence = cp.occurrence;
+    scoped.emplace(machine,
+                   snap_write ? campaign::ScopedCheckpoint::Mode::kWrite
+                              : campaign::ScopedCheckpoint::Mode::kVerify,
+                   snap_write ? cp.write_path : cp.restore_path, meta);
+  }
   // Install the sanitizer before `run` constructs any substrate World so the
   // begin_*_world hooks see it; tear the scope down before finish() so the
   // report carries the complete finding set (MP finalize checks fire in the
@@ -44,6 +120,15 @@ int run_and_report(rt::Machine& machine, int nprocs, const std::string& app, Mod
   }
   const auto host_start = std::chrono::steady_clock::now();
   const AppReport rep = run(machine);
+  if (scoped) {
+    scoped->finish();
+    if (snap_write) {
+      std::cout << "wrote snapshot: " << cp.write_path << '\n';
+    } else {
+      std::cout << "restore verified: replay matched " << cp.restore_path
+                << " bit-for-bit at marker '" << cp.label << "'\n";
+    }
+  }
   const std::chrono::duration<double> host = std::chrono::steady_clock::now() - host_start;
   char host_s[32];
   std::snprintf(host_s, sizeof host_s, "%.3f", host.count());
@@ -120,25 +205,24 @@ int nbody_main(int argc, char** argv, Model model) {
       {"sanitize", "race/usage checking: off|report|abort (bare flag = report)"},
   };
   metrics::add_cli_flags(flags);
-  Cli cli(argc, argv, flags);
-  if (cli.has("help")) {
-    std::cout << cli.help();
-    return 0;
-  }
+  add_checkpoint_flags(flags, "step");
+  return main_guard(argc, argv, flags, [&](const Cli& cli) {
+    NbodyConfig cfg;
+    cfg.n = static_cast<std::size_t>(cli.get_int("n", static_cast<std::int64_t>(cfg.n)));
+    cfg.steps = static_cast<int>(cli.get_int("steps", cfg.steps));
+    cfg.theta = cli.get_double("theta", cfg.theta);
+    cfg.seed =
+        static_cast<std::uint64_t>(cli.get_int("seed", static_cast<std::int64_t>(cfg.seed)));
+    cfg.rebalance_every = static_cast<int>(cli.get_int("rebalance-every", cfg.rebalance_every));
+    cfg.uniform_sphere = cli.get_bool("uniform-sphere", cfg.uniform_sphere);
+    const int p = static_cast<int>(cli.get_int("p", 8));
 
-  NbodyConfig cfg;
-  cfg.n = static_cast<std::size_t>(cli.get_int("n", static_cast<std::int64_t>(cfg.n)));
-  cfg.steps = static_cast<int>(cli.get_int("steps", cfg.steps));
-  cfg.theta = cli.get_double("theta", cfg.theta);
-  cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", static_cast<std::int64_t>(cfg.seed)));
-  cfg.rebalance_every = static_cast<int>(cli.get_int("rebalance-every", cfg.rebalance_every));
-  cfg.uniform_sphere = cli.get_bool("uniform-sphere", cfg.uniform_sphere);
-  const int p = static_cast<int>(cli.get_int("p", 8));
-
-  rt::Machine machine;
-  return run_and_report(machine, p, std::string("nbody_") + model_slug(model), model,
-                        metrics::Options::from_cli(cli), sanitize_mode(cli),
-                        [&](rt::Machine& m) { return run_nbody(model, m, p, cfg); });
+    rt::Machine machine;
+    return run_and_report(machine, p, std::string("nbody_") + model_slug(model), model,
+                          metrics::Options::from_cli(cli), sanitize_mode(cli),
+                          checkpoint_cli(cli, "nbody", "step"),
+                          [&](rt::Machine& m) { return run_nbody(model, m, p, cfg); });
+  });
 }
 
 int mesh_main(int argc, char** argv, Model model) {
@@ -151,24 +235,22 @@ int mesh_main(int argc, char** argv, Model model) {
       {"sanitize", "race/usage checking: off|report|abort (bare flag = report)"},
   };
   metrics::add_cli_flags(flags);
-  Cli cli(argc, argv, flags);
-  if (cli.has("help")) {
-    std::cout << cli.help();
-    return 0;
-  }
+  add_checkpoint_flags(flags, "phase");
+  return main_guard(argc, argv, flags, [&](const Cli& cli) {
+    MeshConfig cfg;
+    const int box = static_cast<int>(cli.get_int("box", cfg.nx));
+    cfg.nx = cfg.ny = cfg.nz = box;
+    cfg.phases = static_cast<int>(cli.get_int("phases", cfg.phases));
+    cfg.solve_ns_per_tet = cli.get_double("solve-ns", cfg.solve_ns_per_tet);
+    cfg.use_plum = !cli.get_bool("no-plum", false);
+    const int p = static_cast<int>(cli.get_int("p", 8));
 
-  MeshConfig cfg;
-  const int box = static_cast<int>(cli.get_int("box", cfg.nx));
-  cfg.nx = cfg.ny = cfg.nz = box;
-  cfg.phases = static_cast<int>(cli.get_int("phases", cfg.phases));
-  cfg.solve_ns_per_tet = cli.get_double("solve-ns", cfg.solve_ns_per_tet);
-  cfg.use_plum = !cli.get_bool("no-plum", false);
-  const int p = static_cast<int>(cli.get_int("p", 8));
-
-  rt::Machine machine;
-  return run_and_report(machine, p, std::string("mesh_") + model_slug(model), model,
-                        metrics::Options::from_cli(cli), sanitize_mode(cli),
-                        [&](rt::Machine& m) { return run_mesh(model, m, p, cfg); });
+    rt::Machine machine;
+    return run_and_report(machine, p, std::string("mesh_") + model_slug(model), model,
+                          metrics::Options::from_cli(cli), sanitize_mode(cli),
+                          checkpoint_cli(cli, "mesh", "phase"),
+                          [&](rt::Machine& m) { return run_mesh(model, m, p, cfg); });
+  });
 }
 
 int dht_main(int argc, char** argv, Model model) {
@@ -186,32 +268,31 @@ int dht_main(int argc, char** argv, Model model) {
       {"sanitize", "race/usage checking: off|report|abort (bare flag = report)"},
   };
   metrics::add_cli_flags(flags);
-  Cli cli(argc, argv, flags);
-  if (cli.has("help")) {
-    std::cout << cli.help();
-    return 0;
-  }
+  add_checkpoint_flags(flags, "setup");
+  return main_guard(argc, argv, flags, [&](const Cli& cli) {
+    DhtConfig cfg;
+    cfg.nodes_per_pe = static_cast<int>(cli.get_int("nodes-per-pe", cfg.nodes_per_pe));
+    cfg.keys = static_cast<std::uint32_t>(
+        cli.get_int("keys", static_cast<std::int64_t>(cfg.keys)));
+    cfg.requests = static_cast<std::uint64_t>(
+        cli.get_int("requests", static_cast<std::int64_t>(cfg.requests)));
+    cfg.window = static_cast<std::uint64_t>(
+        cli.get_int("window", static_cast<std::int64_t>(cfg.window)));
+    cfg.replicas = static_cast<int>(cli.get_int("replicas", cfg.replicas));
+    cfg.churn_every = static_cast<std::uint64_t>(
+        cli.get_int("churn-every", static_cast<std::int64_t>(cfg.churn_every)));
+    cfg.zipf_s = cli.get_double("zipf-s", cfg.zipf_s);
+    cfg.put_percent = static_cast<int>(cli.get_int("put-percent", cfg.put_percent));
+    cfg.seed =
+        static_cast<std::uint64_t>(cli.get_int("seed", static_cast<std::int64_t>(cfg.seed)));
+    const int p = static_cast<int>(cli.get_int("p", 8));
 
-  DhtConfig cfg;
-  cfg.nodes_per_pe = static_cast<int>(cli.get_int("nodes-per-pe", cfg.nodes_per_pe));
-  cfg.keys = static_cast<std::uint32_t>(
-      cli.get_int("keys", static_cast<std::int64_t>(cfg.keys)));
-  cfg.requests = static_cast<std::uint64_t>(
-      cli.get_int("requests", static_cast<std::int64_t>(cfg.requests)));
-  cfg.window = static_cast<std::uint64_t>(
-      cli.get_int("window", static_cast<std::int64_t>(cfg.window)));
-  cfg.replicas = static_cast<int>(cli.get_int("replicas", cfg.replicas));
-  cfg.churn_every = static_cast<std::uint64_t>(
-      cli.get_int("churn-every", static_cast<std::int64_t>(cfg.churn_every)));
-  cfg.zipf_s = cli.get_double("zipf-s", cfg.zipf_s);
-  cfg.put_percent = static_cast<int>(cli.get_int("put-percent", cfg.put_percent));
-  cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", static_cast<std::int64_t>(cfg.seed)));
-  const int p = static_cast<int>(cli.get_int("p", 8));
-
-  rt::Machine machine;
-  return run_and_report(machine, p, std::string("dht_") + model_slug(model), model,
-                        metrics::Options::from_cli(cli), sanitize_mode(cli),
-                        [&](rt::Machine& m) { return run_dht(model, m, p, cfg); });
+    rt::Machine machine;
+    return run_and_report(machine, p, std::string("dht_") + model_slug(model), model,
+                          metrics::Options::from_cli(cli), sanitize_mode(cli),
+                          checkpoint_cli(cli, "dht", "setup"),
+                          [&](rt::Machine& m) { return run_dht(model, m, p, cfg); });
+  });
 }
 
 }  // namespace o2k::apps::appmain

@@ -13,6 +13,7 @@
 #include "apps/mesh_detail.hpp"
 #include "apps/replicated.hpp"
 #include "common/check.hpp"
+#include "common/overlay.hpp"
 #include "mp/comm.hpp"
 #include "plum/partition.hpp"
 #include "plum/remap.hpp"
@@ -76,13 +77,18 @@ AppReport run_mesh_mp(rt::Machine& machine, int nprocs, const MeshConfig& cfg) {
 
     const double rib_levels = P > 1 ? std::ceil(std::log2(static_cast<double>(P))) : 1.0;
 
-    for (int k = 0; k < cfg.phases; ++k) {
+    // Phase count and solver weight through the campaign overlay: warm-forked
+    // children may extend the phase sweep or re-weight the surrogate solver.
+    for (int k = 0;
+         k < static_cast<int>(common::overlay_i64("mesh.phases", cfg.phases)); ++k) {
+      pe.checkpoint("phase");  // clock-neutral; no-op unless a campaign armed it
       const mesh::SphereFront front{cfg.front_center(k), cfg.front_radius(),
                                     cfg.front_width()};
       // ---- solve (surrogate): pays for the current distribution's balance.
       {
         auto ph = pe.phase("solve");
-        pe.advance(static_cast<double>(lm.tets.size()) * cfg.solve_ns_per_tet);
+        pe.advance(static_cast<double>(lm.tets.size()) *
+                   common::overlay_f64("mesh.solve_ns", cfg.solve_ns_per_tet));
       }
       comm.barrier();  // outside the phase scope so solve imbalance is measurable
 
@@ -159,7 +165,8 @@ AppReport run_mesh_mp(rt::Machine& machine, int nprocs, const MeshConfig& cfg) {
             // distribution before the next rebalance opportunity (PLUM's
             // gain model is per-iteration-interval, not per-solve).
             const double avg_solve =
-                total_w / P * cfg.solve_ns_per_tet * (cfg.phases - k);
+                total_w / P * common::overlay_f64("mesh.solve_ns", cfg.solve_ns_per_tet) *
+                (static_cast<int>(common::overlay_i64("mesh.phases", cfg.phases)) - k);
             const double moved_w = plum::total_weight(sim) - plum::retained_weight(sim, label_map);
             const double remap_cost =
                 moved_w * sizeof(TetRec) / machine.params().mp_bw_bytes_per_ns +

@@ -26,6 +26,7 @@
 #include "apps/mesh_app.hpp"
 #include "apps/sas_table.hpp"
 #include "common/check.hpp"
+#include "common/overlay.hpp"
 #include "mesh/refine.hpp"
 #include "sas/sas.hpp"
 
@@ -86,7 +87,10 @@ AppReport run_mesh_sas(rt::Machine& machine, int nprocs, const MeshConfig& cfg) 
                                 verts[static_cast<std::size_t>(b)]);
     };
 
-    for (int k = 0; k < cfg.phases; ++k) {
+    // Phase count and solver weight via the campaign overlay (see mesh_mp.cpp).
+    for (int k = 0;
+         k < static_cast<int>(common::overlay_i64("mesh.phases", cfg.phases)); ++k) {
+      pe.checkpoint("phase");  // clock-neutral; no-op unless a campaign armed it
       const mesh::SphereFront front{cfg.front_center(k), cfg.front_radius(),
                                     cfg.front_width()};
       team.barrier();
@@ -101,7 +105,8 @@ AppReport run_mesh_sas(rt::Machine& machine, int nprocs, const MeshConfig& cfg) 
         if (hi > lo) team.touch_read_range(alive_arr, lo, hi - lo);
         for (std::size_t t = lo; t < hi; ++t) my_alive += alive[t];
         if (hi > lo) team.touch_read_range(tets_arr, lo, hi - lo);
-        pe.advance(static_cast<double>(my_alive) * cfg.solve_ns_per_tet);
+        pe.advance(static_cast<double>(my_alive) *
+                   common::overlay_f64("mesh.solve_ns", cfg.solve_ns_per_tet));
       }
       team.barrier();  // outside the phase scope so solve imbalance is measurable
 

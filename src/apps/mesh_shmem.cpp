@@ -11,6 +11,7 @@
 #include "apps/replicated.hpp"
 #include "apps/shmem_coll.hpp"
 #include "common/check.hpp"
+#include "common/overlay.hpp"
 #include "plum/partition.hpp"
 #include "plum/remap.hpp"
 
@@ -86,12 +87,16 @@ AppReport run_mesh_shmem(rt::Machine& machine, int nprocs, const MeshConfig& cfg
 
     const double rib_levels = P > 1 ? std::ceil(std::log2(static_cast<double>(P))) : 1.0;
 
-    for (int k = 0; k < cfg.phases; ++k) {
+    // Phase count and solver weight via the campaign overlay (see mesh_mp.cpp).
+    for (int k = 0;
+         k < static_cast<int>(common::overlay_i64("mesh.phases", cfg.phases)); ++k) {
+      pe.checkpoint("phase");  // clock-neutral; no-op unless a campaign armed it
       const mesh::SphereFront front{cfg.front_center(k), cfg.front_radius(),
                                     cfg.front_width()};
       {
         auto ph = pe.phase("solve");
-        pe.advance(static_cast<double>(lm.tets.size()) * cfg.solve_ns_per_tet);
+        pe.advance(static_cast<double>(lm.tets.size()) *
+                   common::overlay_f64("mesh.solve_ns", cfg.solve_ns_per_tet));
       }
       ctx.barrier_all();  // outside the phase scope so solve imbalance is measurable
 
@@ -162,7 +167,8 @@ AppReport run_mesh_shmem(rt::Machine& machine, int nprocs, const MeshConfig& cfg
             // distribution before the next rebalance opportunity (PLUM's
             // gain model is per-iteration-interval, not per-solve).
             const double avg_solve =
-                total_w / P * cfg.solve_ns_per_tet * (cfg.phases - k);
+                total_w / P * common::overlay_f64("mesh.solve_ns", cfg.solve_ns_per_tet) *
+                (static_cast<int>(common::overlay_i64("mesh.phases", cfg.phases)) - k);
             const double moved_w = plum::total_weight(sim) - plum::retained_weight(sim, label_map);
             const double remap_cost =
                 moved_w * sizeof(TetRec) / machine.params().shmem_bw_bytes_per_ns +

@@ -17,6 +17,7 @@
 #include "apps/nbody_detail.hpp"
 #include "apps/replicated.hpp"
 #include "common/check.hpp"
+#include "common/overlay.hpp"
 #include "mp/comm.hpp"
 #include "nbody/octree.hpp"
 #include "plum/partition.hpp"
@@ -81,7 +82,12 @@ AppReport run_nbody_mp(rt::Machine& machine, int nprocs, const NbodyConfig& cfg)
       }
     }
 
-    for (int step = 0; step < cfg.steps; ++step) {
+    // Step count through the campaign overlay: a warm-forked child re-reads
+    // the bound each iteration, so a fork at the "step" marker can extend or
+    // shorten the remaining run without touching pre-fork state.
+    for (int step = 0;
+         step < static_cast<int>(common::overlay_i64("nbody.steps", cfg.steps)); ++step) {
+      pe.checkpoint("step");  // clock-neutral; no-op unless a campaign armed it
       // ---- balance: replicated ORB on measured work + all-to-all remap.
       if (step > 0 && cfg.rebalance_every > 0 && step % cfg.rebalance_every == 0 && P > 1) {
         auto ph = pe.phase("balance");

@@ -22,6 +22,7 @@
 #include "apps/nbody_app.hpp"
 #include "apps/nbody_detail.hpp"
 #include "common/check.hpp"
+#include "common/overlay.hpp"
 #include "nbody/octree.hpp"
 #include "sas/sas.hpp"
 
@@ -77,7 +78,10 @@ AppReport run_nbody_sas(rt::Machine& machine, int nprocs, const NbodyConfig& cfg
     auto owner = world.span(owner_arr);
     std::vector<std::size_t> mine;  // indices of my costzone bodies
 
-    for (int step = 0; step < cfg.steps; ++step) {
+    // Step count via the campaign overlay (see nbody_mp.cpp).
+    for (int step = 0;
+         step < static_cast<int>(common::overlay_i64("nbody.steps", cfg.steps)); ++step) {
+      pe.checkpoint("step");  // clock-neutral; no-op unless a campaign armed it
       // ---- tree: SPLASH-style shared build (see header note).
       {
         auto ph = pe.phase("tree");

@@ -16,6 +16,7 @@
 #include "apps/replicated.hpp"
 #include "apps/shmem_coll.hpp"
 #include "common/check.hpp"
+#include "common/overlay.hpp"
 #include "nbody/octree.hpp"
 #include "plum/partition.hpp"
 
@@ -86,7 +87,10 @@ AppReport run_nbody_shmem(rt::Machine& machine, int nprocs, const NbodyConfig& c
     const double rib_levels =
         P > 1 ? std::ceil(std::log2(static_cast<double>(P))) : 1.0;
 
-    for (int step = 0; step < cfg.steps; ++step) {
+    // Step count via the campaign overlay (see nbody_mp.cpp).
+    for (int step = 0;
+         step < static_cast<int>(common::overlay_i64("nbody.steps", cfg.steps)); ++step) {
+      pe.checkpoint("step");  // clock-neutral; no-op unless a campaign armed it
       // ---- balance: one-sided allgatherv + replicated ORB + one-sided remap.
       if (step > 0 && cfg.rebalance_every > 0 && step % cfg.rebalance_every == 0 && P > 1) {
         auto ph = pe.phase("balance");

@@ -1,0 +1,52 @@
+// o2k-campaign driver: CLI over campaign::run_campaign.
+//
+//   o2k-campaign --spec=bench/campaign_smoke.spec --out=campaign_out [--jobs=4]
+//                [--dry-run] [--no-warm]
+//
+// Exit codes: 0 all runs ok; 1 at least one run failed; 2 usage or spec
+// error; 3 warm-vs-cold determinism mismatch (verify mode).
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "campaign/campaign.hpp"
+#include "common/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace o2k;
+  const std::map<std::string, std::string> flags{
+      {"spec", "campaign spec file (required; see DESIGN.md section 10)"},
+      {"out", "output directory (default campaign_out)"},
+      {"jobs", "max concurrent worker processes (default: spec value or half the host cores)"},
+      {"dry-run", "print the expanded run list and exit"},
+      {"no-warm", "disable warm forking (every run cold from t=0)"},
+  };
+  try {
+    Cli cli(argc, argv, flags);
+    if (cli.has("help")) {
+      std::cout << cli.help();
+      return 0;
+    }
+    campaign::CampaignOptions opts;
+    opts.spec_path = cli.get("spec", "");
+    if (opts.spec_path.empty()) {
+      std::cerr << "o2k-campaign: --spec=<file> is required\n" << cli.help();
+      return campaign::kExitSpecError;
+    }
+    opts.out_dir = cli.get("out", "campaign_out");
+    opts.jobs = static_cast<int>(cli.get_int("jobs", 0));
+    opts.dry_run = cli.get_bool("dry-run", false);
+    opts.no_warm = cli.get_bool("no-warm", false);
+    return campaign::run_campaign(opts);
+  } catch (const CliError& e) {
+    std::cerr << "o2k-campaign: " << e.what() << '\n';
+    return campaign::kExitSpecError;
+  } catch (const campaign::SpecError& e) {
+    std::cerr << "o2k-campaign: " << e.what() << '\n';
+    return campaign::kExitSpecError;
+  } catch (const std::exception& e) {
+    std::cerr << "o2k-campaign: " << e.what() << '\n';
+    return campaign::kExitRunFailures;
+  }
+}

@@ -1,17 +1,53 @@
 #include "common/cli.hpp"
 
+#include <limits>
 #include <sstream>
-#include <stdexcept>
-
-#include "common/check.hpp"
 
 namespace o2k {
+
+namespace {
+
+// Strict integer parse: the whole token must be consumed and the value must
+// fit [min, max].  Unlike bare std::stoll this never lets "64MB" half-parse
+// and never leaks std::invalid_argument/std::out_of_range to the caller.
+std::optional<std::int64_t> parse_i64(const std::string& tok, std::int64_t min,
+                                      std::int64_t max) {
+  if (tok.empty()) return std::nullopt;
+  try {
+    std::size_t used = 0;
+    const std::int64_t v = std::stoll(tok, &used);
+    if (used != tok.size() || v < min || v > max) return std::nullopt;
+    return v;
+  } catch (const std::invalid_argument&) {
+    return std::nullopt;
+  } catch (const std::out_of_range&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<double> parse_f64(const std::string& tok) {
+  if (tok.empty()) return std::nullopt;
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(tok, &used);
+    if (used != tok.size()) return std::nullopt;
+    return v;
+  } catch (const std::invalid_argument&) {
+    return std::nullopt;
+  } catch (const std::out_of_range&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
 
 Cli::Cli(int argc, const char* const* argv, std::map<std::string, std::string> allowed)
     : allowed_(std::move(allowed)) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    O2K_REQUIRE(arg.rfind("--", 0) == 0, "flags must start with --, got: " + arg);
+    if (arg.rfind("--", 0) != 0) {
+      throw CliError("flags must start with --, got: " + arg);
+    }
     arg = arg.substr(2);
     std::string key;
     std::string value;
@@ -31,7 +67,9 @@ Cli::Cli(int argc, const char* const* argv, std::map<std::string, std::string> a
       values_[key] = "true";
       continue;
     }
-    O2K_REQUIRE(allowed_.count(key) != 0, "unknown flag --" + key + "\n" + help());
+    if (allowed_.count(key) == 0) {
+      throw CliError("unknown flag --" + key + "\n" + help());
+    }
     values_[key] = value;
   }
 }
@@ -46,13 +84,22 @@ std::string Cli::get(const std::string& key, const std::string& fallback) const 
 std::int64_t Cli::get_int(const std::string& key, std::int64_t fallback) const {
   auto it = values_.find(key);
   if (it == values_.end()) return fallback;
-  return std::stoll(it->second);
+  const auto v = parse_i64(it->second, std::numeric_limits<std::int64_t>::min(),
+                           std::numeric_limits<std::int64_t>::max());
+  if (!v) {
+    throw CliError("flag --" + key + " expects an integer, got '" + it->second + "'");
+  }
+  return *v;
 }
 
 double Cli::get_double(const std::string& key, double fallback) const {
   auto it = values_.find(key);
   if (it == values_.end()) return fallback;
-  return std::stod(it->second);
+  const auto v = parse_f64(it->second);
+  if (!v) {
+    throw CliError("flag --" + key + " expects a number, got '" + it->second + "'");
+  }
+  return *v;
 }
 
 bool Cli::get_bool(const std::string& key, bool fallback) const {
@@ -68,9 +115,18 @@ std::vector<int> Cli::get_int_list(const std::string& key, std::vector<int> fall
   std::stringstream ss(it->second);
   std::string tok;
   while (std::getline(ss, tok, ',')) {
-    if (!tok.empty()) out.push_back(std::stoi(tok));
+    const auto v = parse_i64(tok, std::numeric_limits<int>::min(),
+                             std::numeric_limits<int>::max());
+    if (!v) {
+      throw CliError("flag --" + key + " expects a comma-separated integer list, bad token '" +
+                     tok + "' in '" + it->second + "'");
+    }
+    out.push_back(static_cast<int>(*v));
   }
-  O2K_REQUIRE(!out.empty(), "empty list for flag --" + key);
+  if (out.empty()) {
+    throw CliError("flag --" + key + " expects a non-empty integer list, got '" + it->second +
+                   "'");
+  }
   return out;
 }
 

@@ -2,20 +2,33 @@
 //
 // Syntax: --key=value or --key value or bare --flag (boolean true).
 // Unknown flags are an error so typos in experiment scripts fail loudly.
+// Every malformed value (non-numeric --steps, a bad token in a comma list)
+// raises CliError naming the flag and the offending token, so drivers can
+// print usage and exit instead of dying on an uncaught std::stoi throw.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace o2k {
 
+/// Thrown for any user-facing command-line problem: unknown flag, bad
+/// syntax, or a value that does not parse as the requested type.  The
+/// message always names the flag (and bad token, for lists) so a driver can
+/// print it verbatim next to help() and exit with a usage status.
+class CliError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
 class Cli {
  public:
   /// Parses argv.  `allowed` lists every recognised key with a help string;
-  /// pass-through of unknown keys throws std::invalid_argument.
+  /// pass-through of unknown keys throws CliError.
   Cli(int argc, const char* const* argv,
       std::map<std::string, std::string> allowed);
 
@@ -26,6 +39,9 @@ class Cli {
   [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
 
   /// Parse a comma-separated integer list flag, e.g. --procs=1,2,4,8.
+  /// Empty tokens ("1,,4"), non-numeric tokens ("1,x"), trailing junk
+  /// ("4q"), and out-of-int-range values all raise CliError naming the flag
+  /// and the bad token.
   [[nodiscard]] std::vector<int> get_int_list(const std::string& key,
                                               std::vector<int> fallback) const;
 

@@ -1,0 +1,36 @@
+#include "common/env.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+namespace o2k::common {
+
+std::optional<std::int64_t> env_int(const char* name, std::int64_t min, std::int64_t max) {
+  const char* s = std::getenv(name);
+  if (s == nullptr) return std::nullopt;
+
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s, &end, 10);
+  const bool parsed = end != s && *end == '\0';
+  if (!parsed || errno == ERANGE) {
+    std::fprintf(stderr, "o2k: ignoring %s=%s (not a decimal integer), using default\n", name,
+                 s);
+    return std::nullopt;
+  }
+  if (v < min || v > max) {
+    std::fprintf(stderr,
+                 "o2k: ignoring %s=%s (outside [%lld, %lld]), using default\n", name, s,
+                 static_cast<long long>(min), static_cast<long long>(max));
+    return std::nullopt;
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+std::int64_t env_int_or(const char* name, std::int64_t fallback, std::int64_t min,
+                        std::int64_t max) {
+  return env_int(name, min, max).value_or(fallback);
+}
+
+}  // namespace o2k::common

@@ -1,0 +1,74 @@
+#include "common/overlay.hpp"
+
+#include <map>
+#include <stdexcept>
+
+namespace o2k::common {
+
+namespace {
+
+// Plain map, no mutex: writes happen only from the campaign fork hook while
+// all PEs are parked (documented contract in the header); reads are
+// wait-free thereafter.
+std::map<std::string, std::string>& overlay() {
+  static std::map<std::string, std::string> m;
+  return m;
+}
+
+const std::string* find(const std::string& key) {
+  const auto& m = overlay();
+  auto it = m.find(key);
+  return it == m.end() ? nullptr : &it->second;
+}
+
+[[noreturn]] void bad_value(const std::string& key, const std::string& v) {
+  throw std::invalid_argument("o2k overlay: value for '" + key + "' is not numeric: '" + v +
+                              "'");
+}
+
+}  // namespace
+
+void overlay_set(const std::string& key, const std::string& value) { overlay()[key] = value; }
+
+void overlay_clear() { overlay().clear(); }
+
+bool overlay_has(const std::string& key) { return find(key) != nullptr; }
+
+std::int64_t overlay_i64(const std::string& key, std::int64_t fallback) {
+  const std::string* v = find(key);
+  if (v == nullptr) return fallback;
+  try {
+    std::size_t used = 0;
+    const std::int64_t out = std::stoll(*v, &used);
+    if (used != v->size()) bad_value(key, *v);
+    return out;
+  } catch (const std::invalid_argument&) {
+    bad_value(key, *v);
+  } catch (const std::out_of_range&) {
+    bad_value(key, *v);
+  }
+}
+
+std::uint64_t overlay_u64(const std::string& key, std::uint64_t fallback) {
+  const std::int64_t v = overlay_i64(key, 0);
+  if (!overlay_has(key)) return fallback;
+  if (v < 0) bad_value(key, *find(key));
+  return static_cast<std::uint64_t>(v);
+}
+
+double overlay_f64(const std::string& key, double fallback) {
+  const std::string* v = find(key);
+  if (v == nullptr) return fallback;
+  try {
+    std::size_t used = 0;
+    const double out = std::stod(*v, &used);
+    if (used != v->size()) bad_value(key, *v);
+    return out;
+  } catch (const std::invalid_argument&) {
+    bad_value(key, *v);
+  } catch (const std::out_of_range&) {
+    bad_value(key, *v);
+  }
+}
+
+}  // namespace o2k::common

@@ -1,0 +1,38 @@
+// Branch-parameter overlay for warm-forked campaign runs.
+//
+// o2k-campaign's warm-fork scheduler runs an application's shared setup
+// prefix once, then forks one child process per sweep branch from the
+// checkpoint rendezvous (see rt::Pe::checkpoint and campaign::Runner).
+// Each forked child installs its branch's parameter values here *while
+// every PE is parked at the rendezvous*, and the application reads the
+// values it consumes after the checkpoint through these getters instead of
+// its config struct.  Outside a campaign the overlay is empty and every
+// getter returns the caller's fallback, so standalone runs are unaffected.
+//
+// Keys are namespaced "<app>.<param>" ("nbody.steps", "mesh.phases",
+// "mesh.solve_ns", "dht.window").  The overlay is process-global and
+// written only while the simulated machine is quiescent (before any PE
+// resumes from the fork point), so reads from PE context need no locking.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace o2k::common {
+
+/// Install/overwrite one overlay value (campaign fork path only).
+void overlay_set(const std::string& key, const std::string& value);
+
+/// Drop every overlay value (between in-process campaign runs, tests).
+void overlay_clear();
+
+/// True when `key` is installed.
+bool overlay_has(const std::string& key);
+
+/// Typed getters: the overlay value when installed and parseable, else
+/// `fallback`.  A non-numeric installed value is a campaign bug; it throws.
+std::int64_t overlay_i64(const std::string& key, std::int64_t fallback);
+std::uint64_t overlay_u64(const std::string& key, std::uint64_t fallback);
+double overlay_f64(const std::string& key, double fallback);
+
+}  // namespace o2k::common

@@ -5,32 +5,30 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/env.hpp"
+
 namespace o2k::exec {
 
-namespace {
-
-std::size_t stack_bytes_from_env() {
-  if (const char* s = std::getenv("O2K_EXEC_STACK_KB")) {
-    const long kb = std::strtol(s, nullptr, 10);
-    if (kb > 0) return static_cast<std::size_t>(kb) * 1024;
-  }
-  return std::size_t{1} << 20;  // 1 MiB
+std::size_t resolved_stack_bytes() {
+  // Parse with full-token validation and range check: "64MB" or "-1" warns
+  // and falls back instead of strtol'ing to a nonsense stack size.
+  const std::int64_t kb =
+      common::env_int_or("O2K_EXEC_STACK_KB", /*fallback=*/1024, /*min=*/16,
+                         /*max=*/1 << 20);
+  return static_cast<std::size_t>(kb) * 1024;
 }
 
-int workers_from_env(int nprocs) {
-  if (const char* s = std::getenv("O2K_EXEC_WORKERS")) {
-    const long w = std::strtol(s, nullptr, 10);
-    if (w > 0) return static_cast<int>(w) < nprocs ? static_cast<int>(w) : nprocs;
+int resolved_workers(int nprocs) {
+  if (const auto w = common::env_int("O2K_EXEC_WORKERS", /*min=*/1, /*max=*/4096)) {
+    return static_cast<int>(*w) < nprocs ? static_cast<int>(*w) : nprocs;
   }
   const unsigned hw = std::thread::hardware_concurrency();
   const int m = hw == 0 ? 1 : static_cast<int>(hw);
   return m < nprocs ? m : nprocs;
 }
 
-}  // namespace
-
 FiberEngine::FiberEngine(std::size_t stack_bytes)
-    : stack_bytes_(stack_bytes != 0 ? stack_bytes : stack_bytes_from_env()) {
+    : stack_bytes_(stack_bytes != 0 ? stack_bytes : resolved_stack_bytes()) {
   if (!fibers_supported()) {
     throw std::runtime_error(
         "o2k::exec: fiber backend unsupported in this build (TSan or unknown "
@@ -83,7 +81,7 @@ void FiberEngine::run(int nprocs, const std::function<void(int)>& body) {
     runq_.push_back(f);
   }
 
-  const int m = workers_from_env(nprocs);
+  const int m = resolved_workers(nprocs);
   workers_used_ = m;
   std::vector<Worker> workers(static_cast<std::size_t>(m));
   std::vector<std::thread> threads;
@@ -176,6 +174,16 @@ void FiberEngine::wake(int rank) {
 
 void FiberEngine::wake_all() {
   for (int r = 0; r < live_; ++r) wake(r);
+}
+
+bool FiberEngine::quiescent_except(int rank) const {
+  for (int r = 0; r < live_; ++r) {
+    if (r == rank) continue;
+    const Fiber* f = fibers_[static_cast<std::size_t>(r)].get();
+    if (f->reason == Fiber::kDone) continue;
+    if (f->status.load(std::memory_order_seq_cst) != Fiber::kParked) return false;
+  }
+  return true;
 }
 
 void FiberEngine::requeue_parked_locked() {

@@ -46,6 +46,16 @@
 
 namespace o2k::exec {
 
+/// Stack size honouring O2K_EXEC_STACK_KB, hardened: a value that is not a
+/// fully-numeric decimal in [16, 1048576] KiB warns once to stderr and
+/// falls back to the 1 MiB default (never a silent strtol 0).
+[[nodiscard]] std::size_t resolved_stack_bytes();
+
+/// Worker count honouring O2K_EXEC_WORKERS with the same hardening
+/// (accepted range [1, 4096]); invalid values warn and fall back to
+/// min(nprocs, hardware_concurrency).
+[[nodiscard]] int resolved_workers(int nprocs);
+
 class FiberEngine {
  public:
   /// `stack_bytes == 0` means: honour O2K_EXEC_STACK_KB, else 1 MiB.
@@ -78,6 +88,14 @@ class FiberEngine {
 
   /// Number of host workers the last/current run uses.
   [[nodiscard]] int workers() const { return workers_used_; }
+
+  /// True when every fiber of the current run except `rank` is either
+  /// parked or finished — i.e. `rank` is the only runnable context.  Only
+  /// meaningful at workers() == 1 (single host thread), where it proves the
+  /// process is fork-safe: no other host thread exists and no other fiber
+  /// can run until `rank` yields.  Non-atomic fields are read under that
+  /// same single-thread assumption.
+  [[nodiscard]] bool quiescent_except(int rank) const;
 
  private:
   struct Fiber {

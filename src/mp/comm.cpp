@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "rt/state_capture.hpp"
 #include "sanitize/sanitize.hpp"
 
 namespace o2k::mp {
@@ -22,9 +23,36 @@ World::World(const origin::MachineParams& params, int nprocs)
   boxes_.reserve(static_cast<std::size_t>(nprocs));
   for (int r = 0; r < nprocs; ++r) boxes_.emplace_back(std::make_unique<detail::Mailbox>());
   if (auto* s = sanitize::active()) s->begin_mp_world(nprocs);
+  rt::StateRegistry::instance().add(this, &World::state_capture, "mp.world");
+}
+
+void World::state_capture(void* world, rt::StateSink& sink) {
+  auto& w = *static_cast<World*>(world);
+  sink.put_u64("mp.nprocs", static_cast<std::uint64_t>(w.nprocs_));
+  for (int r = 0; r < w.nprocs_; ++r) {
+    auto& box = *w.boxes_[static_cast<std::size_t>(r)];
+    std::scoped_lock lk(box.mu);
+    // Order-independent combine (sum of per-message hashes): deque order
+    // reflects host enqueue interleaving, the message *set* does not.
+    std::uint64_t combined = 0;
+    for (const detail::Message& m : box.q) {
+      std::uint64_t h = rt::fnv1a(&m.src, sizeof m.src);
+      h = rt::fnv1a(&m.tag, sizeof m.tag, h);
+      const std::uint64_t n = m.payload.size();
+      h = rt::fnv1a(&n, sizeof n, h);
+      h = rt::fnv1a(m.payload.data(), m.payload.size(), h);
+      h = rt::fnv1a(&m.arrival_ns, sizeof m.arrival_ns, h);
+      h = rt::fnv1a(&m.rts_arrival_ns, sizeof m.rts_arrival_ns, h);
+      combined += h;
+    }
+    const std::string prefix = "mp.box." + std::to_string(r);
+    sink.put_u64(prefix + ".depth", box.q.size());
+    sink.put_u64(prefix + ".digest", combined);
+  }
 }
 
 World::~World() {
+  rt::StateRegistry::instance().remove(this);
   auto* s = sanitize::active();
   if (s == nullptr) return;
   // The run's PE threads are gone (Worlds outlive Machine::run), so the

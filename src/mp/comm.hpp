@@ -35,6 +35,10 @@
 #include "common/check.hpp"
 #include "rt/machine.hpp"
 
+namespace o2k::rt {
+class StateSink;
+}  // namespace o2k::rt
+
 namespace o2k::mp {
 
 /// Matching wildcard for tags (receiving from a wildcard *source* is
@@ -89,6 +93,13 @@ class World {
 
  private:
   friend class Comm;
+
+  // Checkpoint state capture (rt::StateRegistry callback).  Queue contents
+  // are digested order-independently: host scheduling may enqueue
+  // concurrent sends in any order, but the *set* of in-flight messages at a
+  // rendezvous is deterministic.
+  static void state_capture(void* world, rt::StateSink& sink);
+
   const origin::MachineParams& params_;
   int nprocs_;
   std::vector<std::unique_ptr<detail::Mailbox>> boxes_;

@@ -66,6 +66,8 @@ void Pe::barrier(double cost_ns) {
 
 void Pe::add_barrier_hook(BarrierHookFn fn, void* ctx) { machine_->add_barrier_hook(fn, ctx); }
 
+void Pe::checkpoint(const char* label) { machine_->checkpoint_point(*this, label); }
+
 void Pe::wake(int rank) { machine_->wake_slot(rank); }
 
 void Pe::wake_all() { machine_->wake_all_slots(); }
@@ -111,6 +113,70 @@ void Machine::run_barrier_hooks() {
   for (const auto& [fn, ctx] : barrier_hooks_) fn(ctx);
 }
 
+void Machine::arm_checkpoint(std::string label, int occurrence, CheckpointFn fn) {
+  O2K_REQUIRE(occurrence >= 1, "checkpoint occurrence is 1-based");
+  O2K_REQUIRE(!label.empty(), "checkpoint label must be non-empty");
+  cp_label_ = std::move(label);
+  cp_occurrence_ = occurrence;
+  cp_fn_ = std::move(fn);
+  cp_fired_.store(false, std::memory_order_release);
+  cp_armed_.store(true, std::memory_order_release);
+}
+
+void Machine::disarm_checkpoint() {
+  cp_armed_.store(false, std::memory_order_release);
+  cp_fn_ = nullptr;
+  cp_label_.clear();
+}
+
+void Machine::checkpoint_point(Pe& pe, const char* label) {
+  // Fast path: unarmed (or armed for a different marker) — zero clock
+  // effect either way, so checkpoints may be sprinkled freely in app loops.
+  if (!cp_armed_.load(std::memory_order_acquire)) return;
+  if (cp_label_ != label) return;
+
+  if (run_nprocs_ == 1) {
+    if (++cp_seen_ == cp_occurrence_ && cp_fn_) {
+      cp_fired_.store(true, std::memory_order_release);
+      cp_fn_(*this, pe);
+    }
+    return;
+  }
+
+  auto& c = *checkpoint_;
+  std::unique_lock lk(c.mu);
+  const std::uint64_t my_gen = c.generation.load(std::memory_order_relaxed);
+  if (++c.waiting == run_nprocs_) {
+    c.waiting = 0;
+    // Quiescence: every other PE has arrived and (on a single-worker fiber
+    // host) context-switched out; the callback observes a frozen machine.
+    if (++cp_seen_ == cp_occurrence_ && cp_fn_) {
+      cp_fired_.store(true, std::memory_order_release);
+      cp_fn_(*this, pe);
+    }
+    c.generation.store(my_gen + 1, std::memory_order_release);
+    lk.unlock();
+    wake_all_slots();
+    return;
+  }
+  lk.unlock();
+  pe.park_until([&] { return c.generation.load(std::memory_order_acquire) != my_gen; });
+}
+
+bool Machine::fork_safe(int rank) const {
+  if (run_nprocs_ == 1 && engine_ == nullptr) {
+    // Inline single-PE path: run() never spawned a thread.
+    return true;
+  }
+  if (engine_ != nullptr) {
+    // Fiber backend: one host worker (the calling thread) and every other
+    // fiber suspended means no concurrent execution exists to lose across
+    // fork(2).  (FiberEngine::run spawns workers()-1 threads.)
+    return engine_->workers() == 1 && engine_->quiescent_except(rank);
+  }
+  return false;  // threads backend, nprocs > 1: other OS threads exist
+}
+
 void Machine::record_error(std::exception_ptr e) {
   {
     std::scoped_lock lk(error_mu_);
@@ -150,6 +216,9 @@ RunResult Machine::run(int nprocs, const std::function<void(Pe&)>& body) {
               "requested more PEs than the modelled machine has");
 
   barrier_ = std::make_unique<BarrierState>();
+  checkpoint_ = std::make_unique<CheckpointState>();
+  cp_seen_ = 0;
+  cp_fired_.store(false, std::memory_order_relaxed);
   run_nprocs_ = nprocs;
   while (slots_.size() < static_cast<std::size_t>(nprocs))
     slots_.push_back(std::make_unique<WaitSlot>());
@@ -160,17 +229,17 @@ RunResult Machine::run(int nprocs, const std::function<void(Pe&)>& body) {
     barrier_hooks_.clear();
   }
 
-  std::vector<std::unique_ptr<Pe>> pes;
-  pes.reserve(static_cast<std::size_t>(nprocs));
+  pes_.clear();
+  pes_.reserve(static_cast<std::size_t>(nprocs));
   for (int r = 0; r < nprocs; ++r) {
-    pes.emplace_back(std::unique_ptr<Pe>(new Pe(r, nprocs, &params_, this)));
-    pes.back()->sink_ = sink_;
+    pes_.emplace_back(std::unique_ptr<Pe>(new Pe(r, nprocs, &params_, this)));
+    pes_.back()->sink_ = sink_;
   }
 
   if (nprocs == 1) {
     // Fast path: run inline, no thread spawn and no fiber switch.
     try {
-      body(*pes[0]);
+      body(*pes_[0]);
     } catch (...) {
       record_error(std::current_exception());
     }
@@ -179,9 +248,9 @@ RunResult Machine::run(int nprocs, const std::function<void(Pe&)>& body) {
     // The engine (and its mmap'd stacks) is pooled across runs.
     if (!engine_storage_) engine_storage_ = std::make_unique<exec::FiberEngine>();
     engine_ = engine_storage_.get();
-    engine_->run(nprocs, [this, &body, &pes](int r) {
+    engine_->run(nprocs, [this, &body](int r) {
       try {
-        body(*pes[static_cast<std::size_t>(r)]);
+        body(*pes_[static_cast<std::size_t>(r)]);
       } catch (const AbortError&) {
         // Secondary failure caused by another PE's abort; ignore.
       } catch (...) {
@@ -193,7 +262,7 @@ RunResult Machine::run(int nprocs, const std::function<void(Pe&)>& body) {
     std::vector<std::thread> threads;
     threads.reserve(static_cast<std::size_t>(nprocs));
     for (int r = 0; r < nprocs; ++r) {
-      threads.emplace_back([this, &body, pe = pes[static_cast<std::size_t>(r)].get()] {
+      threads.emplace_back([this, &body, pe = pes_[static_cast<std::size_t>(r)].get()] {
         try {
           body(*pe);
         } catch (const AbortError&) {
@@ -214,7 +283,7 @@ RunResult Machine::run(int nprocs, const std::function<void(Pe&)>& body) {
   RunResult out;
   out.nprocs = nprocs;
   out.pe_ns.reserve(static_cast<std::size_t>(nprocs));
-  for (const auto& pe : pes) {
+  for (const auto& pe : pes_) {
     out.pe_ns.push_back(pe->now());
     out.makespan_ns = std::max(out.makespan_ns, pe->now());
     for (std::uint32_t id = 0; id < pe->stats_.phase_ns.size(); ++id) {

@@ -193,6 +193,21 @@ class Pe {
   /// epoch-commit callbacks through their Pe handle).
   void add_barrier_hook(BarrierHookFn fn, void* ctx);
 
+  /// Named checkpoint rendezvous point (campaign checkpoint/fork support).
+  ///
+  /// When the machine is not armed for `label` — the overwhelmingly common
+  /// case — this is a no-op costing one atomic load.  When armed, every PE
+  /// of the run rendezvouses here on the *host* side only: no virtual clock
+  /// is read or written, no cost is charged, and no barrier epoch advances,
+  /// so an armed run's simulated trajectory is bit-identical to an unarmed
+  /// one (unlike Pe::barrier, which synchronises clocks).  The last PE to
+  /// arrive fires the armed callback at quiescence — every other PE is
+  /// parked — which is where the campaign layer captures state or forks
+  /// warm children.  All PEs must place the call at the same source point
+  /// (standard barrier discipline), typically just after an existing
+  /// barrier.  Throws AbortError when the run aborts while parked.
+  void checkpoint(const char* label);
+
  private:
   friend class Machine;
   Pe(int rank, int nprocs, const origin::MachineParams* params, Machine* m)
@@ -245,6 +260,35 @@ class Machine {
   /// (fn, ctx) registrations collapse to one.  Thread-safe.
   void add_barrier_hook(BarrierHookFn fn, void* ctx);
 
+  // ---- checkpoint rendezvous (campaign snapshot/fork support) -----------
+  /// Callback fired on the last-arriving PE of an armed checkpoint
+  /// rendezvous, with every other PE parked.  `pe` is the firing PE.
+  using CheckpointFn = std::function<void(Machine& m, Pe& pe)>;
+
+  /// Arm the next run (or the current one) to fire `fn` at the
+  /// `occurrence`-th dynamic execution of Pe::checkpoint(label) (1-based;
+  /// apps typically place one marker inside a loop, so occurrence selects
+  /// the iteration).  Arming survives across run() calls until
+  /// disarm_checkpoint(); occurrence counting restarts every run.
+  void arm_checkpoint(std::string label, int occurrence, CheckpointFn fn);
+  void disarm_checkpoint();
+  /// True once the armed callback fired during the current/last run.
+  [[nodiscard]] bool checkpoint_fired() const {
+    return cp_fired_.load(std::memory_order_acquire);
+  }
+
+  // ---- run introspection (valid inside run(), e.g. checkpoint callbacks)
+  [[nodiscard]] int run_nprocs() const { return run_nprocs_; }
+  /// PE `r` of the active run (checkpoint callbacks use this to capture
+  /// per-PE clocks/stats while the machine is quiescent).
+  [[nodiscard]] Pe& run_pe(int r) { return *pes_.at(static_cast<std::size_t>(r)); }
+
+  /// True when fork(2) from PE `rank`'s context is sound right now: the
+  /// process is running this machine single-host-threaded (nprocs == 1
+  /// inline, or the fiber backend on one worker) and every other PE is
+  /// suspended.  The threads backend with nprocs > 1 is never fork-safe.
+  [[nodiscard]] bool fork_safe(int rank) const;
+
  private:
   friend class Pe;
 
@@ -276,6 +320,15 @@ class Machine {
     double release_time = 0.0;
   };
 
+  // Same arrive/release shape as BarrierState, but entirely clock-neutral:
+  // the rendezvous synchronises host execution only, so armed and unarmed
+  // runs follow identical virtual-time trajectories.
+  struct CheckpointState {
+    std::mutex mu;
+    int waiting = 0;
+    std::atomic<std::uint64_t> generation{0};
+  };
+
   origin::MachineParams params_;
   metrics::Sink* sink_ = nullptr;
   std::optional<ExecBackend> backend_override_;
@@ -284,6 +337,8 @@ class Machine {
   // and are never destroyed mid-run, so a PE may park on its slot at any
   // point of the run.
   std::unique_ptr<BarrierState> barrier_;
+  std::unique_ptr<CheckpointState> checkpoint_;
+  std::vector<std::unique_ptr<Pe>> pes_;
   std::vector<std::unique_ptr<WaitSlot>> slots_;
   int run_nprocs_ = 0;
   std::atomic<bool> aborted_{false};
@@ -300,6 +355,15 @@ class Machine {
   std::mutex hooks_mu_;
   std::vector<std::pair<BarrierHookFn, void*>> barrier_hooks_;
   void run_barrier_hooks();
+
+  // Checkpoint arming (set between runs; read by every PE inside a run).
+  std::atomic<bool> cp_armed_{false};
+  std::string cp_label_;
+  int cp_occurrence_ = 1;
+  int cp_seen_ = 0;  ///< full rendezvous completed this run (under checkpoint_->mu)
+  CheckpointFn cp_fn_;
+  std::atomic<bool> cp_fired_{false};
+  void checkpoint_point(Pe& pe, const char* label);
 
   void record_error(std::exception_ptr e);
   void wake_slot(int rank);

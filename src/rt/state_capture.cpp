@@ -1,0 +1,82 @@
+#include "rt/state_capture.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+namespace o2k::rt {
+
+std::uint64_t fnv1a(const void* data, std::size_t n, std::uint64_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+void StateSink::put_u64(std::string_view key, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  lines_.push_back(std::string(key) + " u64 " + buf);
+}
+
+void StateSink::put_f64(std::string_view key, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64, bits);
+  lines_.push_back(std::string(key) + " f64 " + buf);
+}
+
+void StateSink::put_str(std::string_view key, std::string_view v) {
+  lines_.push_back(std::string(key) + " str " + std::string(v));
+}
+
+std::uint64_t StateSink::digest() const {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const auto& line : lines_) {
+    h = fnv1a(line.data(), line.size(), h);
+    h = fnv1a("\n", 1, h);
+  }
+  return h;
+}
+
+StateRegistry& StateRegistry::instance() {
+  static StateRegistry r;
+  return r;
+}
+
+void StateRegistry::add(void* ctx, StateCaptureFn fn, std::string name) {
+  std::scoped_lock lk(mu_);
+  entries_.push_back(Entry{ctx, fn, std::move(name), next_seq_++});
+}
+
+void StateRegistry::remove(void* ctx) {
+  std::scoped_lock lk(mu_);
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [&](const Entry& e) { return e.ctx == ctx; }),
+                 entries_.end());
+}
+
+void StateRegistry::capture_all(StateSink& sink) const {
+  std::vector<Entry> snapshot;
+  {
+    std::scoped_lock lk(mu_);
+    snapshot = entries_;
+  }
+  std::sort(snapshot.begin(), snapshot.end(), [](const Entry& a, const Entry& b) {
+    return a.name != b.name ? a.name < b.name : a.seq < b.seq;
+  });
+  for (const Entry& e : snapshot) e.fn(e.ctx, sink);
+}
+
+std::size_t StateRegistry::size() const {
+  std::scoped_lock lk(mu_);
+  return entries_.size();
+}
+
+}  // namespace o2k::rt

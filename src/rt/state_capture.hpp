@@ -1,0 +1,83 @@
+// Deterministic machine-state capture for checkpoint/restore.
+//
+// A snapshot of a simulated run is a *certificate*, not a core dump: at a
+// checkpoint rendezvous (rt::Pe::checkpoint) the campaign layer captures a
+// canonical, ordered key/value description of everything that defines the
+// simulated state — per-PE virtual clocks (exact double bits), barrier
+// epochs, phase/counter statistics, and each model runtime's world state
+// (SAS directory, SHMEM heaps, MP queues) — and an FNV-1a digest over the
+// lot.  Because the substrate is deterministic (golden-fixture contract,
+// DESIGN.md §2.2), restoring means *replaying* to the same rendezvous and
+// comparing captured state bit-for-bit; a match proves the replay followed
+// the identical virtual-time trajectory.
+//
+// Model runtimes register a capture callback here (ctor registers, dtor
+// removes), so the rt layer needs no knowledge of sas/shmem/mp — the same
+// inversion used for barrier hooks.  Capture runs only at rendezvous
+// quiescence, on one host thread, so callbacks need no locking.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace o2k::rt {
+
+/// Ordered key/value capture buffer.  Values are rendered into canonical
+/// text lines ("<key> u64 <dec>", "<key> f64 <hex bits>", "<key> str <v>")
+/// so snapshots are diffable and the digest is platform-independent.
+class StateSink {
+ public:
+  void put_u64(std::string_view key, std::uint64_t v);
+  /// Doubles are captured as their exact IEEE-754 bit pattern; formatting
+  /// through decimal would destroy the bit-identity contract.
+  void put_f64(std::string_view key, double v);
+  void put_str(std::string_view key, std::string_view v);
+
+  [[nodiscard]] const std::vector<std::string>& lines() const { return lines_; }
+
+  /// FNV-1a (64-bit) over every line in order, '\n'-separated.
+  [[nodiscard]] std::uint64_t digest() const;
+
+ private:
+  std::vector<std::string> lines_;
+};
+
+/// FNV-1a 64-bit over an arbitrary byte range — shared by StateSink and the
+/// model runtimes' bulk-memory digests (arena pages, symmetric heaps).
+[[nodiscard]] std::uint64_t fnv1a(const void* data, std::size_t n,
+                                  std::uint64_t seed = 14695981039346656037ULL);
+
+/// A model runtime's capture callback.  Invoked with the world's
+/// registration context at rendezvous quiescence (single host thread, all
+/// PEs parked).
+using StateCaptureFn = void (*)(void* ctx, StateSink& sink);
+
+/// Process-global registry of live capture sources.  Worlds register in
+/// their constructor and must remove themselves in their destructor.
+/// capture_all emits sources ordered by (name, registration sequence), so
+/// output is independent of registration racing.
+class StateRegistry {
+ public:
+  static StateRegistry& instance();
+
+  void add(void* ctx, StateCaptureFn fn, std::string name);
+  void remove(void* ctx);
+  void capture_all(StateSink& sink) const;
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  struct Entry {
+    void* ctx;
+    StateCaptureFn fn;
+    std::string name;
+    std::uint64_t seq;
+  };
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace o2k::rt

@@ -4,6 +4,7 @@
 #include <bit>
 #include <limits>
 
+#include "rt/state_capture.hpp"
 #include "sanitize/sanitize.hpp"
 
 namespace o2k::sas {
@@ -57,6 +58,35 @@ World::World(const origin::MachineParams& params, int nprocs, std::size_t arena_
     pe_state_[static_cast<std::size_t>(r)].store(0, std::memory_order_relaxed);
   }
   if (auto* s = sanitize::active()) s->begin_sas_world(nprocs);
+  rt::StateRegistry::instance().add(this, &World::state_capture, "sas.world");
+}
+
+World::~World() { rt::StateRegistry::instance().remove(this); }
+
+void World::state_capture(void* world, rt::StateSink& sink) {
+  // Runs at checkpoint-rendezvous quiescence (every PE parked, one host
+  // thread), always just after a barrier committed the epoch, so the
+  // committed arrays and the arena are stable and plain reads are safe.
+  auto& w = *static_cast<World*>(world);
+  sink.put_u64("sas.nprocs", static_cast<std::uint64_t>(w.nprocs_));
+  sink.put_u64("sas.bump", w.bump_);
+  sink.put_u64("sas.pages", w.num_pages_);
+  sink.put_u64("sas.lines", w.num_lines_);
+
+  std::uint64_t h = 14695981039346656037ULL;
+  for (std::size_t p = 0; p < w.num_pages_; ++p) {
+    const int home = w.page_home_[p].load(std::memory_order_relaxed);
+    h = rt::fnv1a(&home, sizeof home, h);
+  }
+  sink.put_u64("sas.page_home.digest", h);
+
+  sink.put_u64("sas.line_ver.digest",
+               rt::fnv1a(w.line_commit_ver_.get(), w.num_lines_ * sizeof(std::uint32_t)));
+  sink.put_u64("sas.line_writer.digest",
+               rt::fnv1a(w.line_commit_writer_.get(), w.num_lines_ * sizeof(int)));
+  // Only the allocated prefix: the rest of the calloc'd arena is untouched
+  // zeros whose pages never committed; digesting them would fault them in.
+  sink.put_u64("sas.arena.digest", rt::fnv1a(w.arena_.get(), w.bump_));
 }
 
 std::size_t World::allocate(std::size_t bytes, Placement placement, const char* name) {

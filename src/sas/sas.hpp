@@ -57,6 +57,10 @@
 #include "common/check.hpp"
 #include "rt/machine.hpp"
 
+namespace o2k::rt {
+class StateSink;
+}  // namespace o2k::rt
+
 namespace o2k::sas {
 
 enum class Placement {
@@ -79,6 +83,9 @@ class World {
   World(const origin::MachineParams& params, int nprocs,
         std::size_t arena_bytes = std::size_t{256} << 20,
         Placement default_placement = Placement::kFirstTouch);
+  ~World();
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
 
   [[nodiscard]] int size() const { return nprocs_; }
   [[nodiscard]] const origin::MachineParams& params() const { return params_; }
@@ -123,6 +130,10 @@ class World {
  private:
   friend class Team;
   std::size_t allocate(std::size_t bytes, Placement placement, const char* name = nullptr);
+
+  // Checkpoint state capture (rt::StateRegistry callback): committed
+  // coherence metadata + the used arena prefix, digested deterministically.
+  static void state_capture(void* world, rt::StateSink& sink);
 
   struct FreeDeleter {
     void operator()(void* p) const noexcept { std::free(p); }

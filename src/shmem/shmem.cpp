@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <string>
 
+#include "rt/state_capture.hpp"
 #include "sanitize/sanitize.hpp"
 
 namespace o2k::shmem {
@@ -29,6 +31,22 @@ World::World(const origin::MachineParams& params, int nprocs, std::size_t heap_b
     heaps_.emplace_back(p);
   }
   if (auto* s = sanitize::active()) s->begin_shmem_world(nprocs);
+  rt::StateRegistry::instance().add(this, &World::state_capture, "shmem.world");
+}
+
+World::~World() { rt::StateRegistry::instance().remove(this); }
+
+void World::state_capture(void* world, rt::StateSink& sink) {
+  // Rendezvous quiescence: no PE is mid-put, so the heaps are stable.
+  auto& w = *static_cast<World*>(world);
+  const std::size_t used = w.alloc_high_.load(std::memory_order_relaxed);
+  sink.put_u64("shmem.nprocs", static_cast<std::uint64_t>(w.nprocs_));
+  sink.put_u64("shmem.heap_bytes", w.heap_bytes_);
+  sink.put_u64("shmem.alloc_high", used);
+  for (int r = 0; r < w.nprocs_; ++r) {
+    sink.put_u64("shmem.heap." + std::to_string(r) + ".digest",
+                 rt::fnv1a(w.heaps_[static_cast<std::size_t>(r)].get(), used));
+  }
 }
 
 Ctx::Ctx(World& world, rt::Pe& pe) : world_(world), pe_(pe) {
@@ -48,6 +66,7 @@ std::size_t Ctx::allocate(std::size_t bytes) {
   O2K_REQUIRE(off + bytes <= world_.heap_bytes(),
               "shmem: symmetric heap exhausted — construct World with a larger heap");
   bump_ = off + bytes;
+  world_.note_alloc(bump_);
   return off;
 }
 

@@ -22,6 +22,7 @@
 // racy get concurrent with a put is an application bug here as there.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdlib>
 #include <cstring>
@@ -33,6 +34,10 @@
 
 #include "common/check.hpp"
 #include "rt/machine.hpp"
+
+namespace o2k::rt {
+class StateSink;
+}  // namespace o2k::rt
 
 namespace o2k::shmem {
 
@@ -55,6 +60,9 @@ class World {
  public:
   World(const origin::MachineParams& params, int nprocs,
         std::size_t heap_bytes = std::size_t{64} << 20);
+  ~World();
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
 
   [[nodiscard]] int size() const { return nprocs_; }
   [[nodiscard]] const origin::MachineParams& params() const { return params_; }
@@ -65,10 +73,25 @@ class World {
   struct FreeDeleter {
     void operator()(std::byte* p) const noexcept { std::free(p); }
   };
+
+  /// Record a PE's symmetric bump-pointer high-water mark.  The heaps are
+  /// calloc'd (zero, lazily committed); checkpoint capture digests only
+  /// [0, alloc_high_) so untouched pages are neither hashed nor faulted in.
+  void note_alloc(std::size_t high) {
+    std::size_t cur = alloc_high_.load(std::memory_order_relaxed);
+    while (high > cur &&
+           !alloc_high_.compare_exchange_weak(cur, high, std::memory_order_relaxed)) {
+    }
+  }
+
+  // Checkpoint state capture (rt::StateRegistry callback).
+  static void state_capture(void* world, rt::StateSink& sink);
+
   const origin::MachineParams& params_;
   int nprocs_;
   std::size_t heap_bytes_;
   std::vector<std::unique_ptr<std::byte[], FreeDeleter>> heaps_;
+  std::atomic<std::size_t> alloc_high_{0};
   std::mutex atomic_mu_;  ///< serialises remote atomic ops (NACK-free Hub model)
 };
 
@@ -205,6 +228,7 @@ class Ctx {
   }
 
   std::size_t allocate(std::size_t bytes);
+
   [[nodiscard]] std::byte* heap(int pe) const {
     return world_.heaps_[static_cast<std::size_t>(pe)].get();
   }

@@ -2,10 +2,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <set>
 
 #include "common/check.hpp"
 #include "common/cli.hpp"
+#include "common/env.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "common/vec3.hpp"
@@ -156,6 +158,82 @@ TEST(Cli, ParsesIntList) {
   Cli cli(2, argv, {{"procs", ""}});
   EXPECT_EQ(cli.get_int_list("procs", {}), (std::vector<int>{1, 2, 4}));
   EXPECT_EQ(cli.get_int_list("other", {8}), (std::vector<int>{8}));
+}
+
+TEST(Cli, IntListRejectsEmptyToken) {
+  const char* argv[] = {"prog", "--plist=1,,64"};
+  Cli cli(2, argv, {{"plist", ""}});
+  EXPECT_THROW((void)cli.get_int_list("plist", {}), CliError);
+}
+
+TEST(Cli, IntListRejectsNonNumericToken) {
+  const char* argv[] = {"prog", "--plist=1,x"};
+  Cli cli(2, argv, {{"plist", ""}});
+  EXPECT_THROW((void)cli.get_int_list("plist", {}), CliError);
+}
+
+TEST(Cli, IntListRejectsTrailingJunk) {
+  const char* argv[] = {"prog", "--plist=4q"};
+  Cli cli(2, argv, {{"plist", ""}});
+  EXPECT_THROW((void)cli.get_int_list("plist", {}), CliError);
+}
+
+TEST(Cli, IntListRejectsOutOfRange) {
+  const char* argv[] = {"prog", "--plist=1,99999999999999999999"};
+  Cli cli(2, argv, {{"plist", ""}});
+  EXPECT_THROW((void)cli.get_int_list("plist", {}), CliError);
+}
+
+TEST(Cli, IntListErrorNamesFlagAndToken) {
+  const char* argv[] = {"prog", "--plist=1,x,64"};
+  Cli cli(2, argv, {{"plist", ""}});
+  try {
+    (void)cli.get_int_list("plist", {});
+    FAIL() << "expected CliError";
+  } catch (const CliError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("plist"), std::string::npos) << msg;
+    EXPECT_NE(msg.find('x'), std::string::npos) << msg;
+  }
+}
+
+TEST(Cli, ScalarValuesRejectTrailingJunk) {
+  const char* argv[] = {"prog", "--steps=3q", "--theta=0.7z"};
+  Cli cli(3, argv, {{"steps", ""}, {"theta", ""}});
+  EXPECT_THROW((void)cli.get_int("steps", 0), CliError);
+  EXPECT_THROW((void)cli.get_double("theta", 0.0), CliError);
+}
+
+TEST(EnvInt, UnsetIsSilentNullopt) {
+  ::unsetenv("O2K_TEST_ENV_INT");
+  EXPECT_FALSE(common::env_int("O2K_TEST_ENV_INT", 0, 100).has_value());
+}
+
+TEST(EnvInt, ParsesValidValue) {
+  ::setenv("O2K_TEST_ENV_INT", "42", 1);
+  const auto v = common::env_int("O2K_TEST_ENV_INT", 0, 100);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 42);
+  ::unsetenv("O2K_TEST_ENV_INT");
+}
+
+TEST(EnvInt, RejectsTrailingJunkAndRange) {
+  // The classic strtol bug would read "64MB" as 64 (or "junk" as 0); the
+  // hardened parser must treat every such value as absent instead.
+  for (const char* bad : {"64MB", "junk", "", "7 ", "1e3", "101", "-1"}) {
+    ::setenv("O2K_TEST_ENV_INT", bad, 1);
+    EXPECT_FALSE(common::env_int("O2K_TEST_ENV_INT", 0, 100).has_value())
+        << "value '" << bad << "' should be rejected";
+  }
+  ::unsetenv("O2K_TEST_ENV_INT");
+}
+
+TEST(EnvIntOr, FallsBackOnInvalid) {
+  ::setenv("O2K_TEST_ENV_INT", "64MB", 1);
+  EXPECT_EQ(common::env_int_or("O2K_TEST_ENV_INT", 1024, 16, 1 << 20), 1024);
+  ::setenv("O2K_TEST_ENV_INT", "512", 1);
+  EXPECT_EQ(common::env_int_or("O2K_TEST_ENV_INT", 1024, 16, 1 << 20), 512);
+  ::unsetenv("O2K_TEST_ENV_INT");
 }
 
 TEST(Check, RequireThrowsInvalidArgument) {
