@@ -2,24 +2,30 @@
 // (google-benchmark).  These measure *host* cost, not simulated time: they
 // exist so regressions in the simulation machinery itself are visible.
 //
-// A second mode, `--wall`, sweeps the fig1/fig3 smoke workloads over all
-// three models and P = {1..256} (a scaled Origin2000 beyond the paper's 64
-// processors; identical per-hop costs, see MachineParams::origin2000_scaled)
-// and records host wall-clock seconds per point as line-oriented JSON
-// (schema o2k.bench_sched.v2).  Every point runs under both execution
-// backends — fibers twice (reproducibility check) and threads once — and
-// emits per-backend wall columns plus their ratio.  The three makespans of
-// a point must agree bit-exactly; any mismatch aborts the run with exit 1.
+// A second mode, `--wall`, sweeps the fig1/fig3/dht smoke workloads over
+// all three models and P = {1..256} (a scaled Origin2000 beyond the paper's
+// 64 processors; identical per-hop costs, see
+// MachineParams::origin2000_scaled) and records host wall-clock seconds per
+// point as line-oriented JSON (schema o2k.bench_sched.v3).  Every point is
+// measured with 3 repetitions per backend and records the *median* — the
+// header line carries "reps" and "host_cores" so a baseline taken on a
+// wider host is legible.  Points at P >= 8 are additionally measured with
+// O2K_WORKERS=4 on the fibers backend (the sharded synchronization-domain
+// scheduler, DESIGN.md §11); their "speedup" column is
+// wall(workers=1)/wall(workers=4), the tentpole host-parallelism metric.
+// All makespans of a point — across backends, repetitions AND worker
+// counts — must agree bit-exactly; any mismatch aborts the run with exit 1.
 //
 //   ./bench_micro_runtime --wall --out=BENCH_sched.json
 //
 // A third mode, `--gate=<BENCH_sched.json>`, is the CI perf-smoke gate: it
-// re-runs a pinned subset of the sweep on the fibers backend and fails
-// (exit 1) if any point's wall time regressed more than 25% against the
-// committed file, or if any point's makespan drifted from it.  Baseline
-// problems exit with distinct codes (2 missing file, 3 malformed JSON,
-// 4 schema mismatch) so CI can tell a regression from a broken artifact —
-// see bench_gate.hpp.
+// re-runs a pinned subset of the sweep on the fibers backend (median of 3
+// repetitions, including a workers=4 point) and fails (exit 1) if any
+// point's median wall time regressed more than 25% against the committed
+// file, or if any point's makespan drifted from it.  Baseline problems
+// exit with distinct codes (2 missing file, 3 malformed JSON, 4 schema
+// mismatch) so CI can tell a regression from a broken artifact — see
+// bench_gate.hpp.
 //
 //   ./bench_micro_runtime --gate=BENCH_sched.json
 #include <benchmark/benchmark.h>
@@ -33,6 +39,9 @@
 #include <string>
 #include <vector>
 
+#include <thread>
+
+#include "apps/dht_app.hpp"
 #include "apps/mesh_app.hpp"
 #include "apps/nbody_app.hpp"
 #include "bench_gate.hpp"
@@ -118,17 +127,26 @@ BENCHMARK(BM_SasTouch);
 // --wall mode: end-to-end host wall-clock of the fig1/fig3 smoke sweeps.
 // ---------------------------------------------------------------------------
 
+constexpr int kReps = 3;  ///< repetitions per backend; points record the median
+
 struct WallPoint {
   std::string app;
   std::string model;
   int p = 0;
-  double wall_fibers_s = 0.0;   ///< best of two fiber-backend runs
-  double wall_threads_s = 0.0;  ///< one thread-per-PE run
-  double makespan_ns = 0.0;     ///< virtual time (first fiber run)
+  int workers = 1;              ///< synchronization domains (O2K_WORKERS)
+  double wall_fibers_s = 0.0;   ///< median of kReps fiber-backend runs
+  double wall_threads_s = 0.0;  ///< median of kReps thread-per-PE runs (workers=1 only)
+  double makespan_ns = 0.0;     ///< virtual time (identical across everything)
 };
 
 std::string point_key(const WallPoint& pt) {
-  return pt.app + "|" + pt.model + "|" + std::to_string(pt.p);
+  return pt.app + "|" + pt.model + "|" + std::to_string(pt.p) + "|w" +
+         std::to_string(pt.workers);
+}
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
 }
 
 apps::Model model_from_slug(const std::string& s) {
@@ -149,6 +167,11 @@ std::pair<double, double> timed_run(rt::Machine& machine, const std::string& app
     cfg.n = 8192;
     cfg.steps = 2;
     makespan = apps::run_nbody(model, machine, p, cfg).run.makespan_ns;
+  } else if (app == "dht") {
+    apps::DhtConfig cfg;  // smoke-scale traffic with a few churn events
+    cfg.requests = 60'000;
+    cfg.churn_every = 15'000;
+    makespan = apps::run_dht(model, machine, p, cfg).run.makespan_ns;
   } else {
     apps::MeshConfig cfg;  // fig3 smoke scale
     cfg.nx = cfg.ny = cfg.nz = 10;
@@ -160,24 +183,43 @@ std::pair<double, double> timed_run(rt::Machine& machine, const std::string& app
   return {wall, makespan};
 }
 
-/// Measure one sweep point under both backends.  Returns false (and prints)
-/// if the makespans disagree — every point must be bit-reproducible.
+/// Measure one sweep point: kReps repetitions per backend, medians
+/// recorded.  Points with workers > 1 run the fibers backend only (the
+/// threads backend spawns P host threads regardless of the domain count, so
+/// a workers axis there measures nothing).  Returns false (and prints) if
+/// any makespan disagrees with any other — every point must be
+/// bit-reproducible across backends, repetitions and worker counts.
 bool measure_point(rt::Machine& machine, WallPoint& pt) {
+  const auto model = model_from_slug(pt.model);
+  machine.set_workers(pt.workers);
+  std::vector<double> wf, wt, mks;
   machine.set_exec_backend(rt::ExecBackend::kFibers);
-  const auto [wf1, mk1] = timed_run(machine, pt.app, model_from_slug(pt.model), pt.p);
-  const auto [wf2, mk2] = timed_run(machine, pt.app, model_from_slug(pt.model), pt.p);
-  machine.set_exec_backend(rt::ExecBackend::kThreads);
-  const auto [wt, mk3] = timed_run(machine, pt.app, model_from_slug(pt.model), pt.p);
+  for (int r = 0; r < kReps; ++r) {
+    const auto [w, mk] = timed_run(machine, pt.app, model, pt.p);
+    wf.push_back(w);
+    mks.push_back(mk);
+  }
+  if (pt.workers == 1) {
+    machine.set_exec_backend(rt::ExecBackend::kThreads);
+    for (int r = 0; r < kReps; ++r) {
+      const auto [w, mk] = timed_run(machine, pt.app, model, pt.p);
+      wt.push_back(w);
+      mks.push_back(mk);
+    }
+  }
   machine.set_exec_backend(std::nullopt);
-  pt.wall_fibers_s = std::min(wf1, wf2);
-  pt.wall_threads_s = wt;
-  pt.makespan_ns = mk1;
-  if (mk1 != mk2 || mk1 != mk3) {
-    std::fprintf(stderr,
-                 "ERROR: makespan drift at %s (fibers %.17g / %.17g, threads %.17g) — "
-                 "the substrate leaked host scheduling into virtual time\n",
-                 point_key(pt).c_str(), mk1, mk2, mk3);
-    return false;
+  machine.set_workers(std::nullopt);
+  pt.wall_fibers_s = median(wf);
+  pt.wall_threads_s = wt.empty() ? 0.0 : median(wt);
+  pt.makespan_ns = mks.front();
+  for (double mk : mks) {
+    if (mk != mks.front()) {
+      std::fprintf(stderr,
+                   "ERROR: makespan drift at %s (%.17g vs %.17g) — the substrate leaked "
+                   "host scheduling into virtual time\n",
+                   point_key(pt).c_str(), mks.front(), mk);
+      return false;
+    }
   }
   return true;
 }
@@ -192,7 +234,7 @@ int run_wall_mode(const std::string& out_path, int pmax) {
   rt::Machine machine(origin::MachineParams::origin2000_scaled(std::max(pmax, 256)));
   std::vector<WallPoint> points;
   bool ok = true;
-  for (const char* app : {"nbody", "mesh"}) {
+  for (const char* app : {"nbody", "mesh", "dht"}) {
     for (auto model : models) {
       for (int p : procs) {
         WallPoint pt;
@@ -201,9 +243,28 @@ int run_wall_mode(const std::string& out_path, int pmax) {
         pt.p = p;
         ok = measure_point(machine, pt) && ok;
         points.push_back(pt);
-        std::fprintf(stderr, "  %-5s %-6s P=%-3d  fibers %.3fs  threads %.3fs\n",
+        std::fprintf(stderr, "  %-5s %-6s P=%-4d w=1  fibers %.3fs  threads %.3fs\n",
                      pt.app.c_str(), pt.model.c_str(), pt.p, pt.wall_fibers_s,
                      pt.wall_threads_s);
+        // The host-parallel sweep: 4 synchronization domains need >= 4
+        // nodes, i.e. P >= 8 at two PEs per node; below that DomainMap
+        // would clamp and re-measure the workers=1 configuration.
+        if (p >= 8) {
+          WallPoint w4 = pt;
+          w4.workers = 4;
+          ok = measure_point(machine, w4) && ok;
+          if (w4.makespan_ns != pt.makespan_ns) {
+            std::fprintf(stderr,
+                         "ERROR: makespan drift at %s vs workers=1 (%.17g vs %.17g) — "
+                         "domain decomposition leaked into virtual time\n",
+                         point_key(w4).c_str(), w4.makespan_ns, pt.makespan_ns);
+            ok = false;
+          }
+          points.push_back(w4);
+          std::fprintf(stderr, "  %-5s %-6s P=%-4d w=4  fibers %.3fs  (x%.2f vs w=1)\n",
+                       w4.app.c_str(), w4.model.c_str(), w4.p, w4.wall_fibers_s,
+                       w4.wall_fibers_s > 0 ? pt.wall_fibers_s / w4.wall_fibers_s : 0.0);
+        }
       }
     }
   }
@@ -213,30 +274,53 @@ int run_wall_mode(const std::string& out_path, int pmax) {
     std::cerr << "bench_micro_runtime: cannot write " << out_path << "\n";
     return 2;
   }
-  out << "{\"schema\":\"o2k.bench_sched.v2\",\"points\":[\n";
-  double total_fibers = 0.0, total_threads = 0.0;
+  char hdr[160];
+  std::snprintf(hdr, sizeof hdr,
+                "{\"schema\":\"o2k.bench_sched.v3\",\"reps\":%d,\"host_cores\":%u,"
+                "\"points\":[\n",
+                kReps, std::thread::hardware_concurrency());
+  out << hdr;
+  // The speedup column reads differently per line kind: workers=1 lines
+  // report threads/fibers (backend comparison), workers>1 lines report
+  // fibers(w=1)/fibers(w=N) — the host-parallelism win of the domain
+  // scheduler, meaningful only when host_cores >= workers.
+  auto base_fibers = [&](const WallPoint& pt) -> double {
+    for (const WallPoint& b : points)
+      if (b.workers == 1 && b.app == pt.app && b.model == pt.model && b.p == pt.p)
+        return b.wall_fibers_s;
+    return 0.0;
+  };
+  double total_fibers = 0.0, total_threads = 0.0, total_fibers_w4 = 0.0;
   for (std::size_t i = 0; i < points.size(); ++i) {
     const WallPoint& pt = points[i];
-    total_fibers += pt.wall_fibers_s;
-    total_threads += pt.wall_threads_s;
+    double speedup = 0.0;
+    if (pt.workers == 1) {
+      total_fibers += pt.wall_fibers_s;
+      total_threads += pt.wall_threads_s;
+      if (pt.wall_fibers_s > 0) speedup = pt.wall_threads_s / pt.wall_fibers_s;
+    } else {
+      total_fibers_w4 += pt.wall_fibers_s;
+      if (pt.wall_fibers_s > 0) speedup = base_fibers(pt) / pt.wall_fibers_s;
+    }
     char buf[512];
     std::snprintf(buf, sizeof buf,
-                  "{\"app\":\"%s\",\"model\":\"%s\",\"P\":%d,\"wall_fibers_s\":%.6f,"
-                  "\"wall_threads_s\":%.6f,\"speedup\":%.2f,\"makespan_ns\":%.17g",
-                  pt.app.c_str(), pt.model.c_str(), pt.p, pt.wall_fibers_s, pt.wall_threads_s,
-                  pt.wall_fibers_s > 0 ? pt.wall_threads_s / pt.wall_fibers_s : 0.0,
-                  pt.makespan_ns);
+                  "{\"app\":\"%s\",\"model\":\"%s\",\"P\":%d,\"workers\":%d,"
+                  "\"wall_fibers_s\":%.6f,\"wall_threads_s\":%.6f,\"speedup\":%.2f,"
+                  "\"makespan_ns\":%.17g",
+                  pt.app.c_str(), pt.model.c_str(), pt.p, pt.workers, pt.wall_fibers_s,
+                  pt.wall_threads_s, speedup, pt.makespan_ns);
     out << buf;
     out << "}" << (i + 1 < points.size() ? "," : "") << "\n";
   }
   char buf[256];
   std::snprintf(buf, sizeof buf,
-                "],\"total\":{\"fibers_wall_s\":%.6f,\"threads_wall_s\":%.6f,\"speedup\":%.2f}}",
-                total_fibers, total_threads,
+                "],\"total\":{\"fibers_wall_s\":%.6f,\"threads_wall_s\":%.6f,"
+                "\"fibers_w4_wall_s\":%.6f,\"speedup\":%.2f}}",
+                total_fibers, total_threads, total_fibers_w4,
                 total_fibers > 0 ? total_threads / total_fibers : 0.0);
   out << buf << "\n";
-  std::fprintf(stderr, "wrote %s (fibers %.3fs, threads %.3fs)\n", out_path.c_str(),
-               total_fibers, total_threads);
+  std::fprintf(stderr, "wrote %s (fibers %.3fs, threads %.3fs, fibers w=4 %.3fs)\n",
+               out_path.c_str(), total_fibers, total_threads, total_fibers_w4);
   if (!ok) {
     std::fprintf(stderr, "FAILED: unexpected makespan drift (see above)\n");
     return 1;
@@ -244,15 +328,16 @@ int run_wall_mode(const std::string& out_path, int pmax) {
   return 0;
 }
 
-/// CI perf-smoke gate: pinned subset, fibers backend, 25% wall budget.
-/// Baseline problems throw bench::GateBaselineError (caught in main).
+/// CI perf-smoke gate: pinned subset, fibers backend, median of kReps,
+/// 25% wall budget.  Baseline problems throw bench::GateBaselineError
+/// (caught in main).
 int run_gate_mode(const std::string& baseline_path) {
   const auto baseline = bench::load_gate_baseline("bench_micro_runtime", baseline_path,
-                                                  "o2k.bench_sched.v2", /*with_app=*/true);
-  auto find = [&](const std::string& app, const std::string& model,
-                  int p) -> const bench::GateRecord* {
+                                                  "o2k.bench_sched.v3", /*with_app=*/true);
+  auto find = [&](const std::string& app, const std::string& model, int p,
+                  int workers) -> const bench::GateRecord* {
     for (const auto& b : baseline)
-      if (b.app == app && b.model == model && b.p == p) return &b;
+      if (b.app == app && b.model == model && b.p == p && b.workers == workers) return &b;
     return nullptr;
   };
 
@@ -260,32 +345,44 @@ int run_gate_mode(const std::string& baseline_path) {
     const char* app;
     const char* model;
     int p;
+    int workers;
   };
-  const GatePoint pinned[] = {
-      {"nbody", "mp", 64}, {"nbody", "sas", 64}, {"mesh", "mp", 64}, {"mesh", "sas", 64}};
-  constexpr double kBudget = 1.25;  // fail when wall regresses >25%
+  const GatePoint pinned[] = {{"nbody", "mp", 64, 1},  {"nbody", "sas", 64, 1},
+                              {"mesh", "mp", 64, 1},   {"mesh", "sas", 64, 1},
+                              {"dht", "mp", 64, 1},    {"mesh", "sas", 64, 4},
+                              {"dht", "mp", 64, 4}};
+  constexpr double kBudget = 1.25;  // fail when median wall regresses >25%
 
   rt::Machine machine(origin::MachineParams::origin2000_scaled(256));
   machine.set_exec_backend(rt::ExecBackend::kFibers);
   bool ok = true;
   for (const auto& g : pinned) {
-    const bench::GateRecord* base = find(g.app, g.model, g.p);
+    const bench::GateRecord* base = find(g.app, g.model, g.p, g.workers);
     if (base == nullptr) {
       throw bench::GateBaselineError(
           bench::kGateSchema, std::string("bench_micro_runtime: pinned point ") + g.app + "|" +
-                                  g.model + "|" + std::to_string(g.p) + " missing from " +
+                                  g.model + "|" + std::to_string(g.p) + "|w" +
+                                  std::to_string(g.workers) + " missing from " +
                                   baseline_path + " — regenerate with --wall");
     }
     const auto model = model_from_slug(g.model);
-    const auto [w1, mk1] = timed_run(machine, g.app, model, g.p);
-    const auto [w2, mk2] = timed_run(machine, g.app, model, g.p);
-    const double wall = std::min(w1, w2);
+    machine.set_workers(g.workers);
+    std::vector<double> walls, mks;
+    for (int r = 0; r < kReps; ++r) {
+      const auto [w, mk] = timed_run(machine, g.app, model, g.p);
+      walls.push_back(w);
+      mks.push_back(mk);
+    }
+    machine.set_workers(std::nullopt);
+    const double wall = median(walls);
     const bool slow = wall > base->wall_fibers_s * kBudget;
     // Virtual time is host-independent, so the gate also pins makespans —
-    // bit-exactly against the committed file for every pair.
-    const bool drifted = (mk1 != mk2 || mk1 != base->makespan_ns);
-    std::fprintf(stderr, "  gate %-5s %-6s P=%-3d  wall %.3fs (budget %.3fs)%s%s\n", g.app,
-                 g.model, g.p, wall, base->wall_fibers_s * kBudget,
+    // bit-exactly against the committed file for every repetition (and, for
+    // workers=4 points, against the workers=1 baseline value via the file).
+    bool drifted = false;
+    for (double mk : mks) drifted = drifted || mk != base->makespan_ns;
+    std::fprintf(stderr, "  gate %-5s %-6s P=%-3d w=%d  wall %.3fs (budget %.3fs)%s%s\n",
+                 g.app, g.model, g.p, g.workers, wall, base->wall_fibers_s * kBudget,
                  slow ? "  WALL REGRESSION" : "", drifted ? "  MAKESPAN DRIFT" : "");
     ok = ok && !slow && !drifted;
   }

@@ -38,6 +38,22 @@ void add_checkpoint_flags(std::map<std::string, std::string>& flags, const char*
   flags["checkpoint-at"] = "1-based marker occurrence for --checkpoint (default 1)";
 }
 
+void add_workers_flag(std::map<std::string, std::string>& flags) {
+  flags["workers"] = "host synchronization domains (default: O2K_WORKERS, else 1)";
+}
+
+/// Resolve --workers against the simulated PE count.  The flag overrides
+/// O2K_WORKERS; rt::Machine clamps domains to the node count, but asking for
+/// more domains than PEs is a usage error worth failing fast on.
+void apply_workers(const Cli& cli, rt::Machine& machine, int p) {
+  if (!cli.has("workers")) return;
+  const int w = static_cast<int>(cli.get_int("workers", 1));
+  if (w < 1) throw CliError("--workers expects a count >= 1");
+  if (w > p)
+    throw CliError("--workers cannot exceed --p (more synchronization domains than PEs)");
+  machine.set_workers(w);
+}
+
 CheckpointCli checkpoint_cli(const Cli& cli, const char* app_slug, const char* marker) {
   CheckpointCli cp;
   cp.app_slug = app_slug;
@@ -204,6 +220,7 @@ int nbody_main(int argc, char** argv, Model model) {
       {"uniform-sphere", "use the less-adaptive uniform initial condition"},
       {"sanitize", "race/usage checking: off|report|abort (bare flag = report)"},
   };
+  add_workers_flag(flags);
   metrics::add_cli_flags(flags);
   add_checkpoint_flags(flags, "step");
   return main_guard(argc, argv, flags, [&](const Cli& cli) {
@@ -218,6 +235,7 @@ int nbody_main(int argc, char** argv, Model model) {
     const int p = static_cast<int>(cli.get_int("p", 8));
 
     rt::Machine machine;
+    apply_workers(cli, machine, p);
     return run_and_report(machine, p, std::string("nbody_") + model_slug(model), model,
                           metrics::Options::from_cli(cli), sanitize_mode(cli),
                           checkpoint_cli(cli, "nbody", "step"),
@@ -234,6 +252,7 @@ int mesh_main(int argc, char** argv, Model model) {
       {"no-plum", "disable the PLUM balance stage (MP/SHMEM)"},
       {"sanitize", "race/usage checking: off|report|abort (bare flag = report)"},
   };
+  add_workers_flag(flags);
   metrics::add_cli_flags(flags);
   add_checkpoint_flags(flags, "phase");
   return main_guard(argc, argv, flags, [&](const Cli& cli) {
@@ -246,6 +265,7 @@ int mesh_main(int argc, char** argv, Model model) {
     const int p = static_cast<int>(cli.get_int("p", 8));
 
     rt::Machine machine;
+    apply_workers(cli, machine, p);
     return run_and_report(machine, p, std::string("mesh_") + model_slug(model), model,
                           metrics::Options::from_cli(cli), sanitize_mode(cli),
                           checkpoint_cli(cli, "mesh", "phase"),
@@ -267,6 +287,7 @@ int dht_main(int argc, char** argv, Model model) {
       {"seed", "RNG seed"},
       {"sanitize", "race/usage checking: off|report|abort (bare flag = report)"},
   };
+  add_workers_flag(flags);
   metrics::add_cli_flags(flags);
   add_checkpoint_flags(flags, "setup");
   return main_guard(argc, argv, flags, [&](const Cli& cli) {
@@ -288,6 +309,7 @@ int dht_main(int argc, char** argv, Model model) {
     const int p = static_cast<int>(cli.get_int("p", 8));
 
     rt::Machine machine;
+    apply_workers(cli, machine, p);
     return run_and_report(machine, p, std::string("dht_") + model_slug(model), model,
                           metrics::Options::from_cli(cli), sanitize_mode(cli),
                           checkpoint_cli(cli, "dht", "setup"),

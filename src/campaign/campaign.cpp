@@ -7,6 +7,8 @@
 //   models mp,sas                   # subset of mp,shmem,sas
 //   p 2,4                           # simulated PE counts
 //   exec fibers                     # any of fibers,threads (default fibers)
+//   workers 1,4                     # synchronization domains (default 1);
+//                                   # points with workers > 1 always run cold
 //   warm 1                          # warm-fork branchable sweeps (default 1)
 //   verify 1                        # cold controls + bit comparison (default 0)
 //   jobs 4                          # pool bound; --jobs overrides
@@ -313,6 +315,9 @@ int exec_group(const TaskGroup& g, const std::string& runs_dir, const std::strin
   if (g.warm) ::setenv("O2K_EXEC_WORKERS", "1", 1);
   rt::Machine machine;
   machine.set_exec_backend(g.backend);
+  // Pin the domain count from the spec (never the inherited O2K_WORKERS
+  // env) so a campaign's run list is reproducible from its spec alone.
+  machine.set_workers(g.workers);
 
   std::size_t active = 0;  // which unit this process carries to completion
   std::vector<pid_t> kids;
@@ -376,6 +381,7 @@ int exec_group(const TaskGroup& g, const std::string& runs_dir, const std::strin
     report.meta["campaign.label"] = res.label;
     report.meta["campaign.warm"] = res.warm ? "1" : "0";
     report.meta["campaign.backend"] = backend_slug(g.backend);
+    report.meta["campaign.workers"] = std::to_string(g.workers);
     for (const auto& [k, v] : rep.checks) {
       std::ostringstream os;
       os << v;
@@ -495,6 +501,10 @@ Spec parse_spec(const std::string& path) {
           fail(lineno, "unknown exec backend '" + b + "' (want fibers|threads)");
         spec.backends.push_back(b);
       }
+    } else if (key == "workers") {
+      spec.workers.clear();
+      for (const std::string& t : split_list(rest))
+        spec.workers.push_back(static_cast<int>(want_i64(lineno, t, 1)));
     } else if (key == "warm") {
       spec.warm = want_i64(lineno, rest, 0) != 0;
     } else if (key == "verify") {
@@ -569,11 +579,18 @@ std::vector<TaskGroup> expand(const Spec& spec, bool allow_warm) {
   for (const std::string& model : spec.models) {
     for (const int p : spec.procs) {
       for (const std::string& backend : spec.backends) {
+       for (const int workers : spec.workers) {
+        if (workers > p)
+          throw SpecError("campaign: workers " + std::to_string(workers) + " exceeds p " +
+                          std::to_string(p) + " (more synchronization domains than PEs)");
         const rt::ExecBackend be =
             backend == "threads" ? rt::ExecBackend::kThreads : rt::ExecBackend::kFibers;
-        // Warm forking needs the fiber backend: the threads backend is
-        // never fork-safe with nprocs > 1.
-        const bool warm_ok = spec.warm && allow_warm && be == rt::ExecBackend::kFibers;
+        // Warm forking needs the fiber backend (the threads backend is
+        // never fork-safe with nprocs > 1) AND a single synchronization
+        // domain: with workers > 1 the pinned engine keeps pool threads
+        // alive at the rendezvous, so those points always run cold.
+        const bool warm_ok =
+            spec.warm && allow_warm && be == rt::ExecBackend::kFibers && workers == 1;
 
         std::vector<Axis> branch_axes, grid_axes;
         for (const auto& ax : spec.sweeps) {
@@ -599,12 +616,15 @@ std::vector<TaskGroup> expand(const Spec& spec, bool allow_warm) {
           g.model = model;
           g.p = p;
           g.backend = be;
+          g.workers = workers;
           g.cp_label = marker_label(spec.app);
           g.cp_occurrence = spec.warm_occurrence;
           g.params = spec.fixed;
           for (const auto& [k, v] : gv) g.params[k] = v;
+          // workers == 1 keeps the legacy label shape so committed specs
+          // and their baselines stay addressable.
           g.group_label = spec.app + "." + model + ".p" + std::to_string(p) + "." + backend +
-                          axis_tag(gv);
+                          (workers > 1 ? ".w" + std::to_string(workers) : "") + axis_tag(gv);
 
           cartesian(branch_axes,
                     [&](const std::vector<std::pair<std::string, std::string>>& bv) {
@@ -641,6 +661,7 @@ std::vector<TaskGroup> expand(const Spec& spec, bool allow_warm) {
             }
           }
         });
+       }
       }
     }
   }
@@ -708,7 +729,8 @@ int run_campaign(const CampaignOptions& opts) {
       std::snprintf(bits, sizeof bits, "%016" PRIx64, ur.makespan_bits);
       manifest << "{\"label\":\"" << json_escape(ur.label) << "\",\"app\":\"" << g.app
                << "\",\"model\":\"" << g.model << "\",\"p\":" << g.p << ",\"exec\":\""
-               << backend_slug(g.backend) << "\",\"warm\":" << (ur.warm ? "true" : "false")
+               << backend_slug(g.backend) << "\",\"workers\":" << g.workers
+               << ",\"warm\":" << (ur.warm ? "true" : "false")
                << ",\"control\":" << (g.control ? "true" : "false")
                << ",\"ok\":" << (ur.ok ? "true" : "false") << ",\"makespan_ns\":"
                << ur.makespan_ns << ",\"makespan_bits\":\"" << bits

@@ -56,6 +56,7 @@ struct TaskGroup {
   std::string model;  ///< "mp" | "shmem" | "sas"
   int p = 0;
   rt::ExecBackend backend = rt::ExecBackend::kFibers;
+  int workers = 1;  ///< synchronization domains (O2K_WORKERS); > 1 is cold-only
   bool warm = false;
   bool control = false;  ///< cold control of a warm unit (verify mode)
   std::string cp_label;  ///< app's marker ("step" / "phase" / "setup")
@@ -71,6 +72,7 @@ struct Spec {
   std::vector<std::string> models;
   std::vector<int> procs;
   std::vector<std::string> backends;  ///< "fibers" / "threads"
+  std::vector<int> workers = {1};     ///< host synchronization domains per run
   bool warm = true;
   bool verify = false;
   int jobs = 0;  ///< 0 = auto

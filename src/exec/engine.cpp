@@ -5,9 +5,24 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/check.hpp"
 #include "common/env.hpp"
 
 namespace o2k::exec {
+
+namespace {
+
+/// Which engine/worker the current OS thread is, if it is a pool worker.
+/// Lets wake() route a cross-worker handoff through the right SPSC ring
+/// (producer identity is the ring index); threads outside the pool — or
+/// workers of a *different* engine — take the mutex-guarded overflow path.
+struct TlsWorker {
+  FiberEngine* eng = nullptr;
+  int wid = -1;
+};
+thread_local TlsWorker tls_worker;
+
+}  // namespace
 
 std::size_t resolved_stack_bytes() {
   // Parse with full-token validation and range check: "64MB" or "-1" warns
@@ -65,39 +80,87 @@ void FiberEngine::fiber_main(void* arg) {
   std::abort();  // a finished fiber must never be resumed
 }
 
-void FiberEngine::run(int nprocs, const std::function<void(int)>& body) {
+void FiberEngine::run(int nprocs, const std::function<void(int)>& body, const Plan& plan) {
+  O2K_REQUIRE(plan.workers >= 0, "FiberEngine: negative worker count");
+  O2K_REQUIRE(plan.workers <= 1 || plan.affinity != nullptr,
+              "FiberEngine: pinned multi-worker run needs an affinity table");
   ensure_capacity(nprocs);
   live_ = nprocs;
   done_ = 0;
   body_ = &body;
   first_error_ = nullptr;
   runq_.clear();
+  pinned_ = plan.workers >= 1;
+  affinity_ = plan.affinity;
   for (int r = 0; r < nprocs; ++r) {
     Fiber* f = fibers_[static_cast<std::size_t>(r)].get();
     f->epoch.store(0, std::memory_order_relaxed);
     f->status.store(Fiber::kActive, std::memory_order_relaxed);
     f->reason = Fiber::kPark;
     make_context(f->ctx, *f->stack, &FiberEngine::fiber_main);
-    runq_.push_back(f);
   }
 
-  const int m = resolved_workers(nprocs);
-  workers_used_ = m;
-  std::vector<Worker> workers(static_cast<std::size_t>(m));
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(m - 1));
-  for (int w = 1; w < m; ++w) {
-    threads.emplace_back([this, &workers, w] { worker_loop(workers[static_cast<std::size_t>(w)]); });
+  if (!pinned_) {
+    // Shared mode: one runnable queue, any worker runs any fiber.
+    for (int r = 0; r < nprocs; ++r) runq_.push_back(fibers_[static_cast<std::size_t>(r)].get());
+    const int m = resolved_workers(nprocs);
+    workers_used_ = m;
+    std::vector<RawContext> homes(static_cast<std::size_t>(m));
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(m - 1));
+    for (int w = 1; w < m; ++w) {
+      threads.emplace_back([this, &homes, w] { worker_loop(homes[static_cast<std::size_t>(w)]); });
+    }
+    worker_loop(homes[0]);
+    for (auto& t : threads) t.join();
+  } else {
+    // Pinned mode: plan.workers domains, each rank on its domain's worker.
+    const int m = plan.workers;
+    O2K_REQUIRE(m <= nprocs, "FiberEngine: more pinned workers than ranks");
+    workers_used_ = m;
+    while (wstates_.size() < static_cast<std::size_t>(m))
+      wstates_.push_back(std::make_unique<WorkerState>());
+    for (int w = 0; w < m; ++w) {
+      WorkerState& ws = *wstates_[static_cast<std::size_t>(w)];
+      ws.localq.clear();
+      ws.owned = 0;
+      ws.done = 0;
+      ws.epoch.store(0, std::memory_order_relaxed);
+      ws.sleeping.store(0, std::memory_order_relaxed);
+      ws.ext_pending.store(0, std::memory_order_relaxed);
+      ws.extq.clear();
+      if (ws.inbox.size() < static_cast<std::size_t>(m))
+        ws.inbox = std::vector<SpscRing<Fiber*>>(static_cast<std::size_t>(m));
+    }
+    for (int r = 0; r < nprocs; ++r) {
+      WorkerState& ws = *wstates_[static_cast<std::size_t>(m == 1 ? 0 : affinity_[r])];
+      ++ws.owned;
+      ws.localq.push_back(fibers_[static_cast<std::size_t>(r)].get());
+    }
+    // Each mailbox must hold every fiber its consumer owns (see spsc.hpp);
+    // rings are pooled across runs and only regrown.
+    for (int w = 0; w < m; ++w) {
+      WorkerState& ws = *wstates_[static_cast<std::size_t>(w)];
+      for (auto& ring : ws.inbox)
+        if (ring.capacity() < static_cast<std::size_t>(ws.owned))
+          ring.init(static_cast<std::size_t>(ws.owned));
+    }
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(m - 1));
+    for (int w = 1; w < m; ++w) {
+      threads.emplace_back([this, w] { worker_loop_pinned(w); });
+    }
+    worker_loop_pinned(0);
+    for (auto& t : threads) t.join();
   }
-  worker_loop(workers[0]);
-  for (auto& t : threads) t.join();
 
   body_ = nullptr;
+  affinity_ = nullptr;
   if (first_error_) std::rethrow_exception(first_error_);
 }
 
-void FiberEngine::worker_loop(Worker& w) {
-  ctx_bind_host_stack(w.ctx);
+void FiberEngine::worker_loop(RawContext& home) {
+  ctx_bind_host_stack(home);
   for (;;) {
     Fiber* f = nullptr;
     {
@@ -119,8 +182,8 @@ void FiberEngine::worker_loop(Worker& w) {
       runq_.pop_front();
     }
     for (;;) {
-      f->home = &w.ctx;
-      ctx_swap_to(w.ctx, f->ctx, f, f->stack.get());
+      f->home = &home;
+      ctx_swap_to(home, f->ctx, f, f->stack.get());
       if (f->reason == Fiber::kDone) {
         std::lock_guard<std::mutex> lk(mu_);
         if (++done_ == live_) cv_.notify_all();
@@ -144,6 +207,77 @@ void FiberEngine::worker_loop(Worker& w) {
   }
 }
 
+void FiberEngine::worker_loop_pinned(int wid) {
+  WorkerState& w = *wstates_[static_cast<std::size_t>(wid)];
+  ctx_bind_host_stack(w.ctx);
+  const TlsWorker saved = tls_worker;
+  tls_worker = TlsWorker{this, wid};
+  while (w.done != w.owned) {
+    if (w.localq.empty()) {
+      // Sleep eventcount: read the epoch, re-drain, and only then commit to
+      // the condvar — a producer always delivers before bumping the epoch,
+      // so either the re-drain sees the fiber or the epoch moved.
+      const std::uint64_t e = w.epoch.load(std::memory_order_seq_cst);
+      if (drain_into_local(w)) continue;
+      std::unique_lock<std::mutex> lk(w.mu);
+      w.sleeping.store(1, std::memory_order_seq_cst);
+      if (w.epoch.load(std::memory_order_seq_cst) == e) {
+#if defined(O2K_BOUNDED_WAITS)
+        if (w.cv.wait_for(lk, std::chrono::seconds(1)) == std::cv_status::timeout) {
+          requeue_parked_pinned(w, wid);
+        }
+#else
+        w.cv.wait(lk, [&] { return w.epoch.load(std::memory_order_relaxed) != e; });
+#endif
+      }
+      w.sleeping.store(0, std::memory_order_relaxed);
+      continue;
+    }
+    Fiber* f = w.localq.front();
+    w.localq.pop_front();
+    for (;;) {
+      f->home = &w.ctx;
+      ctx_swap_to(w.ctx, f->ctx, f, f->stack.get());
+      if (f->reason == Fiber::kDone) {
+        ++w.done;
+        break;
+      }
+      // Same park/reclaim protocol as shared mode (see worker_loop).
+      f->status.store(Fiber::kParked, std::memory_order_seq_cst);
+      if (f->epoch.load(std::memory_order_seq_cst) != f->park_epoch) {
+        int expected = Fiber::kParked;
+        if (f->status.compare_exchange_strong(expected, Fiber::kActive,
+                                              std::memory_order_seq_cst)) {
+          continue;  // resume it right here, still hot on this worker
+        }
+      }
+      break;
+    }
+  }
+  tls_worker = saved;
+}
+
+bool FiberEngine::drain_into_local(WorkerState& w) {
+  bool any = false;
+  Fiber* f = nullptr;
+  for (auto& ring : w.inbox) {
+    while (ring.pop(f)) {
+      w.localq.push_back(f);
+      any = true;
+    }
+  }
+  if (w.ext_pending.load(std::memory_order_acquire) != 0) {
+    std::lock_guard<std::mutex> lk(w.extq_mu);
+    while (!w.extq.empty()) {
+      w.localq.push_back(w.extq.front());
+      w.extq.pop_front();
+      any = true;
+    }
+    w.ext_pending.store(0, std::memory_order_relaxed);
+  }
+  return any;
+}
+
 void FiberEngine::park(int rank, std::uint64_t observed_epoch) {
   Fiber* f = fibers_[static_cast<std::size_t>(rank)].get();
   f->park_epoch = observed_epoch;
@@ -160,6 +294,34 @@ void FiberEngine::enqueue(Fiber* f) {
   cv_.notify_one();
 }
 
+void FiberEngine::notify_worker(WorkerState& w) {
+  w.epoch.fetch_add(1, std::memory_order_seq_cst);
+  if (w.sleeping.load(std::memory_order_seq_cst) != 0) {
+    std::lock_guard<std::mutex> lk(w.mu);
+    w.cv.notify_one();
+  }
+}
+
+void FiberEngine::deliver(Fiber* f) {
+  const int dst = workers_used_ == 1 ? 0 : affinity_[f->rank];
+  WorkerState& w = *wstates_[static_cast<std::size_t>(dst)];
+  const TlsWorker t = tls_worker;
+  if (t.eng == this && t.wid == dst) {
+    // Same worker: plain owner-thread push, no notification needed — we
+    // are by definition awake.
+    w.localq.push_back(f);
+    return;
+  }
+  if (t.eng == this) {
+    w.inbox[static_cast<std::size_t>(t.wid)].push(f);
+  } else {
+    std::lock_guard<std::mutex> lk(w.extq_mu);
+    w.extq.push_back(f);
+    w.ext_pending.store(1, std::memory_order_release);
+  }
+  notify_worker(w);
+}
+
 void FiberEngine::wake(int rank) {
   Fiber* f = fibers_[static_cast<std::size_t>(rank)].get();
   f->epoch.fetch_add(1, std::memory_order_seq_cst);
@@ -167,7 +329,11 @@ void FiberEngine::wake(int rank) {
     int expected = Fiber::kParked;
     if (f->status.compare_exchange_strong(expected, Fiber::kActive,
                                           std::memory_order_seq_cst)) {
-      enqueue(f);
+      if (pinned_) {
+        deliver(f);
+      } else {
+        enqueue(f);
+      }
     }
   }
 }
@@ -198,6 +364,21 @@ void FiberEngine::requeue_parked_locked() {
     }
   }
   if (any) cv_.notify_all();
+}
+
+void FiberEngine::requeue_parked_pinned(WorkerState& w, int wid) {
+  // Bounded-waits fallback: reclaim only *our* parked fibers (the CAS keeps
+  // exactly-once resume against concurrent wakers and other workers'
+  // fallbacks).
+  for (int r = 0; r < live_; ++r) {
+    if ((workers_used_ == 1 ? 0 : affinity_[r]) != wid) continue;
+    Fiber* f = fibers_[static_cast<std::size_t>(r)].get();
+    int expected = Fiber::kParked;
+    if (f->status.compare_exchange_strong(expected, Fiber::kActive,
+                                          std::memory_order_seq_cst)) {
+      w.localq.push_back(f);
+    }
+  }
 }
 
 }  // namespace o2k::exec

@@ -1,13 +1,28 @@
 // o2k::exec::FiberEngine — M:N stackful-fiber scheduler.
 //
 // Runs P logical ranks, each on its own guarded fiber stack, over a fixed
-// pool of M host workers (default min(P, hardware_concurrency), override
-// with O2K_EXEC_WORKERS).  The calling thread doubles as worker 0, so at
-// M=1 a run spawns no threads at all.
+// pool of M host workers.  Two scheduling modes:
+//
+//   * Shared mode (default, `Plan{}`): one runnable queue under a mutex,
+//     M = min(P, hardware_concurrency) workers (override with
+//     O2K_EXEC_WORKERS).  Any worker runs any fiber.  This is the
+//     single-synchronization-domain scheduler.
+//
+//   * Pinned mode (`Plan{workers, affinity}`): every rank is pinned to one
+//     worker — its synchronization domain (rt::DomainMap) — which owns a
+//     private local run queue.  Cross-worker wakes travel through per-pair
+//     SPSC mailboxes (exec/spsc.hpp) and a per-worker sleep eventcount, so
+//     the inter-domain hot path takes no lock; same-worker wakes are a
+//     plain deque push.  Wakes from threads outside the pool (the threads
+//     backend never coexists, but user code may wake from helper threads)
+//     fall back to a small mutex-guarded overflow queue.
+//
+// The calling thread doubles as worker 0, so at M=1 a run spawns no
+// threads at all (this is what makes warm campaign forks sound).
 //
 // The engine exposes the same eventcount shape as rt::Machine's per-PE
 // wait slots, but parking suspends the *fiber* (a user-space context
-// switch back to its worker) and waking enqueues the fiber on the runnable
+// switch back to its worker) and waking enqueues the fiber on a runnable
 // queue — no condvar signalling, no kernel involvement on the park/wake
 // hot path.  The lost-wakeup window is closed the same way as in the
 // threads backend, by an epoch re-check after the suspend is published:
@@ -23,12 +38,16 @@
 // seq_cst totally orders the epoch bump against the kParked store, so a
 // wake concurrent with a park either sees kParked and enqueues, or bumped
 // the epoch early enough that the worker's re-check sees it.  The CAS
-// claim makes the resume exactly-once under concurrent wakers.
+// claim makes the resume exactly-once under concurrent wakers — which is
+// also why the SPSC mailboxes can never overflow: a fiber is in flight
+// through at most one queue at a time, so each ring sized to its
+// consumer's owned-fiber count always has room.
 //
 // None of this carries timing information: a wake only means "re-evaluate
 // your predicate".  Virtual time is computed from the cost model alone, so
-// host scheduling (threads or fibers, any M) cannot change simulated
-// results — the golden fixture in tests/test_rt enforces this.
+// host scheduling (threads or fibers, any M, any pinning) cannot change
+// simulated results — the golden fixture and the DomainDeterminism suite
+// in tests/test_rt enforce this.
 #pragma once
 
 #include <atomic>
@@ -43,6 +62,7 @@
 #include <vector>
 
 #include "exec/context.hpp"
+#include "exec/spsc.hpp"
 
 namespace o2k::exec {
 
@@ -53,11 +73,22 @@ namespace o2k::exec {
 
 /// Worker count honouring O2K_EXEC_WORKERS with the same hardening
 /// (accepted range [1, 4096]); invalid values warn and fall back to
-/// min(nprocs, hardware_concurrency).
+/// min(nprocs, hardware_concurrency).  Shared mode only — pinned mode's
+/// worker count is the domain count chosen by rt::Machine (O2K_WORKERS).
 [[nodiscard]] int resolved_workers(int nprocs);
 
 class FiberEngine {
  public:
+  /// How a run schedules fibers over host workers.
+  struct Plan {
+    /// 0 = shared mode with resolved_workers().  >= 1 = pinned mode with
+    /// exactly this many workers and `affinity` naming each rank's worker.
+    int workers = 0;
+    /// rank -> worker in [0, workers); must stay valid for the whole run.
+    /// Ignored (may be null) in shared mode or when workers == 1.
+    const int* affinity = nullptr;
+  };
+
   /// `stack_bytes == 0` means: honour O2K_EXEC_STACK_KB, else 1 MiB.
   explicit FiberEngine(std::size_t stack_bytes = 0);
   ~FiberEngine();
@@ -67,7 +98,8 @@ class FiberEngine {
   /// Run body(rank) for every rank in [0, nprocs), each on its own fiber,
   /// and return when all have finished.  The engine is reusable: stacks
   /// are pooled across runs.  Requires fibers_supported().
-  void run(int nprocs, const std::function<void(int)>& body);
+  void run(int nprocs, const std::function<void(int)>& body) { run(nprocs, body, Plan{}); }
+  void run(int nprocs, const std::function<void(int)>& body, const Plan& plan);
 
   /// Current wait epoch of `rank` (the eventcount generation).
   [[nodiscard]] std::uint64_t wait_epoch(int rank) const {
@@ -80,7 +112,7 @@ class FiberEngine {
   void park(int rank, std::uint64_t observed_epoch);
 
   /// Wake `rank`: bump its epoch and, if its fiber is parked, move it to
-  /// the runnable queue.  Callable from any fiber or host thread.
+  /// its runnable queue.  Callable from any fiber or host thread.
   void wake(int rank);
 
   /// Wake every rank of the current run.
@@ -113,14 +145,38 @@ class FiberEngine {
     std::atomic<int> status{kActive};
   };
 
-  struct Worker {
+  /// Pinned-mode per-worker state.  `localq`, `done` and the inbox consumer
+  /// cursors are owner-only; producers touch the inbox producer cursors,
+  /// the overflow queue (under its mutex) and the sleep eventcount.
+  struct WorkerState {
     RawContext ctx;
+    std::deque<Fiber*> localq;
+    std::vector<SpscRing<Fiber*>> inbox;  ///< [producer worker] -> ring
+    int owned = 0;                        ///< fibers pinned to this worker
+    int done = 0;
+    // Sleep eventcount (same store-buffering-free protocol as the per-PE
+    // wait slots): producers bump `epoch` after delivering, and notify only
+    // when `sleeping` is set; the owner re-drains between the epoch read
+    // and the sleep.
+    std::atomic<std::uint64_t> epoch{0};
+    std::atomic<int> sleeping{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    // Overflow path for producers outside the worker pool.
+    std::mutex extq_mu;
+    std::deque<Fiber*> extq;
+    std::atomic<int> ext_pending{0};
   };
 
   static void fiber_main(void* arg);  // ContextEntry
-  void worker_loop(Worker& w);
-  void enqueue(Fiber* f);
+  void worker_loop(RawContext& home);             // shared mode
+  void worker_loop_pinned(int wid);               // pinned mode
+  void enqueue(Fiber* f);                         // shared-mode runq push
+  void deliver(Fiber* f);                         // pinned-mode routing
+  void notify_worker(WorkerState& w);
+  bool drain_into_local(WorkerState& w);
   void requeue_parked_locked();
+  void requeue_parked_pinned(WorkerState& w, int wid);
   void ensure_capacity(int nprocs);
 
   std::size_t stack_bytes_;
@@ -132,6 +188,9 @@ class FiberEngine {
   int live_ = 0;  ///< fibers participating in the current run
   int done_ = 0;
   int workers_used_ = 0;
+  bool pinned_ = false;
+  const int* affinity_ = nullptr;  ///< rank -> worker (pinned mode)
+  std::vector<std::unique_ptr<WorkerState>> wstates_;
   const std::function<void(int)>* body_ = nullptr;
   std::exception_ptr first_error_;
 };

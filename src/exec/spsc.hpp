@@ -1,0 +1,65 @@
+// Single-producer/single-consumer mailbox ring.
+//
+// The multi-domain fiber engine hands runnable fibers between host workers
+// through one of these per (producer worker, consumer worker) pair, so the
+// cross-domain wake hot path is two atomic ops and no lock.  Capacity is a
+// power of two fixed at init; the engine sizes each ring to the consumer's
+// owned-fiber count, and the park/wake CAS claim guarantees a fiber is in
+// flight through at most one mailbox at a time — so a push can never find
+// the ring full (enforced with O2K_CHECK rather than a resize path).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+
+#include "common/check.hpp"
+
+namespace o2k::exec {
+
+template <typename T>
+class SpscRing {
+ public:
+  SpscRing() = default;
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Size the ring to hold at least `min_capacity` items (rounded up to a
+  /// power of two).  Not thread-safe; call before producer/consumer start.
+  void init(std::size_t min_capacity) {
+    std::size_t cap = 1;
+    while (cap < min_capacity) cap <<= 1;
+    buf_ = std::make_unique<T[]>(cap);
+    mask_ = cap - 1;
+    head_.store(0, std::memory_order_relaxed);
+    tail_.store(0, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return buf_ ? mask_ + 1 : 0; }
+
+  /// Producer side only.
+  void push(T v) {
+    const std::size_t t = tail_.load(std::memory_order_relaxed);
+    O2K_CHECK(t - head_.load(std::memory_order_acquire) <= mask_,
+              "SpscRing overflow — capacity invariant violated");
+    buf_[t & mask_] = v;
+    tail_.store(t + 1, std::memory_order_release);
+  }
+
+  /// Consumer side only.  Returns false when the ring is empty.
+  bool pop(T& out) {
+    const std::size_t h = head_.load(std::memory_order_relaxed);
+    if (h == tail_.load(std::memory_order_acquire)) return false;
+    out = buf_[h & mask_];
+    head_.store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+ private:
+  std::unique_ptr<T[]> buf_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> head_{0};  ///< consumer cursor
+  alignas(64) std::atomic<std::size_t> tail_{0};  ///< producer cursor
+};
+
+}  // namespace o2k::exec

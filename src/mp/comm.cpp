@@ -104,9 +104,17 @@ void Comm::send_bytes(std::span<const std::byte> data, int dst, int tag) {
     return;
   }
 
+  const double entry_ns = pe_.now();
   if (bytes <= P.mp_eager_bytes) {
     pe_.advance(P.mp_o_send_ns + static_cast<double>(bytes) / P.mp_bw_bytes_per_ns);
     m.arrival_ns = pe_.now() + P.wire_ns(rank(), dst);
+    // Conservative-lookahead invariant (DESIGN.md §11): a message into
+    // another synchronization domain (≥1 router hop plus the send
+    // overhead) can never arrive under the lookahead bound — this is what
+    // lets domains advance virtual time independently between barriers.
+    O2K_CHECK(pe_.domain_of(dst) == pe_.domain() ||
+                  m.arrival_ns >= entry_ns + P.cross_domain_lookahead_ns(),
+              "mp: cross-domain eager message under the lookahead bound");
     enqueue(pe_, *world_.boxes_[static_cast<std::size_t>(dst)], dst, std::move(m));
     return;
   }
@@ -116,6 +124,9 @@ void Comm::send_bytes(std::span<const std::byte> data, int dst, int tag) {
   auto rdv = std::make_shared<detail::RdvState>();
   m.rdv = rdv;
   m.rts_arrival_ns = pe_.now() + P.wire_ns(rank(), dst);
+  O2K_CHECK(pe_.domain_of(dst) == pe_.domain() ||
+                m.rts_arrival_ns >= entry_ns + P.cross_domain_lookahead_ns(),
+            "mp: cross-domain RTS under the lookahead bound");
   enqueue(pe_, *world_.boxes_[static_cast<std::size_t>(dst)], dst, std::move(m));
 
   pe_.park_until([&] { return rdv->done.load(std::memory_order_acquire); });
@@ -140,9 +151,14 @@ void Comm::post_bytes(std::span<const std::byte> data, int dst, int tag) {
   } else {
     // Buffered eager regardless of size: one extra local copy into the
     // send buffer, then the wire transfer proceeds without the sender.
+    const double entry_ns = pe_.now();
     pe_.advance(P.mp_o_send_ns + P.memcpy_ns(bytes));
     m.arrival_ns = pe_.now() + P.wire_ns(rank(), dst) +
                    static_cast<double>(bytes) / P.mp_bw_bytes_per_ns;
+    // See send_bytes: the conservative-lookahead invariant of DESIGN.md §11.
+    O2K_CHECK(pe_.domain_of(dst) == pe_.domain() ||
+                  m.arrival_ns >= entry_ns + P.cross_domain_lookahead_ns(),
+              "mp: cross-domain posted message under the lookahead bound");
   }
   enqueue(pe_, *world_.boxes_[static_cast<std::size_t>(dst)], dst, std::move(m));
 }

@@ -115,6 +115,18 @@ struct MachineParams {
 
   /// Tree-barrier cost at `pes` processors with the given per-stage cost.
   [[nodiscard]] static double tree_barrier_ns(int pes, double per_stage_ns);
+
+  /// Conservative cross-domain lookahead: the smallest virtual-time charge
+  /// any interaction between PEs on *different nodes* can carry under this
+  /// cost model.  Synchronization domains (rt::DomainMap) never split a
+  /// node, so this lower-bounds every cross-domain event: the cheapest is a
+  /// CC-SAS remote read miss one hop away (request + reply router
+  /// traversals); SHMEM puts/gets/atomics and MP sends stack software
+  /// overheads on top, and an ownership transfer adds ownership_extra_ns to
+  /// a miss that already paid the round trip.  The parallel virtual-time
+  /// core relies on this bound to let domains advance independently between
+  /// barriers (DESIGN.md §11).
+  [[nodiscard]] double cross_domain_lookahead_ns() const;
 };
 
 /// Per-kernel computation constants (simulated ns of work per unit).

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/check.hpp"
+#include "common/env.hpp"
 
 namespace o2k::rt {
 
@@ -23,6 +24,10 @@ void Pe::throw_if_aborted() const {
   if (aborted()) throw AbortError{};
 }
 
+int Pe::domain() const { return machine_->domain_map_.domain_of(rank_); }
+
+int Pe::domain_of(int rank) const { return machine_->domain_map_.domain_of(rank); }
+
 void Pe::barrier(double cost_ns) {
   O2K_REQUIRE(cost_ns >= 0.0, "barrier cost must be non-negative");
   ++barrier_epochs_;
@@ -34,6 +39,66 @@ void Pe::barrier(double cost_ns) {
     return;
   }
   auto& b = *machine_->barrier_;
+  const DomainMap& dm = machine_->domain_map_;
+  if (dm.domains() > 1) {
+    // Domain-staged arrive/release (see BarrierState::Stage).  The
+    // happens-before chain for pre-barrier writes still reaches the
+    // releasing PE: writer -> stage mutex -> domain-last PE -> root mutex
+    // -> releaser; and release_time stays readable without the mutex for
+    // the same reason as the flat path (no overwrite until every waiter of
+    // this generation re-entered the barrier).
+    //
+    // `my_gen` is loaded before registering arrival: the generation cannot
+    // bump until *this* PE's arrival is counted, so the pre-arrival load
+    // is never stale.
+    const std::uint64_t my_gen = b.generation.load(std::memory_order_seq_cst);
+    const int d = dm.domain_of(rank_);
+    auto& st = *b.stages[static_cast<std::size_t>(d)];
+    bool domain_last = false;
+    double dom_clock = 0.0;
+    double dom_cost = 0.0;
+    {
+      std::scoped_lock slk(st.mu);
+      st.max_clock = std::max(st.max_clock, clock_);
+      st.max_cost = std::max(st.max_cost, cost_ns);
+      if (++st.waiting == dm.owned(d)) {
+        domain_last = true;
+        dom_clock = st.max_clock;
+        dom_cost = st.max_cost;
+        st.waiting = 0;
+        st.max_clock = 0.0;
+        st.max_cost = 0.0;
+      }
+    }
+    if (domain_last) {
+      std::unique_lock rlk(b.mu);
+      b.max_clock = std::max(b.max_clock, dom_clock);
+      b.max_cost = std::max(b.max_cost, dom_cost);
+      if (++b.waiting == dm.domains()) {
+        const double release = b.max_clock + b.max_cost;
+        b.release_time = release;
+        b.waiting = 0;
+        b.max_clock = 0.0;
+        b.max_cost = 0.0;
+        // Every PE of every domain has arrived (writes published through
+        // the stage/root mutex chain); commit hooks run here, before any
+        // waiter can resume.
+        machine_->run_barrier_hooks();
+        b.generation.store(my_gen + 1, std::memory_order_release);
+        rlk.unlock();
+        wake_all();
+        clock_ = std::max(clock_, release);
+        if (sink_) sink_->on_barrier(rank_, entry_ns, clock_);
+        return;
+      }
+      rlk.unlock();
+    }
+    park_until(
+        [&] { return b.generation.load(std::memory_order_acquire) != my_gen; });
+    clock_ = std::max(clock_, b.release_time);
+    if (sink_) sink_->on_barrier(rank_, entry_ns, clock_);
+    return;
+  }
   std::unique_lock lk(b.mu);
   const std::uint64_t my_gen = b.generation.load(std::memory_order_relaxed);
   b.max_clock = std::max(b.max_clock, clock_);
@@ -99,6 +164,26 @@ ExecBackend Machine::exec_backend() const {
   if (requested == ExecBackend::kFibers && !exec::fibers_supported())
     return ExecBackend::kThreads;
   return requested;
+}
+
+int Machine::resolve_workers(int nprocs) const {
+  if (workers_override_) {
+    const int w = *workers_override_;
+    O2K_REQUIRE(w >= 1, "need at least one synchronization domain");
+    O2K_REQUIRE(w <= nprocs, "more synchronization domains than PEs (workers > P)");
+    return w;
+  }
+  int w = static_cast<int>(common::env_int_or("O2K_WORKERS", /*fallback=*/1,
+                                              /*min=*/1, /*max=*/4096));
+  if (w > nprocs) {
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true)) {
+      std::fprintf(stderr, "o2k: O2K_WORKERS=%d exceeds the run's P=%d, clamping to P\n", w,
+                   nprocs);
+    }
+    w = nprocs;
+  }
+  return w;
 }
 
 void Machine::add_barrier_hook(BarrierHookFn fn, void* ctx) {
@@ -215,7 +300,19 @@ RunResult Machine::run(int nprocs, const std::function<void(Pe&)>& body) {
   O2K_REQUIRE(nprocs <= params_.max_pes,
               "requested more PEs than the modelled machine has");
 
+  // Partition the run into synchronization domains (DESIGN.md §11).  The
+  // map only affects host scheduling (worker pinning, barrier staging) —
+  // every virtual-time value is derived from published virtual state, so
+  // any domain count yields bit-identical results.
+  domain_map_ = DomainMap(nprocs, resolve_workers(nprocs), params_.pes_per_node);
+  run_workers_ = domain_map_.domains();
+
   barrier_ = std::make_unique<BarrierState>();
+  if (run_workers_ > 1) {
+    barrier_->stages.reserve(static_cast<std::size_t>(run_workers_));
+    for (int d = 0; d < run_workers_; ++d)
+      barrier_->stages.push_back(std::make_unique<BarrierState::Stage>());
+  }
   checkpoint_ = std::make_unique<CheckpointState>();
   cp_seen_ = 0;
   cp_fired_.store(false, std::memory_order_relaxed);
@@ -248,15 +345,25 @@ RunResult Machine::run(int nprocs, const std::function<void(Pe&)>& body) {
     // The engine (and its mmap'd stacks) is pooled across runs.
     if (!engine_storage_) engine_storage_ = std::make_unique<exec::FiberEngine>();
     engine_ = engine_storage_.get();
-    engine_->run(nprocs, [this, &body](int r) {
-      try {
-        body(*pes_[static_cast<std::size_t>(r)]);
-      } catch (const AbortError&) {
-        // Secondary failure caused by another PE's abort; ignore.
-      } catch (...) {
-        record_error(std::current_exception());
-      }
-    });
+    // Multi-domain runs pin each PE's fiber to its domain's worker; a
+    // single domain keeps the work-shared queue (today's scheduler).
+    exec::FiberEngine::Plan plan;
+    if (run_workers_ > 1) {
+      plan.workers = run_workers_;
+      plan.affinity = domain_map_.affinity().data();
+    }
+    engine_->run(
+        nprocs,
+        [this, &body](int r) {
+          try {
+            body(*pes_[static_cast<std::size_t>(r)]);
+          } catch (const AbortError&) {
+            // Secondary failure caused by another PE's abort; ignore.
+          } catch (...) {
+            record_error(std::current_exception());
+          }
+        },
+        plan);
     engine_ = nullptr;
   } else {
     std::vector<std::thread> threads;

@@ -47,6 +47,7 @@
 #include "exec/engine.hpp"
 #include "metrics/sink.hpp"
 #include "origin/params.hpp"
+#include "rt/domain.hpp"
 #include "rt/phase.hpp"
 
 namespace o2k::rt {
@@ -137,6 +138,13 @@ class Pe {
   /// Number of completed barrier() calls on this PE this run — a cheap
   /// per-PE epoch counter analysis layers can use to order accesses.
   [[nodiscard]] std::uint64_t barrier_epochs() const { return barrier_epochs_; }
+
+  /// Synchronization domain of this PE / of `rank` under the current run's
+  /// DomainMap (always 0 at O2K_WORKERS=1).  Model runtimes use this to
+  /// recognise cross-domain traffic, e.g. for the conservative-lookahead
+  /// invariant checks in mp/shmem.
+  [[nodiscard]] int domain() const;
+  [[nodiscard]] int domain_of(int rank) const;
 
   void add_counter(CounterId id, std::uint64_t v) {
     stats_.add_counter(id, v);
@@ -253,6 +261,20 @@ class Machine {
   /// The backend the next run() will use, after env/support resolution.
   [[nodiscard]] ExecBackend exec_backend() const;
 
+  /// Force a synchronization-domain count for subsequent runs (tests,
+  /// benches, the --workers CLI flag), or std::nullopt to return to the
+  /// O2K_WORKERS environment default (1).  An override larger than the
+  /// run's PE count is rejected at run(); the environment path warns and
+  /// clamps instead, matching the env-hardening convention.  Either way
+  /// the count clamps to the node count — a node is the smallest
+  /// shardable unit (see rt::DomainMap) — and virtual times are
+  /// bit-identical at every setting; only host wall time changes.
+  void set_workers(std::optional<int> w) { workers_override_ = w; }
+  /// Domains the current/last run actually used (after clamping).
+  [[nodiscard]] int workers() const { return run_workers_; }
+  /// Rank→domain partition of the current/last run.
+  [[nodiscard]] const DomainMap& domains() const { return domain_map_; }
+
   /// Register `fn(ctx)` to run exactly once per barrier round, on the PE
   /// that releases the barrier, *before* any waiter resumes (model runtimes
   /// use this to commit epoch-local state deterministically — see
@@ -318,6 +340,19 @@ class Machine {
     double max_clock = 0.0;
     double max_cost = 0.0;
     double release_time = 0.0;
+    // Multi-domain runs stage arrivals hierarchically: PEs combine
+    // (max_clock, max_cost) inside their domain's stage first, and only the
+    // last PE of each domain touches the root fields above — the root mutex
+    // is taken O(domains) times per round instead of O(P).  max is
+    // commutative, associative and exact over doubles, so the staged
+    // release time is bit-identical to the flat combine.
+    struct Stage {
+      std::mutex mu;
+      int waiting = 0;
+      double max_clock = 0.0;
+      double max_cost = 0.0;
+    };
+    std::vector<std::unique_ptr<Stage>> stages;  ///< one per domain when workers > 1
   };
 
   // Same arrive/release shape as BarrierState, but entirely clock-neutral:
@@ -332,6 +367,10 @@ class Machine {
   origin::MachineParams params_;
   metrics::Sink* sink_ = nullptr;
   std::optional<ExecBackend> backend_override_;
+  std::optional<int> workers_override_;
+  DomainMap domain_map_;     ///< rank→domain partition of the current run
+  int run_workers_ = 1;      ///< domains the current/last run uses
+  int resolve_workers(int nprocs) const;
 
   // Per-run state (valid while run() is active).  Slots grow monotonically
   // and are never destroyed mid-run, so a PE may park on its slot at any

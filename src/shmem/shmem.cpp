@@ -114,10 +114,17 @@ void Ctx::quiet() {
 std::int64_t Ctx::fetch_add(SymPtr<std::int64_t> target, std::int64_t v, int target_pe) {
   rma_check(target, 1, target_pe);
   const auto& P = world_.params();
+  // Conservative-lookahead invariant (DESIGN.md §11): a cross-domain
+  // fetch-op charges at least the lookahead bound, so one domain can never
+  // act on another's state "closer" in virtual time than the model allows.
+  O2K_CHECK(pe_.domain_of(target_pe) == pe_.domain() ||
+                P.shmem_atomic_ns + 2.0 * P.wire_ns(rank(), target_pe) >=
+                    P.cross_domain_lookahead_ns(),
+            "shmem: cross-domain atomic under the lookahead bound");
   pe_.advance(P.shmem_atomic_ns + 2.0 * P.wire_ns(rank(), target_pe));
   pe_.add_counter(c_atomics_, 1);
   pe_.trace_pull(target_pe, sizeof(std::int64_t), /*in_matrix=*/false);
-  std::scoped_lock lk(world_.atomic_mu_);
+  std::scoped_lock lk(world_.atomic_mu(target_pe));
   auto* cell = reinterpret_cast<std::int64_t*>(heap(target_pe) + target.offset);
   const std::int64_t old = *cell;
   *cell = old + v;
@@ -136,7 +143,7 @@ std::int64_t Ctx::cswap(SymPtr<std::int64_t> target, std::int64_t expected,
   pe_.advance(P.shmem_atomic_ns + 2.0 * P.wire_ns(rank(), target_pe));
   pe_.add_counter(c_atomics_, 1);
   pe_.trace_pull(target_pe, sizeof(std::int64_t), /*in_matrix=*/false);
-  std::scoped_lock lk(world_.atomic_mu_);
+  std::scoped_lock lk(world_.atomic_mu(target_pe));
   auto* cell = reinterpret_cast<std::int64_t*>(heap(target_pe) + target.offset);
   const std::int64_t old = *cell;
   if (old == expected) *cell = desired;
@@ -157,7 +164,7 @@ void Ctx::set_lock(SymPtr<std::int64_t> lock) {
     // Park until the holder's clear_lock zeroes the cell (and wakes every
     // PE); the retry cswap above recharges the attempt as before.
     pe_.park_until([&] {
-      std::scoped_lock lk(world_.atomic_mu_);
+      std::scoped_lock lk(world_.atomic_mu(0));
       return *cell == 0;
     });
   }
@@ -167,7 +174,7 @@ void Ctx::clear_lock(SymPtr<std::int64_t> lock) {
   const auto& P = world_.params();
   pe_.advance(P.shmem_atomic_ns + 2.0 * P.wire_ns(rank(), 0));
   {
-    std::scoped_lock lk(world_.atomic_mu_);
+    std::scoped_lock lk(world_.atomic_mu(0));
     auto* cell = reinterpret_cast<std::int64_t*>(heap(0) + lock.offset);
     O2K_CHECK(*cell == 1 + rank(), "shmem: clear_lock by non-owner");
     *cell = 0;
@@ -195,6 +202,12 @@ void Ctx::signal(SymPtr<Signal> cell, std::int64_t value, int target_pe) {
   // Arrival time first, then the value with release ordering so the
   // waiter's acquire load sees a consistent pair.
   sig->arrival_ns = pe_.now() + P.wire_ns(rank(), target_pe);
+  // Conservative-lookahead invariant (DESIGN.md §11): a cross-domain signal
+  // (different node ⇒ ≥1 hop each way, plus the initiation overhead just
+  // charged) can never become visible under the lookahead bound.
+  O2K_CHECK(pe_.domain_of(target_pe) == pe_.domain() ||
+                sig->arrival_ns >= pe_.now() - P.shmem_o_ns + P.cross_domain_lookahead_ns(),
+            "shmem: cross-domain signal under the lookahead bound");
   std::atomic_ref<std::int64_t>(sig->value).store(value, std::memory_order_release);
   pe_.wake(target_pe);
 }

@@ -22,6 +22,7 @@
 // racy get concurrent with a put is an application bug here as there.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstddef>
 #include <cstdlib>
@@ -87,12 +88,24 @@ class World {
   // Checkpoint state capture (rt::StateRegistry callback).
   static void state_capture(void* world, rt::StateSink& sink);
 
+  /// Serialises remote atomic ops (NACK-free Hub model), sharded by the
+  /// target cell's home *node*: on the real machine each Hub serialises the
+  /// fetch-ops addressed at its own memory, so atomics aimed at different
+  /// nodes — hence different synchronization domains, which never split a
+  /// node — must not contend on one host lock.  A given cell always lives
+  /// on one node and therefore always maps to the same shard, preserving
+  /// the per-cell RMW serialisation the sanitizer hooks rely on.
+  static constexpr std::size_t kAtomicShards = 64;
+  [[nodiscard]] std::mutex& atomic_mu(int target_pe) {
+    return atomic_mu_[static_cast<std::size_t>(params_.node_of(target_pe)) % kAtomicShards];
+  }
+
   const origin::MachineParams& params_;
   int nprocs_;
   std::size_t heap_bytes_;
   std::vector<std::unique_ptr<std::byte[], FreeDeleter>> heaps_;
   std::atomic<std::size_t> alloc_high_{0};
-  std::mutex atomic_mu_;  ///< serialises remote atomic ops (NACK-free Hub model)
+  std::array<std::mutex, kAtomicShards> atomic_mu_;
 };
 
 /// Per-PE SHMEM context.

@@ -291,6 +291,48 @@ TEST(CampaignSpec, WarmGroupsBranchableSweeps) {
   fs::remove(path);
 }
 
+TEST(CampaignSpec, WorkersAxisExpandsColdOnly) {
+  const std::string path = write_spec("spec_workers",
+                                      "schema o2k.campaign.v1\n"
+                                      "app nbody\n"
+                                      "models sas\n"
+                                      "p 8\n"
+                                      "workers 1,4\n"
+                                      "sweep steps = 1,2\n");
+  const campaign::Spec spec = campaign::parse_spec(path);
+  EXPECT_EQ(spec.workers, (std::vector<int>{1, 4}));
+
+  // workers=1 points warm-group as before; workers=4 points always run
+  // cold (the pinned engine's pool threads make the rendezvous unsafe to
+  // fork) and carry a .w4 label segment.
+  const auto groups = campaign::expand(spec, /*allow_warm=*/true);
+  int warm_groups = 0, w4_cold = 0;
+  for (const auto& g : groups) {
+    if (g.warm) {
+      ++warm_groups;
+      EXPECT_EQ(g.workers, 1);
+    }
+    if (g.workers == 4) {
+      ++w4_cold;
+      EXPECT_FALSE(g.warm);
+      EXPECT_NE(g.group_label.find(".w4"), std::string::npos) << g.group_label;
+    }
+  }
+  EXPECT_EQ(warm_groups, 1);
+  EXPECT_EQ(w4_cold, 2);  // one cold group per swept branch value
+  fs::remove(path);
+
+  // More domains than PEs is a spec error, caught before anything runs.
+  const std::string bad = write_spec("spec_workers_bad",
+                                     "schema o2k.campaign.v1\n"
+                                     "app nbody\n"
+                                     "models sas\n"
+                                     "p 2\n"
+                                     "workers 4\n");
+  EXPECT_THROW((void)campaign::expand(campaign::parse_spec(bad), true), campaign::SpecError);
+  fs::remove(bad);
+}
+
 TEST(CampaignSpec, VerifyAddsColdControls) {
   const std::string path = write_spec("spec_verify",
                                       "schema o2k.campaign.v1\n"

@@ -4,7 +4,9 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
+#include <span>
 #include <sstream>
 #include <string>
 
@@ -12,6 +14,7 @@
 #include "apps/mesh_app.hpp"
 #include "apps/nbody_app.hpp"
 #include "metrics/sink.hpp"
+#include "mp/comm.hpp"
 #include "rt/machine.hpp"
 
 namespace o2k::rt {
@@ -394,6 +397,106 @@ TEST(SubstrateGolden, P64BackendDeterminism) {
       const std::string threads = run_with(ExecBackend::kThreads);
       EXPECT_EQ(fibers1, fibers2) << "fiber engine not reproducible";
       EXPECT_EQ(fibers1, threads) << "backends disagree on virtual time";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DomainDeterminism: sharding a run into synchronization domains
+// (O2K_WORKERS, DESIGN.md §11) is a host-side scheduling decision and must
+// not move any measured value.  Every golden case must reproduce
+// bit-identically across worker counts {1, 2, 4} under both execution
+// backends — the workers=1 fibers result is itself pinned to the committed
+// fixture by SubstrateGolden above, so equality here chains all the way
+// back to the pre-change substrate.
+// ---------------------------------------------------------------------------
+
+TEST(DomainDeterminism, GoldenCasesBitIdenticalAcrossWorkersAndBackends) {
+  for (const char* app : {"nbody", "mesh", "dht"}) {
+    for (auto model : {apps::Model::kMp, apps::Model::kShmem, apps::Model::kSas}) {
+      const golden::Case c{app, model, 8};  // 4 nodes -> up to 4 domains
+      SCOPED_TRACE(golden::case_key(c));
+      auto run_with = [&](ExecBackend b, int workers) {
+        Machine machine;
+        machine.set_exec_backend(b);
+        machine.set_workers(workers);
+        if (std::string(c.app) == "nbody") {
+          apps::NbodyConfig cfg;
+          cfg.n = 2048;
+          cfg.steps = 2;
+          return golden::canonical(apps::run_nbody(c.model, machine, c.p, cfg).run);
+        }
+        if (std::string(c.app) == "dht") {
+          return golden::canonical(
+              apps::run_dht(c.model, machine, c.p, golden::dht_smoke_config()).run);
+        }
+        apps::MeshConfig cfg;
+        cfg.nx = cfg.ny = cfg.nz = 6;
+        cfg.phases = 2;
+        return golden::canonical(apps::run_mesh(c.model, machine, c.p, cfg).run);
+      };
+      const std::string base = run_with(ExecBackend::kFibers, 1);
+      for (auto b : {ExecBackend::kFibers, ExecBackend::kThreads}) {
+        for (int w : {1, 2, 4}) {
+          EXPECT_EQ(base, run_with(b, w))
+              << "virtual time moved under backend=" << (b == ExecBackend::kFibers ? "fibers" : "threads")
+              << " workers=" << w;
+        }
+      }
+    }
+  }
+}
+
+// Cross-domain wake stress: MP any-tag traffic where every message crosses
+// a domain boundary (rank r talks to r + P/2, always a different node
+// slice), with deterministic per-(rank, i) think time skewing the domains'
+// clocks so receivers genuinely park and the SPSC mailbox + sleep
+// eventcount path must deliver every wake.  Payload sums prove no message
+// was lost or duplicated; canonical() equality proves virtual time never
+// noticed the domain decomposition.
+TEST(DomainDeterminism, CrossDomainAnyTagWakeStress) {
+  constexpr int kP = 8;
+  constexpr int kMsgs = 200;
+  auto run_with = [&](ExecBackend b, int workers) {
+    Machine machine;
+    machine.set_exec_backend(b);
+    machine.set_workers(workers);
+    mp::World w(machine.params(), kP);
+    std::vector<std::uint64_t> sums(kP, 0);
+    auto rr = machine.run(kP, [&](Pe& pe) {
+      mp::Comm comm(w, pe);
+      const int me = pe.rank();
+      const int peer = (me + kP / 2) % kP;
+      std::uint64_t sum = 0;
+      for (int i = 0; i < kMsgs; ++i) {
+        pe.advance(static_cast<double>((me * 7919 + i * 104729) % 251));
+        const std::uint64_t payload = static_cast<std::uint64_t>(me) * 100000 + i;
+        comm.post_bytes(std::as_bytes(std::span(&payload, 1)), peer, i % 5);
+        auto raw = comm.recv_bytes(peer, mp::kAnyTag);
+        ASSERT_EQ(raw.size(), sizeof(std::uint64_t));
+        std::uint64_t got = 0;
+        std::memcpy(&got, raw.data(), sizeof got);
+        sum += got;
+      }
+      sums[static_cast<std::size_t>(me)] = sum;
+    });
+    return std::pair(golden::canonical(rr), sums);
+  };
+
+  const auto [base, base_sums] = run_with(ExecBackend::kFibers, 1);
+  for (int me = 0; me < kP; ++me) {
+    const std::uint64_t peer = static_cast<std::uint64_t>((me + kP / 2) % kP);
+    const std::uint64_t expect =
+        kMsgs * peer * 100000 + std::uint64_t{kMsgs} * (kMsgs - 1) / 2;
+    EXPECT_EQ(base_sums[static_cast<std::size_t>(me)], expect) << "rank " << me;
+  }
+  for (auto b : {ExecBackend::kFibers, ExecBackend::kThreads}) {
+    for (int w : {1, 2, 4}) {
+      const auto [canon, sums] = run_with(b, w);
+      EXPECT_EQ(base, canon)
+          << "virtual time moved under backend=" << (b == ExecBackend::kFibers ? "fibers" : "threads")
+          << " workers=" << w;
+      EXPECT_EQ(base_sums, sums);
     }
   }
 }
