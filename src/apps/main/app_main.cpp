@@ -134,6 +134,8 @@ int run_and_report(rt::Machine& machine, int nprocs, const std::string& app, Mod
     san.emplace(smode);
     san_scope.emplace(&*san);
   }
+  // Host wall-clock for the report's host_seconds meta; never feeds
+  // simulated state.  NOLINTNEXTLINE(o2k-nondeterminism)
   const auto host_start = std::chrono::steady_clock::now();
   const AppReport rep = run(machine);
   if (scoped) {
@@ -145,7 +147,8 @@ int run_and_report(rt::Machine& machine, int nprocs, const std::string& app, Mod
                 << " bit-for-bit at marker '" << cp.label << "'\n";
     }
   }
-  const std::chrono::duration<double> host = std::chrono::steady_clock::now() - host_start;
+  const std::chrono::duration<double> host =
+      std::chrono::steady_clock::now() - host_start;  // NOLINT(o2k-nondeterminism)
   char host_s[32];
   std::snprintf(host_s, sizeof host_s, "%.3f", host.count());
   session.add_meta("host_seconds", host_s);

@@ -92,6 +92,7 @@ AppReport run_nbody_sas(rt::Machine& machine, int nprocs, const NbodyConfig& cfg
           auto cells_dst = world.span(cells_arr);
           std::copy(t.cells().begin(), t.cells().end(), cells_dst.begin());
           *world.data(ncells_arr) = static_cast<std::int64_t>(t.cells().size());
+          team.touch_write_range(ncells_arr, 0, 1);
         }
         team.barrier();
         const auto ncells = static_cast<std::size_t>(team.read(ncells_arr, 0));
@@ -138,6 +139,7 @@ AppReport run_nbody_sas(rt::Machine& machine, int nprocs, const NbodyConfig& cfg
         auto ph = pe.phase("force");
         // Walk the shared cell array directly; the visitor charges the
         // cache simulator for every cell/body record the walk reads.
+        team.touch_read_range(ncells_arr, 0, 1);
         const auto ncells = static_cast<std::size_t>(*world.data(ncells_arr));
         const std::span<const Cell> cells(world.data(cells_arr), ncells);
         const auto charge_visit = [&](std::int32_t idx, bool is_body) {

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "common/lint.hpp"
 #include "rt/machine.hpp"
 #include "rt/state_capture.hpp"
 
@@ -69,12 +70,12 @@ struct Snapshot {
 /// Capture the full canonical state of the active run: per-PE clocks,
 /// barrier epochs, sorted phase/counter stats, then every registered model
 /// world (rt::StateRegistry).  Call only at rendezvous quiescence.
-void capture_state(rt::Machine& m, rt::StateSink& sink);
+O2K_FORK_SAFE void capture_state(rt::Machine& m, rt::StateSink& sink);
 
 /// Serialise/deserialise.  Both throw SnapshotError on any IO or format
 /// problem; load re-digests the state lines and rejects a file whose
 /// trailing digest disagrees (truncation/corruption detector).
-void write_snapshot(const std::string& path, const Snapshot& s);
+O2K_FORK_SAFE void write_snapshot(const std::string& path, const Snapshot& s);
 Snapshot load_snapshot(const std::string& path);
 
 /// RAII arming of one Machine for a checkpoint write or a verified restore.

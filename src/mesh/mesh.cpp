@@ -1,6 +1,8 @@
 #include "mesh/mesh.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <tuple>
 #include <unordered_set>
 
 #include "common/rng.hpp"
@@ -89,7 +91,12 @@ std::vector<EdgeKey> TetMesh::all_edges() const {
     if (!alive[t]) continue;
     for (const EdgeKey& e : edges_of(static_cast<TetId>(t))) seen.insert(e);
   }
-  return {seen.begin(), seen.end()};
+  // Hand out the edges in (a, b) order, not hash-layout order, so callers
+  // see the same sequence on every run and platform.
+  std::vector<EdgeKey> out(seen.begin(), seen.end());  // NOLINT(o2k-nondeterminism)
+  std::sort(out.begin(), out.end(),
+            [](const EdgeKey& x, const EdgeKey& y) { return std::tie(x.a, x.b) < std::tie(y.a, y.b); });
+  return out;
 }
 
 void TetMesh::validate() const {
@@ -103,6 +110,8 @@ void TetMesh::validate() const {
       O2K_CHECK(volume(static_cast<TetId>(t)) > 0.0, "non-positive tet volume");
     }
   }
+  // Visit order is irrelevant: every family is checked independently and
+  // nothing here feeds simulated state.  NOLINTNEXTLINE(o2k-nondeterminism)
   for (const auto& [par, kids] : children) {
     O2K_CHECK(par >= 0 && static_cast<std::size_t>(par) < tets.size(), "bad family parent");
     O2K_CHECK(!kids.empty(), "empty refinement family");

@@ -79,7 +79,9 @@ int close_marks(const TetMesh& m, MarkSet& marks) {
       }
     }
     if (additions.empty()) break;
-    marks.insert(additions.begin(), additions.end());
+    // Unordered-to-unordered bulk insert: membership is the only thing that
+    // survives the round, so visit order cannot leak into simulated state.
+    marks.insert(additions.begin(), additions.end());  // NOLINT(o2k-nondeterminism)
   }
   return rounds;
 }
@@ -129,6 +131,9 @@ RefineStats refine(TetMesh& m, const MarkSet& marks) {
 std::size_t coarsen(TetMesh& m, const SphereFront& front) {
   std::size_t collapsed = 0;
   std::vector<TetId> to_erase;
+  // Families are judged and collapsed independently (alive flips + erase by
+  // key), so the unordered visit order is unobservable.
+  // NOLINTNEXTLINE(o2k-nondeterminism)
   for (const auto& [par, kids] : m.children) {
     bool collapsible = true;
     for (TetId k : kids) {

@@ -243,7 +243,9 @@ class Machine {
 
   /// Execute `body(pe)` on `nprocs` simulated processors and aggregate
   /// per-PE phase statistics.  Rethrows the first PE exception.
-  RunResult run(int nprocs, const std::function<void(Pe&)>& body);
+  /// Fork-unsafe: spawns worker threads/fibers, so it must never be reached
+  /// from a Machine::arm_checkpoint callback (o2k-lint: o2k-fork-unsafe).
+  O2K_FORK_UNSAFE RunResult run(int nprocs, const std::function<void(Pe&)>& body);
 
   /// Attach a metrics observer (or nullptr to detach).  The sink receives
   /// phase/message/counter/barrier events from every PE of subsequent

@@ -1,0 +1,157 @@
+// Clang LibTooling frontend of o2k-lint (optional; see ../CMakeLists.txt).
+//
+// The text engine in ../engine is the enforced gate and runs everywhere;
+// this frontend re-implements the o2k-nondeterminism and o2k-fiber-blocking
+// core patterns on the AST, where type information removes the engine's
+// name-based heuristics: an unordered container is matched by its *type*,
+// not by a harvested variable name, and a wall-clock call is matched by its
+// qualified callee.  Check names, diagnostic format, and exit codes match
+// the engine so CI can diff the two frontends' output.
+//
+// Build: cmake -DO2K_LINT_CLANG=ON with a Clang dev install (llvm-dev,
+// libclang-dev).  Run: o2k-lint-clang -p <build dir> <file...>.
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+#include "clang/Basic/SourceManager.h"
+#include "clang/Frontend/FrontendActions.h"
+#include "clang/Tooling/CommonOptionsParser.h"
+#include "clang/Tooling/Tooling.h"
+#include "llvm/Support/CommandLine.h"
+
+#include <atomic>
+#include <string>
+
+using namespace clang;
+using namespace clang::ast_matchers;
+
+namespace {
+
+llvm::cl::OptionCategory gCategory("o2k-lint-clang options");
+
+std::atomic<unsigned> gFindings{0};
+
+void report(const SourceManager& sm, SourceLocation loc, const char* check,
+            const std::string& msg) {
+  if (loc.isInvalid() || !sm.isInMainFile(sm.getExpansionLoc(loc))) return;
+  const SourceLocation e = sm.getExpansionLoc(loc);
+  llvm::outs() << sm.getFilename(e) << ":" << sm.getExpansionLineNumber(loc) << ":"
+               << sm.getExpansionColumnNumber(loc) << ": warning: " << msg << " [" << check
+               << "]\n";
+  ++gFindings;
+}
+
+class NondetCallback : public MatchFinder::MatchCallback {
+ public:
+  void run(const MatchFinder::MatchResult& r) override {
+    const SourceManager& sm = *r.SourceManager;
+    if (const auto* call = r.Nodes.getNodeAs<CallExpr>("wallclock")) {
+      report(sm, call->getBeginLoc(), "o2k-nondeterminism",
+             "wall-clock time on a simulated path; virtual time must come from Pe::now()");
+    }
+    if (const auto* call = r.Nodes.getNodeAs<CallExpr>("crand")) {
+      report(sm, call->getBeginLoc(), "o2k-nondeterminism",
+             "C PRNG with process-global hidden state; use a seeded common::rng");
+    }
+    if (const auto* var = r.Nodes.getNodeAs<VarDecl>("rdev")) {
+      report(sm, var->getLocation(), "o2k-nondeterminism",
+             "nondeterministic entropy source; use a seeded common::rng stream");
+    }
+    if (const auto* var = r.Nodes.getNodeAs<VarDecl>("ptrkeyed")) {
+      report(sm, var->getLocation(), "o2k-nondeterminism",
+             "pointer-keyed ordered container: comparison order follows host addresses, "
+             "which vary run to run");
+    }
+    if (const auto* loop = r.Nodes.getNodeAs<CXXForRangeStmt>("uloop")) {
+      report(sm, loop->getForLoc(), "o2k-nondeterminism",
+             "iteration over an unordered container: visit order is hash/layout-dependent "
+             "and must not feed simulated state");
+    }
+  }
+};
+
+class FiberCallback : public MatchFinder::MatchCallback {
+ public:
+  void run(const MatchFinder::MatchResult& r) override {
+    const SourceManager& sm = *r.SourceManager;
+    if (const auto* call = r.Nodes.getNodeAs<CallExpr>("sleep")) {
+      report(sm, call->getBeginLoc(), "o2k-fiber-blocking",
+             "host sleep blocks the whole fiber worker; park on Pe::park_until");
+    }
+    if (const auto* call = r.Nodes.getNodeAs<CallExpr>("syscall")) {
+      report(sm, call->getBeginLoc(), "o2k-fiber-blocking",
+             "blocking syscall on a fiber-executed path stalls every PE on the worker");
+    }
+    if (const auto* var = r.Nodes.getNodeAs<VarDecl>("tls")) {
+      report(sm, var->getLocation(), "o2k-fiber-blocking",
+             "thread_local on a fiber-executed path: fibers migrate between host workers, "
+             "so thread-locals alias across PEs");
+    }
+  }
+};
+
+}  // namespace
+
+int main(int argc, const char** argv) {
+  auto expected = tooling::CommonOptionsParser::create(argc, argv, gCategory);
+  if (!expected) {
+    llvm::errs() << llvm::toString(expected.takeError()) << "\n";
+    return 2;
+  }
+  tooling::ClangTool tool(expected->getCompilations(), expected->getSourcePathList());
+
+  MatchFinder finder;
+  NondetCallback nondet;
+  FiberCallback fiber;
+
+  // ---- o2k-nondeterminism -------------------------------------------------
+  finder.addMatcher(
+      callExpr(callee(functionDecl(
+                   hasAnyName("now"),
+                   hasDeclContext(cxxRecordDecl(hasAnyName(
+                       "::std::chrono::system_clock", "::std::chrono::steady_clock",
+                       "::std::chrono::high_resolution_clock"))))))
+          .bind("wallclock"),
+      &nondet);
+  finder.addMatcher(
+      callExpr(callee(functionDecl(hasAnyName("::rand", "::srand", "::drand48", "::lrand48",
+                                              "::gettimeofday", "::clock_gettime"))))
+          .bind("crand"),
+      &nondet);
+  finder.addMatcher(
+      varDecl(hasType(cxxRecordDecl(hasName("::std::random_device")))).bind("rdev"), &nondet);
+  finder.addMatcher(
+      varDecl(hasType(classTemplateSpecializationDecl(
+                  hasAnyName("::std::map", "::std::set"),
+                  hasTemplateArgument(0, refersToType(pointerType())))))
+          .bind("ptrkeyed"),
+      &nondet);
+  finder.addMatcher(
+      cxxForRangeStmt(hasRangeInit(hasType(hasUnqualifiedDesugaredType(recordType(
+                          hasDeclaration(classTemplateSpecializationDecl(hasAnyName(
+                              "::std::unordered_map", "::std::unordered_set"))))))))
+          .bind("uloop"),
+      &nondet);
+
+  // ---- o2k-fiber-blocking -------------------------------------------------
+  finder.addMatcher(
+      callExpr(callee(functionDecl(
+                   hasAnyName("::std::this_thread::sleep_for", "::std::this_thread::sleep_until",
+                              "::usleep", "::nanosleep", "::sleep"))))
+          .bind("sleep"),
+      &fiber);
+  finder.addMatcher(
+      callExpr(callee(functionDecl(hasAnyName("::poll", "::select", "::epoll_wait", "::system",
+                                              "::getchar", "::fgets"))))
+          .bind("syscall"),
+      &fiber);
+  finder.addMatcher(
+      varDecl(hasThreadStorageDuration(), unless(isExpansionInSystemHeader())).bind("tls"),
+      &fiber);
+
+  const int rc = tool.run(tooling::newFrontendActionFactory(&finder).get());
+  if (rc != 0) return 2;
+  llvm::outs() << "o2k-lint-clang: " << gFindings.load() << " finding"
+               << (gFindings.load() == 1 ? "" : "s") << "\n";
+  return gFindings.load() == 0 ? 0 : 1;
+}

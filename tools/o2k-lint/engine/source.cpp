@@ -1,0 +1,243 @@
+// Source loading, comment/string masking, NOLINT harvesting, and the token
+// helpers every check shares.
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace o2k::lint {
+
+namespace {
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Extract the check list from a NOLINT/NOLINTNEXTLINE comment body at
+/// `pos` (just past the directive word).  No parenthesis => wildcard.
+std::set<std::string> nolint_checks(const std::string& text, std::size_t pos) {
+  std::set<std::string> out;
+  if (pos >= text.size() || text[pos] != '(') {
+    out.insert("*");
+    return out;
+  }
+  const std::size_t close = text.find(')', pos);
+  if (close == std::string::npos) {
+    out.insert("*");
+    return out;
+  }
+  std::string item;
+  for (std::size_t i = pos + 1; i < close; ++i) {
+    const char c = text[i];
+    if (c == ',' || c == ' ' || c == '\t') {
+      if (!item.empty()) out.insert(item);
+      item.clear();
+    } else {
+      item += c;
+    }
+  }
+  if (!item.empty()) out.insert(item);
+  if (out.empty()) out.insert("*");
+  return out;
+}
+
+}  // namespace
+
+int SourceFile::line_of(std::size_t off) const {
+  const auto it = std::upper_bound(line_off.begin(), line_off.end(), off);
+  return static_cast<int>(it - line_off.begin());  // 1-based
+}
+
+int SourceFile::col_of(std::size_t off) const {
+  const int ln = line_of(off);
+  return static_cast<int>(off - line_off[static_cast<std::size_t>(ln - 1)]) + 1;
+}
+
+std::string SourceFile::line_text(int line) const {
+  if (line < 1 || static_cast<std::size_t>(line) > line_off.size()) return {};
+  const std::size_t beg = line_off[static_cast<std::size_t>(line - 1)];
+  std::size_t end = text.find('\n', beg);
+  if (end == std::string::npos) end = text.size();
+  return text.substr(beg, end - beg);
+}
+
+bool SourceFile::suppressed(int line, const std::string& check) const {
+  const auto it = nolint.find(line);
+  if (it == nolint.end()) return false;
+  return it->second.count("*") != 0 || it->second.count(check) != 0;
+}
+
+bool load_source(const std::string& fs_path, const std::string& rel_path, SourceFile& out,
+                 std::string& err) {
+  std::ifstream in(fs_path, std::ios::binary);
+  if (!in) {
+    err = "cannot open " + fs_path;
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out.path = rel_path;
+  out.text = ss.str();
+  out.masked = out.text;
+  out.line_off.clear();
+  out.nolint.clear();
+
+  out.line_off.push_back(0);
+  for (std::size_t i = 0; i < out.text.size(); ++i) {
+    if (out.text[i] == '\n') out.line_off.push_back(i + 1);
+  }
+
+  // Single pass: mask comments/strings in `masked`, harvest NOLINT from
+  // comment text as we go.
+  std::string& m = out.masked;
+  const std::string& t = out.text;
+  std::size_t i = 0;
+  const auto harvest_nolint = [&](std::size_t beg, std::size_t end) {
+    // Comment bytes [beg, end): look for NOLINT directives.
+    for (std::size_t p = beg; p + 6 <= end;) {
+      const std::size_t hit = t.find("NOLINT", p);
+      if (hit == std::string::npos || hit >= end) break;
+      std::size_t after = hit + 6;
+      int target = out.line_of(hit);
+      if (t.compare(hit, 10, "NOLINTNEXT") == 0 && t.compare(hit, 14, "NOLINTNEXTLINE") == 0) {
+        after = hit + 14;
+        target += 1;
+      }
+      out.nolint[target].merge(nolint_checks(t, after));
+      p = after;
+    }
+  };
+  while (i < t.size()) {
+    const char c = t[i];
+    if (c == '/' && i + 1 < t.size() && t[i + 1] == '/') {
+      std::size_t end = t.find('\n', i);
+      if (end == std::string::npos) end = t.size();
+      harvest_nolint(i, end);
+      for (std::size_t k = i; k < end; ++k) m[k] = ' ';
+      i = end;
+    } else if (c == '/' && i + 1 < t.size() && t[i + 1] == '*') {
+      std::size_t end = t.find("*/", i + 2);
+      end = (end == std::string::npos) ? t.size() : end + 2;
+      harvest_nolint(i, end);
+      for (std::size_t k = i; k < end; ++k) {
+        if (t[k] != '\n') m[k] = ' ';
+      }
+      i = end;
+    } else if (c == '"') {
+      // Raw string?
+      bool raw = false;
+      if (i > 0 && t[i - 1] == 'R' && (i < 2 || !ident_char(t[i - 2]))) raw = true;
+      std::size_t end;
+      if (raw) {
+        const std::size_t open = t.find('(', i + 1);
+        if (open == std::string::npos) {
+          end = t.size();
+        } else {
+          std::string delim = ")";
+          delim.append(t, i + 1, open - i - 1);
+          delim += '"';
+          end = t.find(delim, open + 1);
+          end = (end == std::string::npos) ? t.size() : end + delim.size();
+        }
+      } else {
+        end = i + 1;
+        while (end < t.size() && t[end] != '"' && t[end] != '\n') {
+          if (t[end] == '\\') ++end;
+          ++end;
+        }
+        if (end < t.size() && t[end] == '"') ++end;
+      }
+      for (std::size_t k = i; k < end; ++k) {
+        if (t[k] != '\n') m[k] = ' ';
+      }
+      i = end;
+    } else if (c == '\'') {
+      // Digit separator (1'000) is not a literal.
+      const bool sep = i > 0 && std::isalnum(static_cast<unsigned char>(t[i - 1])) != 0 &&
+                       i + 1 < t.size() && std::isalnum(static_cast<unsigned char>(t[i + 1])) != 0;
+      if (sep) {
+        ++i;
+        continue;
+      }
+      std::size_t end = i + 1;
+      while (end < t.size() && t[end] != '\'' && t[end] != '\n') {
+        if (t[end] == '\\') ++end;
+        ++end;
+      }
+      if (end < t.size() && t[end] == '\'') ++end;
+      for (std::size_t k = i; k < end; ++k) {
+        if (t[k] != '\n') m[k] = ' ';
+      }
+      i = end;
+    } else {
+      ++i;
+    }
+  }
+  return true;
+}
+
+bool word_at(const std::string& text, std::size_t pos, const std::string& word) {
+  if (pos + word.size() > text.size()) return false;
+  if (text.compare(pos, word.size(), word) != 0) return false;
+  if (pos > 0 && ident_char(text[pos - 1])) return false;
+  const std::size_t after = pos + word.size();
+  return after >= text.size() || !ident_char(text[after]);
+}
+
+std::size_t find_word(const std::string& text, const std::string& word, std::size_t from) {
+  for (std::size_t p = from; (p = text.find(word, p)) != std::string::npos; ++p) {
+    if (word_at(text, p, word)) return p;
+  }
+  return std::string::npos;
+}
+
+std::size_t skip_ws(const std::string& text, std::size_t pos) {
+  while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos])) != 0) ++pos;
+  return pos;
+}
+
+std::string ident_at(const std::string& text, std::size_t pos) {
+  if (pos >= text.size()) return {};
+  const char c = text[pos];
+  if (std::isalpha(static_cast<unsigned char>(c)) == 0 && c != '_') return {};
+  std::size_t end = pos;
+  while (end < text.size() && ident_char(text[end])) ++end;
+  return text.substr(pos, end - pos);
+}
+
+std::size_t match_bracket(const std::string& text, std::size_t open_pos) {
+  if (open_pos >= text.size()) return std::string::npos;
+  const char open = text[open_pos];
+  if (open == '<') {
+    int angle = 0;
+    int paren = 0;
+    for (std::size_t p = open_pos; p < text.size(); ++p) {
+      const char c = text[p];
+      if (c == '(') ++paren;
+      else if (c == ')') --paren;
+      else if (paren == 0 && c == '<') ++angle;
+      else if (paren == 0 && c == '>') {
+        --angle;
+        if (angle == 0) return p + 1;
+      } else if (paren == 0 && (c == ';' || c == '{')) {
+        return std::string::npos;  // not a template argument list after all
+      }
+    }
+    return std::string::npos;
+  }
+  const char close = (open == '(') ? ')' : (open == '{') ? '}' : (open == '[') ? ']' : '\0';
+  if (close == '\0') return std::string::npos;
+  int depth = 0;
+  for (std::size_t p = open_pos; p < text.size(); ++p) {
+    if (text[p] == open) ++depth;
+    else if (text[p] == close) {
+      --depth;
+      if (depth == 0) return p + 1;
+    }
+  }
+  return std::string::npos;
+}
+
+}  // namespace o2k::lint

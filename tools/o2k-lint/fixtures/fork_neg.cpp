@@ -1,0 +1,37 @@
+// o2k-fork-unsafe negative fixture: nothing here may fire.
+#include <cstdio>
+#include <unistd.h>
+
+namespace fixture {
+
+struct Machine {
+  template <class Fn>
+  void arm_checkpoint(const char*, int, Fn&&) {}
+};
+
+#define O2K_FORK_SAFE
+O2K_FORK_SAFE void write_state(const char* path);
+
+// The campaign idiom: flush before fork, _exit in children.
+void arm(Machine& m) {
+  m.arm_checkpoint("marker", 1, [&](Machine&, int) {
+    write_state("state.snap");
+    std::printf("forking\n");
+    std::fflush(nullptr);
+    const pid_t pid = fork();
+    if (pid == 0) {
+      _exit(0);
+    }
+  });
+}
+
+// A fork-safe function that keeps its promise: file IO only.
+O2K_FORK_SAFE void write_state_impl(const char* path) {
+  std::FILE* f = std::fopen(path, "wb");
+  if (f != nullptr) std::fclose(f);
+}
+
+// Threads outside any checkpoint region are not this check's business.
+void host_side_pool();
+
+}  // namespace fixture

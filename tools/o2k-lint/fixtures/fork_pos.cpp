@@ -1,0 +1,30 @@
+// o2k-fork-unsafe positive fixture: every construct below must fire.
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <unistd.h>
+
+namespace fixture {
+
+struct Machine {
+  template <class Fn>
+  void arm_checkpoint(const char*, int, Fn&&) {}
+};
+
+#define O2K_FORK_UNSAFE
+O2K_FORK_UNSAFE void spawn_helper_pool();
+
+void arm(Machine& m) {
+  m.arm_checkpoint("marker", 1, [&](Machine&, int) {
+    std::thread t([] {});                 // finding: thread in fork region
+    t.join();
+    spawn_helper_pool();                  // finding: call to O2K_FORK_UNSAFE fn
+    std::printf("about to fork\n");       // finding: buffered write, no fflush
+    const pid_t pid = fork();
+    if (pid == 0) {
+      exit(0);                            // finding: child must _exit
+    }
+  });
+}
+
+}  // namespace fixture

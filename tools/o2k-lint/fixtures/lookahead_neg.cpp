@@ -1,0 +1,23 @@
+// o2k-lookahead-path negative fixture: every latency field is either in the
+// lookahead min or exempted with a reason; nothing may fire.
+#include <algorithm>
+
+#define O2K_LOOKAHEAD_EXEMPT(field, why) static_assert(sizeof(why) > 1, "reason required")
+
+namespace fixture {
+
+struct MachineParams {
+  double router_hop_ns = 101.0;
+  double shmem_o_ns = 900.0;
+  double slow_atomic_ns = 1600.0;
+  double mem_bw_bytes_per_ns = 0.62;  // bandwidth, not latency: ignored
+
+  [[nodiscard]] double cross_domain_lookahead_ns() const {
+    return std::min(2.0 * router_hop_ns, shmem_o_ns + router_hop_ns);
+  }
+};
+
+O2K_LOOKAHEAD_EXEMPT(slow_atomic_ns,
+    "round trip strictly exceeds the shmem_o_ns + hop path already in the min");
+
+}  // namespace fixture

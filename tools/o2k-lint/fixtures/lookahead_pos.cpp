@@ -1,0 +1,23 @@
+// o2k-lookahead-path positive fixture: one unregistered latency field and
+// one stale exempt entry must fire.
+#include <algorithm>
+
+#define O2K_LOOKAHEAD_EXEMPT(field, why) static_assert(sizeof(why) > 1, "reason required")
+
+namespace fixture {
+
+struct MachineParams {
+  double router_hop_ns = 101.0;
+  double shmem_o_ns = 900.0;
+  // A new delivery path, never registered anywhere:
+  double express_link_ns = 40.0;  // finding: absent from min and registry
+  double mem_bw_bytes_per_ns = 0.62;  // bandwidth, not latency: ignored
+
+  [[nodiscard]] double cross_domain_lookahead_ns() const {
+    return std::min(2.0 * router_hop_ns, shmem_o_ns + router_hop_ns);
+  }
+};
+
+O2K_LOOKAHEAD_EXEMPT(retired_bus_ns, "finding: names no existing field");
+
+}  // namespace fixture

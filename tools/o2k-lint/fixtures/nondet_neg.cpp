@@ -1,0 +1,38 @@
+// o2k-nondeterminism negative fixture: nothing here may fire.
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+// Value-keyed ordered container: fine.
+std::map<int, double> by_id;
+
+// Unordered container used only through keyed lookups: fine.
+std::unordered_map<int, double> cache;
+
+double lookup(int id) {
+  const auto it = cache.find(id);
+  return it == cache.end() ? 0.0 : it->second;
+}
+
+// Iterating a vector: fine.
+double sum(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s;
+}
+
+// A suppressed iteration with a reason: fine.
+std::uint64_t count_all() {
+  std::uint64_t n = 0;
+  // Membership count only; order cannot leak.
+  for (const auto& [k, v] : cache) n += static_cast<std::uint64_t>(k >= 0);  // NOLINT(o2k-nondeterminism)
+  return n;
+}
+
+// Words inside strings and comments must not fire: std::rand(), steady_clock.
+const char* kDoc = "never call std::rand() or steady_clock::now() here";
+
+}  // namespace fixture

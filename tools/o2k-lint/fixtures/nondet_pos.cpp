@@ -1,0 +1,41 @@
+// o2k-nondeterminism positive fixture: every construct below must fire.
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+struct Body {
+  double work = 0.0;
+};
+
+double simulated_charge() {
+  // Wall clocks on a simulated path.
+  const auto t0 = std::chrono::steady_clock::now();           // finding
+  const auto t1 = std::chrono::system_clock::now();           // finding
+  std::random_device rd;                                      // finding
+  const int r = std::rand();                                  // finding
+  (void)t0;
+  (void)t1;
+  return static_cast<double>(rd() + static_cast<unsigned>(r));
+}
+
+// Pointer-keyed ordered container: iteration order follows addresses.
+std::map<Body*, double> charges;                              // finding
+
+double drain(std::unordered_map<int, double>& pending) {
+  double total = 0.0;
+  for (const auto& [id, ns] : pending) {                      // finding
+    total += ns * static_cast<double>(id);
+  }
+  std::vector<double> ordered(pending.size());
+  // Explicit begin() on an unordered container.
+  auto it = pending.begin();                                  // finding
+  (void)it;
+  return total;
+}
+
+}  // namespace fixture

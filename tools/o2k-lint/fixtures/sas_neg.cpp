@@ -1,0 +1,44 @@
+// o2k-sas-touch negative fixture: nothing here may fire.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+template <class T>
+struct SharedArray {
+  std::size_t offset = 0;
+};
+
+struct World {
+  template <class T>
+  T* data(SharedArray<T>) {
+    return nullptr;
+  }
+};
+
+struct Team {
+  template <class T>
+  void touch_read_range(const SharedArray<T>&, std::size_t, std::size_t) {}
+  template <class T>
+  void touch_write_range(const SharedArray<T>&, std::size_t, std::size_t) {}
+};
+
+SharedArray<std::int64_t> counters;
+
+// Annotated access: the file touches `counters`, so raw loads are fine.
+std::int64_t read_count(World& world, Team& team) {
+  team.touch_read_range(counters, 0, 1);
+  return *world.data(counters);
+}
+
+std::int64_t write_count(World& world, Team& team, std::int64_t v) {
+  *world.data(counters) = v;
+  team.touch_write_range(counters, 0, 1);
+  return v;
+}
+
+// std::vector::data() takes no argument and must never fire.
+double first(const std::vector<double>& v) { return v.empty() ? 0.0 : *v.data(); }
+
+}  // namespace fixture

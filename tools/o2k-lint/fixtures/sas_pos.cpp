@@ -1,0 +1,27 @@
+// o2k-sas-touch positive fixture: the raw data() access must fire.
+#include <cstddef>
+#include <cstdint>
+
+namespace fixture {
+
+template <class T>
+struct SharedArray {
+  std::size_t offset = 0;
+};
+
+struct World {
+  template <class T>
+  T* data(SharedArray<T>) {
+    return nullptr;
+  }
+};
+
+SharedArray<std::int64_t> counters;
+
+std::int64_t read_count(World& world) {
+  // Raw load through a sas pointer; no touch_* for `counters` anywhere in
+  // this file.
+  return *world.data(counters);  // finding
+}
+
+}  // namespace fixture
