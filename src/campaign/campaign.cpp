@@ -589,12 +589,15 @@ std::vector<TaskGroup> expand(const Spec& spec, bool allow_warm) {
         // never fork-safe with nprocs > 1) AND a single synchronization
         // domain: with workers > 1 the pinned engine keeps pool threads
         // alive at the rendezvous, so those points always run cold.
-        const bool warm_ok =
-            spec.warm && allow_warm && be == rt::ExecBackend::kFibers && workers == 1;
+        const bool warm_requested =
+            spec.warm && allow_warm && be == rt::ExecBackend::kFibers;
+        const bool warm_ok = warm_requested && workers == 1;
 
         std::vector<Axis> branch_axes, grid_axes;
+        bool branchable_axis = false;  // a sweep axis warm forking could branch on
         for (const auto& ax : spec.sweeps) {
           const std::string okey = overlay_key_for(spec.app, ax.first, model);
+          if (!okey.empty()) branchable_axis = true;
           if (warm_ok && !okey.empty()) {
             // Branch values must keep the marker reachable: the loop-bound
             // overlays (steps/phases) and the dht window are all >= 1.
@@ -655,6 +658,9 @@ std::vector<TaskGroup> expand(const Spec& spec, bool allow_warm) {
             for (RunUnit& u : g.units) {
               TaskGroup c = g;
               c.warm = false;
+              // Warm was asked for and a branch axis exists, but workers > 1
+              // forced this point cold: record the demotion.
+              c.warm_demoted = warm_requested && workers > 1 && branchable_axis;
               c.units = {u};
               c.group_label = u.label;
               groups.push_back(std::move(c));
@@ -676,10 +682,18 @@ int run_campaign(const CampaignOptions& opts) {
   const bool allow_warm = !opts.no_warm && exec::fibers_supported();
   const std::vector<TaskGroup> groups = expand(spec, allow_warm);
 
-  std::size_t total_runs = 0, warm_groups = 0;
+  std::size_t total_runs = 0, warm_groups = 0, demoted_runs = 0;
   for (const TaskGroup& g : groups) {
     total_runs += g.units.size();
     if (g.warm) ++warm_groups;
+    if (g.warm_demoted) demoted_runs += g.units.size();
+  }
+  if (demoted_runs > 0) {
+    std::fprintf(stderr,
+                 "o2k-campaign: warning: %zu run(s) demoted from warm to cold — workers > 1 "
+                 "keeps the pinned engine's pool threads alive at the fork point "
+                 "(manifest rows carry \"warm_demoted\": true)\n",
+                 demoted_runs);
   }
 
   if (opts.dry_run) {
@@ -687,7 +701,9 @@ int run_campaign(const CampaignOptions& opts) {
                 groups.size(), warm_groups);
     for (const TaskGroup& g : groups) {
       for (const RunUnit& u : g.units) {
-        std::printf("  %-12s %s\n", g.warm ? "warm-branch" : (g.control ? "control" : "cold"),
+        std::printf("  %-12s %s\n",
+                    g.warm ? "warm-branch"
+                           : (g.control ? "control" : (g.warm_demoted ? "cold-demoted" : "cold")),
                     u.label.c_str());
       }
     }
@@ -731,6 +747,7 @@ int run_campaign(const CampaignOptions& opts) {
                << "\",\"model\":\"" << g.model << "\",\"p\":" << g.p << ",\"exec\":\""
                << backend_slug(g.backend) << "\",\"workers\":" << g.workers
                << ",\"warm\":" << (ur.warm ? "true" : "false")
+               << ",\"warm_demoted\":" << (g.warm_demoted ? "true" : "false")
                << ",\"control\":" << (g.control ? "true" : "false")
                << ",\"ok\":" << (ur.ok ? "true" : "false") << ",\"makespan_ns\":"
                << ur.makespan_ns << ",\"makespan_bits\":\"" << bits

@@ -59,6 +59,11 @@ struct TaskGroup {
   int workers = 1;  ///< synchronization domains (O2K_WORKERS); > 1 is cold-only
   bool warm = false;
   bool control = false;  ///< cold control of a warm unit (verify mode)
+  /// The spec asked for warm forking but this point runs cold anyway
+  /// (workers > 1: the pinned engine keeps pool threads alive at the fork
+  /// rendezvous).  Surfaced in the manifest and warned about at launch so
+  /// the demotion is never silent.
+  bool warm_demoted = false;
   std::string cp_label;  ///< app's marker ("step" / "phase" / "setup")
   int cp_occurrence = 1;
   std::string group_label;

@@ -120,11 +120,10 @@ void FiberEngine::run(int nprocs, const std::function<void(int)>& body, const Pl
     workers_used_ = m;
     while (wstates_.size() < static_cast<std::size_t>(m))
       wstates_.push_back(std::make_unique<WorkerState>());
+    pinned_done_.store(0, std::memory_order_relaxed);
     for (int w = 0; w < m; ++w) {
       WorkerState& ws = *wstates_[static_cast<std::size_t>(w)];
       ws.localq.clear();
-      ws.owned = 0;
-      ws.done = 0;
       ws.epoch.store(0, std::memory_order_relaxed);
       ws.sleeping.store(0, std::memory_order_relaxed);
       ws.ext_pending.store(0, std::memory_order_relaxed);
@@ -134,16 +133,16 @@ void FiberEngine::run(int nprocs, const std::function<void(int)>& body, const Pl
     }
     for (int r = 0; r < nprocs; ++r) {
       WorkerState& ws = *wstates_[static_cast<std::size_t>(m == 1 ? 0 : affinity_[r])];
-      ++ws.owned;
       ws.localq.push_back(fibers_[static_cast<std::size_t>(r)].get());
     }
-    // Each mailbox must hold every fiber its consumer owns (see spsc.hpp);
-    // rings are pooled across runs and only regrown.
+    // Each mailbox must hold every fiber of the run (see spsc.hpp: ranks
+    // may be re-pinned between barrier epochs, so a consumer's owned count
+    // is not an upper bound); rings are pooled across runs and only regrown.
     for (int w = 0; w < m; ++w) {
       WorkerState& ws = *wstates_[static_cast<std::size_t>(w)];
       for (auto& ring : ws.inbox)
-        if (ring.capacity() < static_cast<std::size_t>(ws.owned))
-          ring.init(static_cast<std::size_t>(ws.owned));
+        if (ring.capacity() < static_cast<std::size_t>(nprocs))
+          ring.init(static_cast<std::size_t>(nprocs));
     }
     std::vector<std::thread> threads;
     threads.reserve(static_cast<std::size_t>(m - 1));
@@ -212,7 +211,7 @@ void FiberEngine::worker_loop_pinned(int wid) {
   ctx_bind_host_stack(w.ctx);
   const TlsWorker saved = tls_worker;
   tls_worker = TlsWorker{this, wid};
-  while (w.done != w.owned) {
+  while (pinned_done_.load(std::memory_order_acquire) != live_) {
     if (w.localq.empty()) {
       // Sleep eventcount: read the epoch, re-drain, and only then commit to
       // the condvar — a producer always delivers before bumping the epoch,
@@ -239,7 +238,22 @@ void FiberEngine::worker_loop_pinned(int wid) {
       f->home = &w.ctx;
       ctx_swap_to(w.ctx, f->ctx, f, f->stack.get());
       if (f->reason == Fiber::kDone) {
-        ++w.done;
+        // Completion is global (a migrated fiber finishes away from its
+        // seed worker); the last finisher pokes every other worker so
+        // none sleeps through the end of the run.
+        if (pinned_done_.fetch_add(1, std::memory_order_acq_rel) + 1 == live_) {
+          for (int o = 0; o < workers_used_; ++o) {
+            if (o != wid) notify_worker(*wstates_[static_cast<std::size_t>(o)]);
+          }
+        }
+        break;
+      }
+      if (f->reason == Fiber::kYield) {
+        // The fiber asked to move home: a remap changed its worker while
+        // it was running (it was the barrier releaser).  Re-route it by
+        // the updated affinity table; it stays kActive throughout, so no
+        // waker can double-enqueue it.
+        deliver(f);
         break;
       }
       // Same park/reclaim protocol as shared mode (see worker_loop).
@@ -340,6 +354,23 @@ void FiberEngine::wake(int rank) {
 
 void FiberEngine::wake_all() {
   for (int r = 0; r < live_; ++r) wake(r);
+}
+
+bool FiberEngine::yield_if_misplaced(int rank) {
+  if (!pinned_ || workers_used_ <= 1 || affinity_ == nullptr) return false;
+  const TlsWorker t = tls_worker;
+  if (t.eng != this) return false;
+  if (affinity_[rank] == t.wid) return false;
+  Fiber* f = fibers_[static_cast<std::size_t>(rank)].get();
+  f->reason = Fiber::kYield;
+  ctx_swap_to(f->ctx, *f->home, nullptr, nullptr);
+  // Resumed on the new home worker.
+  return true;
+}
+
+int FiberEngine::current_worker() const {
+  const TlsWorker t = tls_worker;
+  return t.eng == this ? t.wid : -1;
 }
 
 bool FiberEngine::quiescent_except(int rank) const {

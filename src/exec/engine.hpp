@@ -40,8 +40,10 @@
 // the epoch early enough that the worker's re-check sees it.  The CAS
 // claim makes the resume exactly-once under concurrent wakers — which is
 // also why the SPSC mailboxes can never overflow: a fiber is in flight
-// through at most one queue at a time, so each ring sized to its
-// consumer's owned-fiber count always has room.
+// through at most one queue at a time, so each ring sized to the run's
+// rank count always has room (rank count rather than the consumer's
+// owned-fiber count because rt::Remapper may re-pin ranks between
+// barrier epochs).
 //
 // None of this carries timing information: a wake only means "re-evaluate
 // your predicate".  Virtual time is computed from the cost model alone, so
@@ -121,6 +123,20 @@ class FiberEngine {
   /// Number of host workers the last/current run uses.
   [[nodiscard]] int workers() const { return workers_used_; }
 
+  /// Pinned mode: if the calling fiber (`rank`'s own) is executing on a
+  /// worker other than `affinity[rank]` — which happens exactly when a
+  /// remap changed its assignment while it was the running fiber — yield
+  /// back to the worker loop so the fiber is re-delivered to its new home
+  /// worker.  Returns true if a yield happened (the call returns only once
+  /// the fiber is resumed on the right worker).  No-op in shared mode, at
+  /// one worker, or when the fiber is already home.
+  bool yield_if_misplaced(int rank);
+
+  /// Worker id of the calling host thread within this engine's pinned
+  /// pool, or -1 when the caller is not a pool worker of this engine.
+  /// Identifies the producer side for domain-local lock-free structures.
+  [[nodiscard]] int current_worker() const;
+
   /// True when every fiber of the current run except `rank` is either
   /// parked or finished — i.e. `rank` is the only runnable context.  Only
   /// meaningful at workers() == 1 (single host thread), where it proves the
@@ -132,7 +148,7 @@ class FiberEngine {
  private:
   struct Fiber {
     enum Status : int { kActive = 0, kParked = 1 };
-    enum Reason : int { kPark = 0, kDone = 1 };
+    enum Reason : int { kPark = 0, kDone = 1, kYield = 2 };
 
     RawContext ctx;             ///< fiber state while suspended
     RawContext* home = nullptr; ///< worker context to switch back to
@@ -145,15 +161,16 @@ class FiberEngine {
     std::atomic<int> status{kActive};
   };
 
-  /// Pinned-mode per-worker state.  `localq`, `done` and the inbox consumer
+  /// Pinned-mode per-worker state.  `localq` and the inbox consumer
   /// cursors are owner-only; producers touch the inbox producer cursors,
   /// the overflow queue (under its mutex) and the sleep eventcount.
+  /// Fiber completion is tracked globally (`pinned_done_`) rather than
+  /// per worker: a migrated fiber may finish on a worker other than the
+  /// one it was seeded on.
   struct WorkerState {
     RawContext ctx;
     std::deque<Fiber*> localq;
     std::vector<SpscRing<Fiber*>> inbox;  ///< [producer worker] -> ring
-    int owned = 0;                        ///< fibers pinned to this worker
-    int done = 0;
     // Sleep eventcount (same store-buffering-free protocol as the per-PE
     // wait slots): producers bump `epoch` after delivering, and notify only
     // when `sleeping` is set; the owner re-drains between the epoch read
@@ -187,6 +204,7 @@ class FiberEngine {
   std::deque<Fiber*> runq_;
   int live_ = 0;  ///< fibers participating in the current run
   int done_ = 0;
+  std::atomic<int> pinned_done_{0};  ///< pinned mode: finished fibers, all workers
   int workers_used_ = 0;
   bool pinned_ = false;
   const int* affinity_ = nullptr;  ///< rank -> worker (pinned mode)

@@ -1,17 +1,24 @@
-// Single-producer/single-consumer mailbox ring.
+// Single-producer/single-consumer mailboxes.
 //
-// The multi-domain fiber engine hands runnable fibers between host workers
-// through one of these per (producer worker, consumer worker) pair, so the
-// cross-domain wake hot path is two atomic ops and no lock.  Capacity is a
-// power of two fixed at init; the engine sizes each ring to the consumer's
-// owned-fiber count, and the park/wake CAS claim guarantees a fiber is in
-// flight through at most one mailbox at a time — so a push can never find
-// the ring full (enforced with O2K_CHECK rather than a resize path).
+// SpscRing: the multi-domain fiber engine hands runnable fibers between
+// host workers through one of these per (producer worker, consumer worker)
+// pair, so the cross-domain wake hot path is two atomic ops and no lock.
+// Capacity is a power of two fixed at init; the engine sizes each ring to
+// the run's rank count (a fiber may migrate between workers at barrier
+// epochs, so every ring must be able to hold every fiber), and the
+// park/wake CAS claim guarantees a fiber is in flight through at most one
+// mailbox at a time — so a push can never find the ring full (enforced
+// with O2K_CHECK rather than a resize path).
+//
+// SpscChannel: an unbounded linked-list variant for payload-bearing lanes
+// whose occupancy has no a-priori bound — mp::World rides cross-domain
+// message deliveries on one channel per (consumer rank, producer worker).
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <memory>
+#include <utility>
 
 #include "common/check.hpp"
 
@@ -60,6 +67,76 @@ class SpscRing {
   std::size_t mask_ = 0;
   alignas(64) std::atomic<std::size_t> head_{0};  ///< consumer cursor
   alignas(64) std::atomic<std::size_t> tail_{0};  ///< producer cursor
+};
+
+/// Unbounded single-producer/single-consumer channel (linked list with a
+/// stub node).  The producer allocates a node and publishes it with one
+/// release store; the consumer follows `next` with an acquire load and
+/// frees consumed nodes.  No capacity invariant to maintain, so it suits
+/// payload lanes (messages, not fibers) where occupancy is unbounded.
+///
+/// The *consumer* may be a fiber rather than a host thread: single-consumer
+/// only requires that at most one execution context pops at a time, which a
+/// fiber satisfies even when it migrates between host workers (it runs in
+/// exactly one place, and migration happens only at quiescent barriers).
+template <typename T>
+class SpscChannel {
+ public:
+  SpscChannel() {
+    Node* stub = new Node();
+    head_ = stub;
+    tail_ = stub;
+  }
+  ~SpscChannel() {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* next = n->next.load(std::memory_order_relaxed);
+      delete n;
+      n = next;
+    }
+  }
+  SpscChannel(const SpscChannel&) = delete;
+  SpscChannel& operator=(const SpscChannel&) = delete;
+
+  /// Producer side only.
+  void push(T v) {
+    Node* n = new Node(std::move(v));
+    tail_->next.store(n, std::memory_order_release);
+    tail_ = n;
+  }
+
+  /// Consumer side only.  Returns false when the channel is empty.
+  bool pop(T& out) {
+    Node* next = head_->next.load(std::memory_order_acquire);
+    if (next == nullptr) return false;
+    out = std::move(next->v);
+    Node* old = head_;
+    head_ = next;
+    delete old;
+    return true;
+  }
+
+  /// Walk every unconsumed element without popping.  Quiescence-only (no
+  /// concurrent producer/consumer): used for checkpoint digests and the
+  /// unmatched-send report, both of which run when all PEs are parked.
+  template <typename F>
+  void for_each(F&& f) const {
+    for (Node* n = head_->next.load(std::memory_order_acquire); n != nullptr;
+         n = n->next.load(std::memory_order_acquire)) {
+      f(n->v);
+    }
+  }
+
+ private:
+  struct Node {
+    Node() = default;
+    explicit Node(T&& value) : v(std::move(value)) {}
+    T v{};
+    std::atomic<Node*> next{nullptr};
+  };
+
+  alignas(64) Node* head_ = nullptr;  ///< consumer cursor (stub or last consumed)
+  alignas(64) Node* tail_ = nullptr;  ///< producer cursor
 };
 
 }  // namespace o2k::exec

@@ -26,27 +26,53 @@ World::World(const origin::MachineParams& params, int nprocs)
   rt::StateRegistry::instance().add(this, &World::state_capture, "mp.world");
 }
 
+namespace {
+
+std::uint64_t message_hash(const detail::Message& m) {
+  std::uint64_t h = rt::fnv1a(&m.src, sizeof m.src);
+  h = rt::fnv1a(&m.tag, sizeof m.tag, h);
+  const std::uint64_t n = m.payload.size();
+  h = rt::fnv1a(&n, sizeof n, h);
+  h = rt::fnv1a(m.payload.data(), m.payload.size(), h);
+  h = rt::fnv1a(&m.arrival_ns, sizeof m.arrival_ns, h);
+  h = rt::fnv1a(&m.rts_arrival_ns, sizeof m.rts_arrival_ns, h);
+  return h;
+}
+
+}  // namespace
+
 void World::state_capture(void* world, rt::StateSink& sink) {
   auto& w = *static_cast<World*>(world);
   sink.put_u64("mp.nprocs", static_cast<std::uint64_t>(w.nprocs_));
   for (int r = 0; r < w.nprocs_; ++r) {
-    auto& box = *w.boxes_[static_cast<std::size_t>(r)];
-    std::scoped_lock lk(box.mu);
-    // Order-independent combine (sum of per-message hashes): deque order
-    // reflects host enqueue interleaving, the message *set* does not.
+    // Order-independent combine (sum of per-message hashes): queue order
+    // reflects host enqueue interleaving, the message *set* does not — so
+    // the digest is also representation-independent (locked vs sharded).
     std::uint64_t combined = 0;
-    for (const detail::Message& m : box.q) {
-      std::uint64_t h = rt::fnv1a(&m.src, sizeof m.src);
-      h = rt::fnv1a(&m.tag, sizeof m.tag, h);
-      const std::uint64_t n = m.payload.size();
-      h = rt::fnv1a(&n, sizeof n, h);
-      h = rt::fnv1a(m.payload.data(), m.payload.size(), h);
-      h = rt::fnv1a(&m.arrival_ns, sizeof m.arrival_ns, h);
-      h = rt::fnv1a(&m.rts_arrival_ns, sizeof m.rts_arrival_ns, h);
-      combined += h;
+    std::uint64_t depth = 0;
+    if (w.sharded_) {
+      // Capture runs at checkpoint quiescence: every PE is parked, so the
+      // lock-free queues and channels are stable and safe to walk.
+      for (const detail::Message& m : w.lb_[static_cast<std::size_t>(r)].q) {
+        combined += message_hash(m);
+        ++depth;
+      }
+      for (int pw = 0; pw < w.shard_workers_; ++pw) {
+        w.channel(r, pw).for_each([&](const detail::Message& m) {
+          combined += message_hash(m);
+          ++depth;
+        });
+      }
+    } else {
+      auto& box = *w.boxes_[static_cast<std::size_t>(r)];
+      std::scoped_lock lk(box.mu);
+      for (const detail::Message& m : box.q) {
+        combined += message_hash(m);
+        ++depth;
+      }
     }
     const std::string prefix = "mp.box." + std::to_string(r);
-    sink.put_u64(prefix + ".depth", box.q.size());
+    sink.put_u64(prefix + ".depth", depth);
     sink.put_u64(prefix + ".digest", combined);
   }
 }
@@ -58,31 +84,119 @@ World::~World() {
   // The run's PE threads are gone (Worlds outlive Machine::run), so the
   // mailboxes are quiescent: anything still queued was never received.
   for (int r = 0; r < nprocs_; ++r) {
-    auto& box = *boxes_[static_cast<std::size_t>(r)];
-    std::scoped_lock lk(box.mu);
-    for (const detail::Message& m : box.q) {
-      s->mp_unmatched_send(m.src, r, m.tag, m.payload.size(), m.arrival_ns);
+    if (sharded_) {
+      for (const detail::Message& m : lb_[static_cast<std::size_t>(r)].q) {
+        s->mp_unmatched_send(m.src, r, m.tag, m.payload.size(), m.arrival_ns);
+      }
+      for (int pw = 0; pw < shard_workers_; ++pw) {
+        channel(r, pw).for_each([&](const detail::Message& m) {
+          s->mp_unmatched_send(m.src, r, m.tag, m.payload.size(), m.arrival_ns);
+        });
+      }
+    } else {
+      auto& box = *boxes_[static_cast<std::size_t>(r)];
+      std::scoped_lock lk(box.mu);
+      for (const detail::Message& m : box.q) {
+        s->mp_unmatched_send(m.src, r, m.tag, m.payload.size(), m.arrival_ns);
+      }
     }
   }
   s->end_mp_world();
 }
 
+void World::bind_run(rt::Pe& pe) {
+  std::scoped_lock lk(bind_mu_);
+  const bool want_sharded = pe.domain_serial();
+  const int want_workers = want_sharded ? pe.domains() : 0;
+  if (sharded_ == want_sharded && shard_workers_ == want_workers) {
+    if (sharded_) pe.add_remap_hook(&World::remap_drain, this);
+    return;
+  }
+  if (sharded_) {
+    // Leaving sharded mode (World reused by a differently-shaped run):
+    // fold everything back into the locked boxes.
+    drain_all_channels();
+    for (int r = 0; r < nprocs_; ++r) {
+      auto& src = lb_[static_cast<std::size_t>(r)].q;
+      auto& dst = boxes_[static_cast<std::size_t>(r)]->q;
+      while (!src.empty()) {
+        dst.push_back(std::move(src.front()));
+        src.pop_front();
+      }
+    }
+    lb_.clear();
+    chan_.clear();
+    sharded_ = false;
+    shard_workers_ = 0;
+  }
+  if (want_sharded) {
+    shard_workers_ = want_workers;
+    lb_ = std::vector<detail::LocalBox>(static_cast<std::size_t>(nprocs_));
+    chan_.clear();
+    chan_.reserve(static_cast<std::size_t>(nprocs_) * static_cast<std::size_t>(want_workers));
+    for (int i = 0; i < nprocs_ * want_workers; ++i) {
+      chan_.push_back(std::make_unique<exec::SpscChannel<detail::Message>>());
+    }
+    for (int r = 0; r < nprocs_; ++r) {
+      auto& src = boxes_[static_cast<std::size_t>(r)]->q;
+      auto& dst = lb_[static_cast<std::size_t>(r)].q;
+      while (!src.empty()) {
+        dst.push_back(std::move(src.front()));
+        src.pop_front();
+      }
+    }
+    sharded_ = true;
+    pe.add_remap_hook(&World::remap_drain, this);
+  }
+}
+
+void World::drain_all_channels() {
+  detail::Message m;
+  for (int r = 0; r < nprocs_; ++r) {
+    for (int pw = 0; pw < shard_workers_; ++pw) {
+      auto& ch = channel(r, pw);
+      while (ch.pop(m)) lb_[static_cast<std::size_t>(r)].q.push_back(std::move(m));
+    }
+  }
+}
+
+void World::remap_drain(void* world) {
+  // Barrier quiescence, releasing PE: no producer or consumer is live, so
+  // popping every channel here is the "single consumer at a time" case.
+  static_cast<World*>(world)->drain_all_channels();
+}
+
 Comm::Comm(World& world, rt::Pe& pe) : world_(world), pe_(pe) {
   O2K_REQUIRE(world.size() == pe.size(),
               "mp::World size must match the Machine::run processor count");
+  world.bind_run(pe);
 }
 
-namespace {
-
-void enqueue(rt::Pe& pe, detail::Mailbox& box, int dst, detail::Message&& m) {
-  {
+void Comm::enqueue_msg(int dst, detail::Message&& m) {
+  World& w = world_;
+  if (w.sharded_) {
+    // The owner worker of dst's queue is its domain (pinned mode: domain d
+    // == worker d).  Checking the *host* worker rather than this PE's
+    // domain keeps the fast path sound even in the one window where a
+    // fiber can run off its home worker (the barrier releaser between a
+    // remap and its yield home).
+    const int owner = pe_.domain_of(dst);
+    if (pe_.host_worker() == owner) {
+      // Intra-domain delivery: single host thread owns both endpoints — a
+      // plain push, no lock, no atomics beyond the wake below.
+      w.lb_[static_cast<std::size_t>(dst)].q.push_back(std::move(m));
+    } else {
+      const int me_w = pe_.host_worker();
+      O2K_CHECK(me_w >= 0, "mp: sharded send from outside the worker pool");
+      w.channel(dst, me_w).push(std::move(m));
+    }
+  } else {
+    auto& box = *w.boxes_[static_cast<std::size_t>(dst)];
     std::scoped_lock lk(box.mu);
     box.q.push_back(std::move(m));
   }
-  pe.wake(dst);
+  pe_.wake(dst);
 }
-
-}  // namespace
 
 void Comm::send_bytes(std::span<const std::byte> data, int dst, int tag) {
   O2K_REQUIRE(dst >= 0 && dst < size(), "mp: invalid destination rank");
@@ -100,7 +214,7 @@ void Comm::send_bytes(std::span<const std::byte> data, int dst, int tag) {
   if (dst == rank()) {
     pe_.advance(P.mp_o_send_ns + P.memcpy_ns(bytes));
     m.arrival_ns = pe_.now();
-    enqueue(pe_, *world_.boxes_[static_cast<std::size_t>(dst)], dst, std::move(m));
+    enqueue_msg(dst, std::move(m));
     return;
   }
 
@@ -115,7 +229,7 @@ void Comm::send_bytes(std::span<const std::byte> data, int dst, int tag) {
     O2K_CHECK(pe_.domain_of(dst) == pe_.domain() ||
                   m.arrival_ns >= entry_ns + P.cross_domain_lookahead_ns(),
               "mp: cross-domain eager message under the lookahead bound");
-    enqueue(pe_, *world_.boxes_[static_cast<std::size_t>(dst)], dst, std::move(m));
+    enqueue_msg(dst, std::move(m));
     return;
   }
 
@@ -127,7 +241,7 @@ void Comm::send_bytes(std::span<const std::byte> data, int dst, int tag) {
   O2K_CHECK(pe_.domain_of(dst) == pe_.domain() ||
                 m.rts_arrival_ns >= entry_ns + P.cross_domain_lookahead_ns(),
             "mp: cross-domain RTS under the lookahead bound");
-  enqueue(pe_, *world_.boxes_[static_cast<std::size_t>(dst)], dst, std::move(m));
+  enqueue_msg(dst, std::move(m));
 
   pe_.park_until([&] { return rdv->done.load(std::memory_order_acquire); });
   pe_.sync_at_least(rdv->release_ns);
@@ -160,12 +274,11 @@ void Comm::post_bytes(std::span<const std::byte> data, int dst, int tag) {
                   m.arrival_ns >= entry_ns + P.cross_domain_lookahead_ns(),
               "mp: cross-domain posted message under the lookahead bound");
   }
-  enqueue(pe_, *world_.boxes_[static_cast<std::size_t>(dst)], dst, std::move(m));
+  enqueue_msg(dst, std::move(m));
 }
 
 std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
   O2K_REQUIRE(src >= 0 && src < size(), "mp: invalid source rank (wildcards unsupported)");
-  auto& box = *world_.boxes_[static_cast<std::size_t>(rank())];
   const auto& P = world_.params();
 
   // The matching predicate consumes the message as its side effect; every
@@ -173,25 +286,48 @@ std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
   detail::Message m;
   auto* san = sanitize::active();
   int distinct_tags = 0;
-  pe_.park_until([&] {
-    std::scoped_lock lk(box.mu);
-    auto it = std::find_if(box.q.begin(), box.q.end(), [&](const detail::Message& cand) {
+  auto match_in = [&](std::deque<detail::Message>& q) {
+    auto it = std::find_if(q.begin(), q.end(), [&](const detail::Message& cand) {
       return cand.src == src && (tag == kAnyTag || cand.tag == tag);
     });
-    if (it == box.q.end()) return false;
+    if (it == q.end()) return false;
     if (san != nullptr && tag == kAnyTag) {
       // Distinct tags queued from this source at match time (including the
       // matched one): with >= 2 the wildcard match is a FIFO accident.
       std::set<int> tags;
-      for (const detail::Message& cand : box.q) {
+      for (const detail::Message& cand : q) {
         if (cand.src == src) tags.insert(cand.tag);
       }
       distinct_tags = static_cast<int>(tags.size());
     }
     m = std::move(*it);
-    box.q.erase(it);
+    q.erase(it);
     return true;
-  });
+  };
+  if (world_.sharded_) {
+    // Domain-serial fast path: this fiber's host worker is the sole
+    // consumer of lb_[rank] and of every channel(rank, *) — no locks.
+    // Draining channels in fixed producer order before each scan keeps
+    // the scan order a pure function of message arrival order: between
+    // remaps a given src's messages ride exactly one route (direct push
+    // or one producer channel), and remap drains at quiescence, so
+    // per-src FIFO — all the matching semantics depend on — holds.
+    auto& q = world_.lb_[static_cast<std::size_t>(rank())].q;
+    pe_.park_until([&] {
+      detail::Message in;
+      for (int pw = 0; pw < world_.shard_workers_; ++pw) {
+        auto& ch = world_.channel(rank(), pw);
+        while (ch.pop(in)) q.push_back(std::move(in));
+      }
+      return match_in(q);
+    });
+  } else {
+    auto& box = *world_.boxes_[static_cast<std::size_t>(rank())];
+    pe_.park_until([&] {
+      std::scoped_lock lk(box.mu);
+      return match_in(box.q);
+    });
+  }
 
   const std::size_t bytes = m.payload.size();
   if (!m.rdv) {
@@ -251,6 +387,14 @@ void Comm::barrier() {
     post_bytes({}, dst, tag);
     (void)recv_bytes(src, tag);
   }
+  // A dissemination barrier synchronises virtual time with point-to-point
+  // messages and never reaches Pe::barrier — the machine-level quiescent
+  // point where migration rounds fire.  Give migration its own clock-neutral
+  // host rendezvous here (a single pointer check when migration is off).
+  // Placing it after the last round is safe: every rank has entered the
+  // barrier by now and all release messages are already posted, so no rank
+  // still draining them depends on a parked PE running further.
+  pe_.migration_rendezvous();
 }
 
 void Comm::bcast_bytes(std::span<std::byte> data, int root, int tag) {

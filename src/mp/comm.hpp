@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "exec/spsc.hpp"
 #include "rt/machine.hpp"
 
 namespace o2k::rt {
@@ -70,8 +71,21 @@ struct Message {
 /// is the generation counter that closes the classic lost-wakeup window: a
 /// notify between the failed scan and the sleep bumps the epoch, so the
 /// receiver re-scans instead of sleeping (see Pe::park_until).
+///
+/// This locked representation is the fallback for runs that are not
+/// domain-serial (threads backend, shared-mode fibers, single-PE inline).
+/// Domain-serial runs use the sharded substrate below instead.
 struct Mailbox {
   std::mutex mu;
+  std::deque<Message> q;
+};
+
+/// Sharded-mode per-rank queue: padded so queues homed in different
+/// domains never share a host cache line, and lock-free — only the host
+/// worker that owns the rank's domain ever touches it (intra-domain
+/// senders push directly; the owning receiver drains/scans; cross-domain
+/// senders go through the SPSC channels instead).
+struct alignas(64) LocalBox {
   std::deque<Message> q;
 };
 
@@ -79,6 +93,21 @@ struct Mailbox {
 
 /// Shared state of one MP "job"; create before Machine::run and hand to
 /// every PE's Comm.  One World may only be used by one run at a time.
+///
+/// Mailbox storage comes in two shapes, chosen per run at the first Comm
+/// construction (bind_run):
+///
+///   * locked (default): one mutex-guarded deque per rank — correct under
+///     any host scheduling.
+///   * sharded (domain-serial runs, i.e. pinned fibers with workers > 1):
+///     one lock-free LocalBox per rank, owned by the rank's domain worker,
+///     plus one unbounded SPSC payload channel per (rank, producer worker)
+///     for cross-domain deliveries.  Intra-domain send/recv touches no
+///     mutex at all; matching order is per-(source) FIFO either way, so
+///     virtual times are bit-identical across representations.  When
+///     migration is enabled, the World registers a remap hook that drains
+///     every channel at barrier quiescence before the map changes, so
+///     per-source FIFO survives a producer's worker identity changing.
 class World {
  public:
   World(const origin::MachineParams& params, int nprocs);
@@ -100,9 +129,34 @@ class World {
   // rendezvous is deterministic.
   static void state_capture(void* world, rt::StateSink& sink);
 
+  /// Pick the mailbox representation for the current run (idempotent; the
+  /// first Comm of a run decides, later Comms re-check cheaply).  Moves any
+  /// queued messages between representations so reuse across runs with
+  /// different worker counts stays sound.
+  void bind_run(rt::Pe& pe);
+  /// Remap hook: at barrier quiescence, move every channel's messages into
+  /// the destination rank's LocalBox (fixed rank-major/producer-minor
+  /// order; per-source FIFO is preserved because a source's messages sit in
+  /// at most one channel between remaps).
+  static void remap_drain(void* world);
+  void drain_all_channels();
+  [[nodiscard]] exec::SpscChannel<detail::Message>& channel(int rank, int producer_worker) {
+    return *chan_[static_cast<std::size_t>(rank) * static_cast<std::size_t>(shard_workers_) +
+                  static_cast<std::size_t>(producer_worker)];
+  }
+
   const origin::MachineParams& params_;
   int nprocs_;
   std::vector<std::unique_ptr<detail::Mailbox>> boxes_;
+
+  // Sharded substrate (see class comment).  `sharded_` flips only in
+  // bind_run, before any PE communicates.
+  std::mutex bind_mu_;
+  bool sharded_ = false;
+  int shard_workers_ = 0;
+  std::vector<detail::LocalBox> lb_;  ///< [rank]
+  std::vector<std::unique_ptr<exec::SpscChannel<detail::Message>>>
+      chan_;  ///< [rank * shard_workers_ + producer worker]
 };
 
 /// Handle for a pending nonblocking operation (see header comment for the
@@ -223,12 +277,23 @@ class Comm {
   void allreduce_sum(std::span<T> v) {
     reduce_apply<T>(v, [](T& a, const T& b) { a += b; });
     bcast(v, 0);
+    // Migration rendezvous discipline for MP collectives: only the
+    // *synchronizing* collectives — those where no rank can exit before
+    // every rank has entered (allreduce, allgather, allgatherv, alltoallv,
+    // barrier) — may host the clock-neutral remap rendezvous.  At their
+    // exit every in-collective message is already posted, so ranks still
+    // draining them never depend on a parked PE.  Non-synchronizing
+    // collectives (bcast, gather, scatterv: a leaf or root can exit before
+    // others enter) must NOT call it — a full-team park there would
+    // deadlock legal request/reply traffic interleaved with the tree.
+    pe_.migration_rendezvous();
   }
   template <typename T>
   T allreduce_max(T v) {
     std::span<T> s(&v, 1);
     reduce_apply<T>(s, [](T& a, const T& b) { if (b > a) a = b; });
     bcast(s, 0);
+    pe_.migration_rendezvous();  // synchronizing collective (see allreduce_sum)
     return v;
   }
   template <typename T>
@@ -236,6 +301,7 @@ class Comm {
     std::span<T> s(&v, 1);
     reduce_apply<T>(s, [](T& a, const T& b) { if (b < a) a = b; });
     bcast(s, 0);
+    pe_.migration_rendezvous();  // synchronizing collective (see allreduce_sum)
     return v;
   }
 
@@ -264,6 +330,7 @@ class Comm {
     n = bcast_value(n, 0);
     out.resize(n);
     bcast(std::span<T>(out), 0);
+    pe_.migration_rendezvous();  // synchronizing collective (see allreduce_sum)
     return out;
   }
 
@@ -292,6 +359,7 @@ class Comm {
     }
     std::vector<T> out;
     for (const auto& b : blocks) out.insert(out.end(), b.begin(), b.end());
+    pe_.migration_rendezvous();  // synchronizing collective (see allreduce_sum)
     return out;
   }
 
@@ -320,6 +388,7 @@ class Comm {
         send(std::span<const T>(sendbufs[static_cast<std::size_t>(dst)]), dst, tag);
       }
     }
+    pe_.migration_rendezvous();  // synchronizing collective (see allreduce_sum)
     return out;
   }
 
@@ -395,6 +464,10 @@ class Comm {
   }
 
   void bcast_bytes(std::span<std::byte> data, int root, int tag);
+  /// Route one finished Message to `dst`'s queue and wake it.  Sharded
+  /// runs: direct lock-free push when the calling worker owns `dst`'s
+  /// domain, SPSC channel otherwise; locked mailbox elsewhere.
+  void enqueue_msg(int dst, detail::Message&& m);
   int next_coll_tag() { return kCollTagBase + coll_seq_++; }
   /// Sanitizer registration for a posted irecv (0 when no sanitizer).
   std::uint64_t register_irecv(int src, int tag);

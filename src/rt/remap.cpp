@@ -1,0 +1,88 @@
+#include "rt/remap.hpp"
+
+#include "common/check.hpp"
+
+namespace o2k::rt {
+
+Remapper::Remapper(int nprocs, int pes_per_node, int interval)
+    : nodes_((nprocs + pes_per_node - 1) / pes_per_node),
+      pes_per_node_(pes_per_node),
+      interval_(interval) {
+  O2K_REQUIRE(nprocs >= 1, "Remapper needs at least one rank");
+  O2K_REQUIRE(pes_per_node >= 1, "Remapper needs at least one PE per node");
+  O2K_REQUIRE(interval >= 1, "Remapper interval must be >= 1");
+  // Pad rows to a cache line (8 × uint64) so each node's single-writer row
+  // never shares a line with another worker's row.
+  stride_ = (static_cast<std::size_t>(nodes_) + 7) & ~std::size_t{7};
+  m_.assign(stride_ * static_cast<std::size_t>(nodes_), 0);
+}
+
+bool Remapper::due_this_round() {
+  ++rounds_;
+  if (++round_in_window_ < interval_) return false;
+  round_in_window_ = 0;
+  return true;
+}
+
+int Remapper::apply(DomainMap& dm) {
+  if (dm.domains() <= 1 || nodes_ <= 1) {
+    m_.assign(m_.size(), 0);
+    return 0;
+  }
+  const int nd = dm.domains();
+  // Decisions are made node by node against the *live* map, so a node
+  // evaluated later sees where earlier nodes of this round already moved
+  // (Gauss-Seidel, not Jacobi).  That kills the pairwise oscillation a
+  // snapshot pass suffers — two nodes that only talk to each other would
+  // swap domains every round forever — while staying a pure function of
+  // (matrix, map, fixed node order), independent of any host ordering.
+  int moved = 0;
+  std::vector<std::uint64_t> t(static_cast<std::size_t>(nd));
+  for (int n = 0; n < nodes_; ++n) {
+    t.assign(static_cast<std::size_t>(nd), 0);
+    for (int p = 0; p < nodes_; ++p) {
+      if (p == n) continue;
+      const std::uint64_t b = m_[static_cast<std::size_t>(n) * stride_ + p] +
+                              m_[static_cast<std::size_t>(p) * stride_ + n];
+      t[static_cast<std::size_t>(dm.node_domain(p))] += b;
+    }
+    const int cur = dm.node_domain(n);
+    int best = cur;
+    for (int d = 0; d < nd; ++d) {
+      if (t[static_cast<std::size_t>(d)] > t[static_cast<std::size_t>(best)]) best = d;
+    }
+    // 2× hysteresis: only move when the winning domain carries more than
+    // twice the node's traffic with its current domain (self-clustering
+    // with a thrash guard; a tie or marginal win stays put).
+    if (best != cur &&
+        t[static_cast<std::size_t>(best)] > 2 * t[static_cast<std::size_t>(cur)]) {
+      dm.rehome_node(n, best);
+      ++moved;
+    }
+  }
+  moves_ += moved;
+  m_.assign(m_.size(), 0);
+  return moved;
+}
+
+std::uint64_t Remapper::window_cross_bytes(const DomainMap& dm) const {
+  std::uint64_t sum = 0;
+  for (int n = 0; n < nodes_; ++n) {
+    for (int p = 0; p < nodes_; ++p) {
+      if (dm.node_domain(n) != dm.node_domain(p)) {
+        sum += m_[static_cast<std::size_t>(n) * stride_ + p];
+      }
+    }
+  }
+  return sum;
+}
+
+std::uint64_t Remapper::window_total_bytes() const {
+  std::uint64_t sum = 0;
+  for (int n = 0; n < nodes_; ++n) {
+    for (int p = 0; p < nodes_; ++p) sum += m_[static_cast<std::size_t>(n) * stride_ + p];
+  }
+  return sum;
+}
+
+}  // namespace o2k::rt

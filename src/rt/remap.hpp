@@ -1,0 +1,86 @@
+// rt::Remapper — adaptive PE-to-worker migration (DESIGN.md §13).
+//
+// PR 7 pinned every PE to the synchronization domain it started in; the
+// adaptive apps shift their communication patterns as the mesh refines or
+// the DHT churns, so a static block partition slowly turns intra-domain
+// traffic into cross-domain traffic.  The Remapper implements D'Angelo's
+// *adaptive self-clustering*: accumulate a node×node byte matrix from the
+// same transfer observations the metrics comm matrix records, and at
+// barrier quiescence greedily re-home each node to the domain it exchanged
+// the most bytes with (with a 2× hysteresis threshold so borderline nodes
+// do not thrash).
+//
+// Three properties make this safe:
+//
+//   1. Migration is host-placement-only.  The rank→domain map steers fiber
+//      pinning, barrier staging and the mp/sas shard layout — never a
+//      virtual-clock value — so virtual times stay bit-identical to w=1
+//      (the golden fixture and DomainDeterminism enforce this with
+//      O2K_MIGRATE=1).
+//   2. Granularity is the node, never a single PE.  Cross-domain therefore
+//      still implies cross-node, which preserves the conservative-lookahead
+//      invariant (MachineParams::cross_domain_lookahead_ns) that lets
+//      domains advance independently between barriers.
+//   3. Decisions fire only at barrier quiescence, on the releasing PE,
+//      after the machine's remap hooks drained every cross-worker payload
+//      channel — so per-source FIFO survives a producer changing workers.
+//
+// The byte matrix itself is deterministic (the multiset of transfers per
+// barrier window is a virtual-time artifact, and integer addition is
+// order-independent), so the map evolves identically run to run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rt/domain.hpp"
+
+namespace o2k::rt {
+
+class Remapper {
+ public:
+  /// `interval`: remap every `interval` barrier rounds (>= 1, from
+  /// O2K_MIGRATE / --migrate).  `pes_per_node` fixes the rank→node fold.
+  Remapper(int nprocs, int pes_per_node, int interval);
+
+  /// Record `bytes` of traffic between `rank` and `peer` (either
+  /// direction; the initiating PE notes it once).  Row `node(rank)` is
+  /// written only by that node's PEs, which share one host worker in
+  /// pinned mode — single-writer, so plain adds suffice; rows are padded
+  /// to cache-line multiples so writers never share a line.
+  void note(int rank, int peer, std::uint64_t bytes) {
+    const std::size_t row = static_cast<std::size_t>(rank / pes_per_node_);
+    const std::size_t col = static_cast<std::size_t>(peer / pes_per_node_);
+    m_[row * stride_ + col] += bytes;
+  }
+
+  /// Advance the per-barrier round counter; true when this round is a
+  /// remap round (every `interval` rounds).  Called by the releasing PE.
+  bool due_this_round();
+
+  /// Greedily re-home nodes by the current window's matrix, mutate `dm` in
+  /// place and reset the window.  Caller guarantees quiescence and must
+  /// have drained cross-worker payload channels first.  Returns the number
+  /// of nodes moved.
+  int apply(DomainMap& dm);
+
+  /// Bytes of the current window whose endpoints sit in different domains
+  /// of `dm` / total window bytes (diagnostics and the convergence test).
+  [[nodiscard]] std::uint64_t window_cross_bytes(const DomainMap& dm) const;
+  [[nodiscard]] std::uint64_t window_total_bytes() const;
+
+  [[nodiscard]] int rounds() const { return rounds_; }
+  [[nodiscard]] int moves() const { return moves_; }
+
+ private:
+  int nodes_;
+  int pes_per_node_;
+  int interval_;
+  int round_in_window_ = 0;
+  int rounds_ = 0;  ///< barrier rounds seen
+  int moves_ = 0;   ///< nodes re-homed over the run
+  std::size_t stride_;            ///< row stride (nodes_ padded to 8)
+  std::vector<std::uint64_t> m_;  ///< node×node bytes, row = initiator's node
+};
+
+}  // namespace o2k::rt

@@ -94,10 +94,17 @@ class World {
   /// nodes — hence different synchronization domains, which never split a
   /// node — must not contend on one host lock.  A given cell always lives
   /// on one node and therefore always maps to the same shard, preserving
-  /// the per-cell RMW serialisation the sanitizer hooks rely on.
+  /// the per-cell RMW serialisation the sanitizer hooks rely on.  Each
+  /// shard sits on its own cache line (same homed-shard scheme as the SAS
+  /// directory): neighbouring nodes usually live in different
+  /// synchronization domains, so adjacent locks are hammered by different
+  /// host workers and must not false-share.
   static constexpr std::size_t kAtomicShards = 64;
+  struct alignas(64) AtomicShard {
+    std::mutex mu;
+  };
   [[nodiscard]] std::mutex& atomic_mu(int target_pe) {
-    return atomic_mu_[static_cast<std::size_t>(params_.node_of(target_pe)) % kAtomicShards];
+    return atomic_mu_[static_cast<std::size_t>(params_.node_of(target_pe)) % kAtomicShards].mu;
   }
 
   const origin::MachineParams& params_;
@@ -105,7 +112,7 @@ class World {
   std::size_t heap_bytes_;
   std::vector<std::unique_ptr<std::byte[], FreeDeleter>> heaps_;
   std::atomic<std::size_t> alloc_high_{0};
-  std::array<std::mutex, kAtomicShards> atomic_mu_;
+  std::array<AtomicShard, kAtomicShards> atomic_mu_;
 };
 
 /// Per-PE SHMEM context.

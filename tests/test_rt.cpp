@@ -13,9 +13,11 @@
 #include "apps/dht_app.hpp"
 #include "apps/mesh_app.hpp"
 #include "apps/nbody_app.hpp"
+#include "exec/context.hpp"
 #include "metrics/sink.hpp"
 #include "mp/comm.hpp"
 #include "rt/machine.hpp"
+#include "rt/remap.hpp"
 
 namespace o2k::rt {
 namespace {
@@ -498,6 +500,103 @@ TEST(DomainDeterminism, CrossDomainAnyTagWakeStress) {
           << " workers=" << w;
       EXPECT_EQ(base_sums, sums);
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive migration (rt::Remapper, DESIGN.md §13) is host-placement-only:
+// with the most aggressive cadence (remap every barrier) every golden case
+// must still be bit-identical to the workers=1, migration-off result, under
+// both backends.  The threads legs double as inertness proof: migration
+// needs the pinned fiber engine, so there the interval is accepted but a
+// Remapper never runs.
+// ---------------------------------------------------------------------------
+
+TEST(DomainDeterminism, GoldenCasesBitIdenticalWithMigration) {
+  for (const char* app : {"nbody", "mesh", "dht"}) {
+    for (auto model : {apps::Model::kMp, apps::Model::kShmem, apps::Model::kSas}) {
+      const golden::Case c{app, model, 8};  // 4 nodes -> up to 4 domains
+      SCOPED_TRACE(golden::case_key(c));
+      int remap_rounds = 0;
+      auto run_with = [&](ExecBackend b, int workers, int migrate) {
+        Machine machine;
+        machine.set_exec_backend(b);
+        machine.set_workers(workers);
+        machine.set_migrate(migrate);
+        std::string canon;
+        if (std::string(c.app) == "nbody") {
+          apps::NbodyConfig cfg;
+          cfg.n = 2048;
+          cfg.steps = 2;
+          canon = golden::canonical(apps::run_nbody(c.model, machine, c.p, cfg).run);
+        } else if (std::string(c.app) == "dht") {
+          canon = golden::canonical(
+              apps::run_dht(c.model, machine, c.p, golden::dht_smoke_config()).run);
+        } else {
+          apps::MeshConfig cfg;
+          cfg.nx = cfg.ny = cfg.nz = 6;
+          cfg.phases = 2;
+          canon = golden::canonical(apps::run_mesh(c.model, machine, c.p, cfg).run);
+        }
+        remap_rounds = machine.remapper() != nullptr ? machine.remapper()->rounds() : 0;
+        return canon;
+      };
+      const std::string base = run_with(ExecBackend::kFibers, 1, 0);
+      for (auto b : {ExecBackend::kFibers, ExecBackend::kThreads}) {
+        for (int w : {1, 2, 4}) {
+          EXPECT_EQ(base, run_with(b, w, 1))
+              << "virtual time moved under backend="
+              << (b == ExecBackend::kFibers ? "fibers" : "threads") << " workers=" << w
+              << " migrate=1";
+          if (b == ExecBackend::kFibers && w > 1 && exec::fibers_supported()) {
+            // The Remapper must actually have been live, not silently inert.
+            EXPECT_GT(remap_rounds, 0) << "no remap rounds at workers=" << w;
+          }
+        }
+      }
+    }
+  }
+}
+
+// Remapper unit semantics: under synthetic traffic where every byte is
+// cross-domain at the initial map (disjoint node pairs split across
+// domains), the greedy self-clustering pass must converge to a map with
+// *zero* cross-domain bytes for that pattern — and then hold it (no
+// oscillation: the live-map pass and the 2x hysteresis keep a settled pair
+// together).
+TEST(Remapper, AllCrossTrafficConvergesToZeroCrossBytes) {
+  constexpr int kP = 8, kPpn = 2;          // 4 nodes
+  DomainMap dm(kP, 4, kPpn);               // node i -> domain i
+  Remapper rm(kP, kPpn, /*interval=*/1);
+  ASSERT_EQ(dm.domains(), 4);
+
+  // Nodes 0<->1 and 2<->3 exchange all traffic; both pairs straddle domain
+  // boundaries, so 100% of window bytes start cross-domain.
+  auto fill = [&] {
+    rm.note(/*rank=*/0, /*peer=*/2, 1000);  // node 0 -> node 1
+    rm.note(/*rank=*/3, /*peer=*/1, 1000);  // node 1 -> node 0
+    rm.note(/*rank=*/4, /*peer=*/6, 1000);  // node 2 -> node 3
+    rm.note(/*rank=*/7, /*peer=*/5, 1000);  // node 3 -> node 2
+  };
+  fill();
+  EXPECT_EQ(rm.window_total_bytes(), 4000u);
+  EXPECT_EQ(rm.window_cross_bytes(dm), 4000u);
+
+  ASSERT_TRUE(rm.due_this_round());
+  EXPECT_GT(rm.apply(dm), 0);
+
+  // The settled map keeps each chatty pair in one domain: refill the same
+  // pattern and no byte is cross-domain any more, and no further round
+  // moves anything.
+  fill();
+  EXPECT_EQ(rm.window_cross_bytes(dm), 0u);
+  ASSERT_TRUE(rm.due_this_round());
+  EXPECT_EQ(rm.apply(dm), 0);
+  EXPECT_EQ(rm.rounds(), 2);
+
+  // Node granularity held: both ranks of every node share a domain.
+  for (int n = 0; n < 4; ++n) {
+    EXPECT_EQ(dm.domain_of(n * kPpn), dm.domain_of(n * kPpn + 1)) << "node " << n;
   }
 }
 
